@@ -1,0 +1,62 @@
+// Ablation 2 -- tiled block arrays vs the coordinate format (the
+// Section 4 / DIABLO comparison): the same queries compiled with the
+// block rules and with force_coo. The headline is the shuffle volume
+// column: COO ships an index pair with every element.
+#include "bench/bench_common.h"
+
+#include "src/api/algorithms.h"
+
+int main() {
+  using namespace sac;           // NOLINT
+  using namespace sac::bench;    // NOLINT
+
+  PrintHeader("Ablation 2: tiled vs coordinate format (shuffle volume)");
+
+  planner::PlannerOptions coo;
+  coo.force_coo = true;
+  const int64_t block = 64;
+
+  // Addition at a few sizes.
+  std::vector<int64_t> sizes = Scale() == "tiny"
+                                   ? std::vector<int64_t>{128}
+                                   : std::vector<int64_t>{256, 512};
+  for (int64_t n : sizes) {
+    {
+      Sac ctx(BenchCluster());
+      auto a = ctx.RandomMatrix(n, n, block, 501).value();
+      auto b = ctx.RandomMatrix(n, n, block, 502).value();
+      PrintRow(TimeQuery(&ctx, "abl2add", "tiled", n, n * n, [&] {
+        SAC_BENCH_CHECK(algo::Add(&ctx, a, b));
+      }));
+    }
+    {
+      Sac ctx(BenchCluster(), coo);
+      auto a = ctx.RandomMatrix(n, n, block, 501).value();
+      auto b = ctx.RandomMatrix(n, n, block, 502).value();
+      PrintRow(TimeQuery(&ctx, "abl2add", "coordinate", n, n * n, [&] {
+        SAC_BENCH_CHECK(algo::Add(&ctx, a, b));
+      }));
+    }
+  }
+
+  // Multiplication at a deliberately small size: the coordinate plan
+  // shuffles one record per scalar product (n^3 of them).
+  const int64_t nm = Scale() == "tiny" ? 32 : 64;
+  {
+    Sac ctx(BenchCluster());
+    auto a = ctx.RandomMatrix(nm, nm, 16, 503).value();
+    auto b = ctx.RandomMatrix(nm, nm, 16, 504).value();
+    PrintRow(TimeQuery(&ctx, "abl2mul", "tiled", nm, nm * nm, [&] {
+      SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
+    }));
+  }
+  {
+    Sac ctx(BenchCluster(), coo);
+    auto a = ctx.RandomMatrix(nm, nm, 16, 503).value();
+    auto b = ctx.RandomMatrix(nm, nm, 16, 504).value();
+    PrintRow(TimeQuery(&ctx, "abl2mul", "coordinate", nm, nm * nm, [&] {
+      SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
+    }));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation 1 -- reduceByKey vs groupByKey (the Section 4 motivation for
+// translating group-by comprehensions to reduceByKey): the same row-sums
+// aggregation over element records, once with map-side combining and once
+// collecting full per-key lists.
+#include "bench/bench_common.h"
+
+#include "src/storage/tiled.h"
+
+int main() {
+  using namespace sac;           // NOLINT
+  using namespace sac::bench;    // NOLINT
+  using runtime::Dataset;
+  using runtime::Value;
+  using runtime::ValueVec;
+
+  std::vector<int64_t> sizes = Scale() == "tiny"
+                                   ? std::vector<int64_t>{128}
+                                   : std::vector<int64_t>{256, 512, 1024};
+
+  PrintHeader("Ablation 1: reduceByKey vs groupByKey row aggregation");
+  for (int64_t n : sizes) {
+    Sac ctx(BenchCluster());
+    auto m = ctx.RandomMatrix(n, n, 64, 401, 0.0, 1.0).value();
+    auto coo = storage::ToCoo(&ctx.engine(), m).value();
+    // (i, v) element records.
+    auto keyed = ctx.engine()
+                     .Map(coo.entries,
+                          [](const Value& row) {
+                            return runtime::VPair(row.At(0).At(0),
+                                                  row.At(1));
+                          })
+                     .value();
+
+    PrintRow(TimeQuery(&ctx, "abl1", "reduceByKey", n, n * n, [&] {
+      SAC_BENCH_CHECK(ctx.engine().ReduceByKey(
+          keyed, [](const Value& a, const Value& b) {
+            return Value::Double(a.AsDouble() + b.AsDouble());
+          }));
+    }));
+
+    PrintRow(TimeQuery(&ctx, "abl1", "groupByKey", n, n * n, [&] {
+      auto grouped = ctx.engine().GroupByKey(keyed);
+      SAC_BENCH_CHECK(grouped);
+      SAC_BENCH_CHECK(ctx.engine().Map(
+          grouped.value(), [](const Value& row) {
+            double s = 0;
+            for (const Value& v : row.At(1).AsList()) s += v.AsDouble();
+            return runtime::VPair(row.At(0), Value::Double(s));
+          }));
+    }));
+  }
+  return 0;
+}

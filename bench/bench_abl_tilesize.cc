@@ -1,0 +1,26 @@
+// Ablation 3 -- tile-size sweep for the group-by-join multiply: the paper
+// fixes 1000x1000 tiles; this bench shows the tradeoff between per-tile
+// kernel efficiency (large tiles) and scheduling/shuffle granularity
+// (small tiles).
+#include "bench/bench_common.h"
+
+#include "src/api/algorithms.h"
+
+int main() {
+  using namespace sac;           // NOLINT
+  using namespace sac::bench;    // NOLINT
+
+  const int64_t n = Scale() == "tiny" ? 128 : 512;
+  std::vector<int64_t> blocks = {16, 32, 64, 128, 256};
+
+  PrintHeader("Ablation 3: tile-size sweep, SAC GBJ multiply");
+  for (int64_t blk : blocks) {
+    if (blk > n) continue;
+    Sac ctx(BenchCluster());
+    auto a = ctx.RandomMatrix(n, n, blk, 601).value();
+    auto b = ctx.RandomMatrix(n, n, blk, 602).value();
+    PrintRow(TimeQuery(&ctx, "abl3", "N=" + std::to_string(blk), n, n * n,
+                       [&] { SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b)); }));
+  }
+  return 0;
+}

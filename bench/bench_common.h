@@ -1,0 +1,97 @@
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// prints one row per (series, size) point in a fixed column format:
+//
+//   figure  series  n  elements  time_ms  shuffle_MB
+//
+// matching the series of the paper's Figure 4 plots (x = number of matrix
+// elements, y = total time). SAC_BENCH_REPS (default 2) controls how many
+// timed repetitions are averaged; SAC_BENCH_SCALE in {tiny,small,full}
+// controls the size sweep so `ctest`-adjacent runs stay fast.
+#ifndef SAC_BENCH_BENCH_COMMON_H_
+#define SAC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/api/sac.h"
+#include "src/common/metrics.h"
+
+namespace sac::bench {
+
+inline int Reps() {
+  const char* r = std::getenv("SAC_BENCH_REPS");
+  return r ? std::max(1, atoi(r)) : 2;
+}
+
+inline std::string Scale() {
+  const char* s = std::getenv("SAC_BENCH_SCALE");
+  return s ? s : "small";
+}
+
+/// The benchmark cluster shape: 4 simulated executors. (The paper used 8
+/// executors of 11 cores; shuffle accounting scales the same way.)
+inline runtime::ClusterConfig BenchCluster() {
+  runtime::ClusterConfig c;
+  c.num_executors = 4;
+  c.cores_per_executor = 2;
+  c.default_parallelism = 8;
+  return c;
+}
+
+struct Row {
+  std::string figure;
+  std::string series;
+  int64_t n;
+  int64_t elements;
+  double time_ms;
+  double shuffle_mb;
+};
+
+inline void PrintHeader(const char* title) {
+  std::printf("# %s\n", title);
+  std::printf("%-8s %-12s %8s %12s %12s %12s\n", "figure", "series", "n",
+              "elements", "time_ms", "shuffle_MB");
+}
+
+inline void PrintRow(const Row& r) {
+  std::printf("%-8s %-12s %8lld %12lld %12.1f %12.2f\n", r.figure.c_str(),
+              r.series.c_str(), static_cast<long long>(r.n),
+              static_cast<long long>(r.elements), r.time_ms, r.shuffle_mb);
+  std::fflush(stdout);
+}
+
+/// Times `fn` Reps() times (after metrics reset), returning mean wall
+/// milliseconds and the last run's shuffle megabytes.
+template <typename Fn>
+Row TimeQuery(sac::Sac* ctx, const std::string& figure,
+              const std::string& series, int64_t n, int64_t elements,
+              Fn&& fn) {
+  double total_ms = 0;
+  double mb = 0;
+  const int reps = Reps();
+  for (int rep = 0; rep < reps; ++rep) {
+    ctx->metrics().Reset();
+    Stopwatch sw;
+    fn();
+    total_ms += sw.ElapsedMillis();
+    mb = static_cast<double>(ctx->metrics().shuffle_bytes()) /
+         (1024.0 * 1024.0);
+  }
+  return Row{figure, series, n, elements, total_ms / reps, mb};
+}
+
+#define SAC_BENCH_CHECK(expr)                                           \
+  do {                                                                  \
+    auto _st = (expr);                                                  \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "bench failure: %s\n",                       \
+                   _st.status().ToString().c_str());                    \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (false)
+
+}  // namespace sac::bench
+
+#endif  // SAC_BENCH_BENCH_COMMON_H_

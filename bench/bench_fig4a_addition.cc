@@ -1,0 +1,48 @@
+// Figure 4.A -- Matrix addition: total time vs number of elements, for
+// MLlib-like BlockMatrix.add (cogroup + pure-JVM-style kernels) and SAC's
+// generated tiling-preserving plan (tile join + fused fast kernels).
+//
+// Paper shape to reproduce: SAC runs a bit faster than MLlib at every
+// size, with both growing linearly in the number of elements.
+#include "bench/bench_common.h"
+
+#include "src/api/algorithms.h"
+#include "src/baseline/block_matrix.h"
+
+int main() {
+  using namespace sac;           // NOLINT
+  using namespace sac::bench;    // NOLINT
+
+  std::vector<int64_t> sizes;
+  int64_t block = 256;
+  const std::string scale = Scale();
+  if (scale == "tiny") {
+    sizes = {256, 512};
+    block = 128;
+  } else if (scale == "full") {
+    sizes = {512, 1024, 2048, 3072, 4096};
+  } else {
+    sizes = {512, 1024, 1536, 2048};
+  }
+
+  PrintHeader(
+      "Figure 4.A: matrix addition, MLlib baseline vs SAC (5.1 plan)");
+  Sac ctx(BenchCluster());
+  for (int64_t n : sizes) {
+    auto a = ctx.RandomMatrix(n, n, block, 101, 0.0, 10.0).value();
+    auto b = ctx.RandomMatrix(n, n, block, 102, 0.0, 10.0).value();
+
+    // MLlib baseline.
+    auto ml_a = baseline::BlockMatrix::FromTiled(a);
+    auto ml_b = baseline::BlockMatrix::FromTiled(b);
+    PrintRow(TimeQuery(&ctx, "fig4a", "MLlib", n, n * n, [&] {
+      SAC_BENCH_CHECK(ml_a.Add(&ctx.engine(), ml_b));
+    }));
+
+    // SAC generated plan.
+    PrintRow(TimeQuery(&ctx, "fig4a", "SAC", n, n * n, [&] {
+      SAC_BENCH_CHECK(algo::Add(&ctx, a, b));
+    }));
+  }
+  return 0;
+}

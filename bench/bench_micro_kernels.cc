@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) for the primitive layers: dense
+// kernels vs jvmlike kernels, Value serialization, and one engine shuffle.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/la/jvmlike.h"
+#include "src/la/kernels.h"
+#include "src/runtime/engine.h"
+
+namespace {
+
+using sac::Rng;
+using sac::la::Tile;
+
+Tile RandomTile(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tile t(n, n);
+  t.FillRandom(&rng, 0.0, 1.0);
+  return t;
+}
+
+void BM_GemmFast(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tile a = RandomTile(n, 1), b = RandomTile(n, 2), c(n, n);
+  for (auto _ : state) {
+    sac::la::GemmAccum(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmFast)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmJvmlike(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tile a = RandomTile(n, 1), b = RandomTile(n, 2), c(n, n);
+  for (auto _ : state) {
+    sac::la::jvmlike::TileGemmAccum(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmJvmlike)->Arg(64)->Arg(128);
+
+void BM_AddFast(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tile a = RandomTile(n, 3), b = RandomTile(n, 4), c;
+  for (auto _ : state) {
+    sac::la::Add(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_AddFast)->Arg(256);
+
+void BM_AddJvmlike(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tile a = RandomTile(n, 3), b = RandomTile(n, 4), c;
+  for (auto _ : state) {
+    sac::la::jvmlike::TileAdd(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_AddJvmlike)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tile a = RandomTile(n, 5), c;
+  for (auto _ : state) {
+    sac::la::Transpose(a, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(256);
+
+void BM_ValueTileSerialize(benchmark::State& state) {
+  using sac::runtime::Value;
+  const int64_t n = state.range(0);
+  Value v = Value::TileVal(RandomTile(n, 6));
+  for (auto _ : state) {
+    sac::ByteWriter w;
+    v.Serialize(&w);
+    sac::ByteReader r(w.buffer());
+    auto back = Value::Deserialize(&r);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * 8);
+}
+BENCHMARK(BM_ValueTileSerialize)->Arg(128)->Arg(256);
+
+void BM_EngineReduceByKey(benchmark::State& state) {
+  using namespace sac::runtime;  // NOLINT
+  Engine eng(ClusterConfig{4, 2, 8});
+  ValueVec rows;
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back(VPair(VInt(i % 100), VDouble(i)));
+  }
+  Dataset ds = eng.Parallelize(std::move(rows), 8);
+  for (auto _ : state) {
+    auto red = eng.ReduceByKey(ds, [](const Value& a, const Value& b) {
+      return VDouble(a.AsDouble() + b.AsDouble());
+    });
+    benchmark::DoNotOptimize(red);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_EngineReduceByKey);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// The DIABLO pipeline (Section 1.1): imperative array loops are
+// translated to array comprehensions, which SAC compiles to block-array
+// plans. The classic triple loop below becomes the SUMMA group-by-join
+// without the programmer ever writing a comprehension.
+//
+//   $ ./build/examples/diablo_loops [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/api/sac.h"
+#include "src/la/kernels.h"
+
+int main(int argc, char** argv) {
+  using namespace sac;  // NOLINT
+
+  const int64_t n = argc > 1 ? atoll(argv[1]) : 256;
+  const int64_t block = 64;
+
+  Sac ctx;
+  ctx.Bind("A", ctx.RandomMatrix(n, n, block, 1).value());
+  ctx.Bind("B", ctx.RandomMatrix(n, n, block, 2).value());
+  ctx.Bind("C", ctx.RandomMatrix(n, n, block, 3, 0.0, 0.0).value());
+  ctx.Bind("V", ctx.RandomVector(n, block, 4, 0.0, 0.0).value());
+  ctx.BindScalar("n", n);
+
+  const char* program =
+      "for i = 0, n-1 do for k = 0, n-1 do for j = 0, n-1 do\n"
+      "  C[i,j] += A[i,k] * B[k,j];\n"
+      "for i = 0, n-1 do for j = 0, n-1 do\n"
+      "  V[i] += C[i,j];\n";
+
+  std::printf("imperative program:\n%s\n", program);
+  auto report = ctx.EvalLoop(program);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("translated and executed as:\n");
+  for (const auto& line : report.value()) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  // Spot-check against local arithmetic.
+  auto c = ctx.ToLocal(ctx.bindings().at("C").tiled).value();
+  auto la_ = ctx.ToLocal(ctx.bindings().at("A").tiled).value();
+  auto lb = ctx.ToLocal(ctx.bindings().at("B").tiled).value();
+  la::Tile ref(n, n);
+  la::GemmAccum(la_, lb, &ref);
+  double max_err = 0;
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    max_err = std::max(max_err, std::abs(c.data()[i] - ref.data()[i]));
+  }
+  std::printf("\nmax |C - A*B| = %.2e (local oracle)\n", max_err);
+  auto v = ctx.ToLocal(ctx.bindings().at("V").vec).value();
+  std::printf("V[0] = %.4f (row sum of C)\n", v[0]);
+  return max_err < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+#include "src/api/algorithms.h"
+
+namespace sac::algo {
+
+using storage::BlockVector;
+using storage::TiledMatrix;
+
+namespace {
+
+/// Runs a query with temporary bindings ("__a"/"__b" plus dims), cleaning
+/// up afterwards.
+class Scoped {
+ public:
+  explicit Scoped(Sac* ctx) : ctx_(ctx) {}
+  ~Scoped() {
+    for (const auto& n : names_) ctx_->Unbind(n);
+  }
+  void Bind(const std::string& n, TiledMatrix m) {
+    ctx_->Bind(n, std::move(m));
+    names_.push_back(n);
+  }
+  void Bind(const std::string& n, BlockVector v) {
+    ctx_->Bind(n, std::move(v));
+    names_.push_back(n);
+  }
+  void BindScalar(const std::string& n, int64_t v) {
+    ctx_->BindScalar(n, v);
+    names_.push_back(n);
+  }
+
+ private:
+  Sac* ctx_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+Result<TiledMatrix> Add(Sac* ctx, const TiledMatrix& a,
+                        const TiledMatrix& b) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.Bind("__b", b);
+  s.BindScalar("__n", a.rows);
+  s.BindScalar("__m", a.cols);
+  return ctx->EvalTiled(
+      "tiled(__n,__m)[ ((i,j),x+y) | ((i,j),x) <- __a, ((ii,jj),y) <- __b,"
+      " ii == i, jj == j ]");
+}
+
+Result<TiledMatrix> Sub(Sac* ctx, const TiledMatrix& a,
+                        const TiledMatrix& b) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.Bind("__b", b);
+  s.BindScalar("__n", a.rows);
+  s.BindScalar("__m", a.cols);
+  return ctx->EvalTiled(
+      "tiled(__n,__m)[ ((i,j),x-y) | ((i,j),x) <- __a, ((ii,jj),y) <- __b,"
+      " ii == i, jj == j ]");
+}
+
+Result<TiledMatrix> Multiply(Sac* ctx, const TiledMatrix& a,
+                             const TiledMatrix& b) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.Bind("__b", b);
+  s.BindScalar("__n", a.rows);
+  s.BindScalar("__m", b.cols);
+  return ctx->EvalTiled(
+      "tiled(__n,__m)[ ((i,j),+/v) | ((i,k),x) <- __a, ((kk,j),y) <- __b,"
+      " kk == k, let v = x*y, group by (i,j) ]");
+}
+
+Result<TiledMatrix> MultiplyBt(Sac* ctx, const TiledMatrix& a,
+                               const TiledMatrix& b) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.Bind("__b", b);
+  s.BindScalar("__n", a.rows);
+  s.BindScalar("__m", b.rows);
+  return ctx->EvalTiled(
+      "tiled(__n,__m)[ ((i,j),+/v) | ((i,k),x) <- __a, ((j,kk),y) <- __b,"
+      " kk == k, let v = x*y, group by (i,j) ]");
+}
+
+Result<TiledMatrix> MultiplyAt(Sac* ctx, const TiledMatrix& a,
+                               const TiledMatrix& b) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.Bind("__b", b);
+  s.BindScalar("__n", a.cols);
+  s.BindScalar("__m", b.cols);
+  return ctx->EvalTiled(
+      "tiled(__n,__m)[ ((i,j),+/v) | ((k,i),x) <- __a, ((kk,j),y) <- __b,"
+      " kk == k, let v = x*y, group by (i,j) ]");
+}
+
+Result<TiledMatrix> Transpose(Sac* ctx, const TiledMatrix& a) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.BindScalar("__n", a.rows);
+  s.BindScalar("__m", a.cols);
+  return ctx->EvalTiled("tiled(__m,__n)[ ((j,i),x) | ((i,j),x) <- __a ]");
+}
+
+Result<BlockVector> RowSums(Sac* ctx, const TiledMatrix& a) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.BindScalar("__n", a.rows);
+  return ctx->EvalVector(
+      "tiled(__n)[ (i, +/x) | ((i,j),x) <- __a, group by i ]");
+}
+
+Result<BlockVector> MatVec(Sac* ctx, const TiledMatrix& a,
+                           const BlockVector& x) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  s.Bind("__x", x);
+  s.BindScalar("__n", a.rows);
+  return ctx->EvalVector(
+      "tiled(__n)[ (i, +/c) | ((i,k),m) <- __a, (kk,v) <- __x, kk == k,"
+      " let c = m*v, group by i ]");
+}
+
+Result<double> FrobeniusSquared(Sac* ctx, const TiledMatrix& a) {
+  Scoped s(ctx);
+  s.Bind("__a", a);
+  return ctx->EvalScalar("+/[ x*x | ((i,j),x) <- __a ]");
+}
+
+Result<Factorization> FactorizationStep(Sac* ctx, const TiledMatrix& r,
+                                        const Factorization& state,
+                                        double gamma, double lambda) {
+  // E = R - P Q^T (the product joins on Q's second index, so Q^T is never
+  // materialized).
+  SAC_ASSIGN_OR_RETURN(TiledMatrix pqt, MultiplyBt(ctx, state.p, state.q));
+  SAC_ASSIGN_OR_RETURN(TiledMatrix e, Sub(ctx, r, pqt));
+  // P' = (1 - gamma*lambda) P + 2 gamma (E Q)
+  SAC_ASSIGN_OR_RETURN(TiledMatrix eq, Multiply(ctx, e, state.q));
+  Scoped s(ctx);
+  s.Bind("__p", state.p);
+  s.Bind("__q", state.q);
+  s.Bind("__eq", eq);
+  s.BindScalar("__n", state.p.rows);
+  s.BindScalar("__k", state.p.cols);
+  ctx->BindScalar("__gl", 1.0 - gamma * lambda);
+  ctx->BindScalar("__tg", 2.0 * gamma);
+  SAC_ASSIGN_OR_RETURN(
+      TiledMatrix p2,
+      ctx->EvalTiled(
+          "tiled(__n,__k)[ ((i,j), __gl*p + __tg*g) | ((i,j),p) <- __p,"
+          " ((ii,jj),g) <- __eq, ii == i, jj == j ]"));
+  // Q' = (1 - gamma*lambda) Q + 2 gamma (E^T P)
+  SAC_ASSIGN_OR_RETURN(TiledMatrix etp, MultiplyAt(ctx, e, state.p));
+  Scoped s2(ctx);
+  s2.Bind("__etp", etp);
+  s2.BindScalar("__m", state.q.rows);
+  SAC_ASSIGN_OR_RETURN(
+      TiledMatrix q2,
+      ctx->EvalTiled(
+          "tiled(__m,__k)[ ((i,j), __gl*q + __tg*g) | ((i,j),q) <- __q,"
+          " ((ii,jj),g) <- __etp, ii == i, jj == j ]"));
+  ctx->Unbind("__gl");
+  ctx->Unbind("__tg");
+  return Factorization{std::move(p2), std::move(q2)};
+}
+
+}  // namespace sac::algo

@@ -1,0 +1,63 @@
+// Convenience linear-algebra routines written *as comprehensions* and run
+// through the SAC compiler -- exactly the queries of Sections 5-6. They
+// exist so examples, tests and benchmarks share one set of query strings.
+#ifndef SAC_API_ALGORITHMS_H_
+#define SAC_API_ALGORITHMS_H_
+
+#include "src/api/sac.h"
+
+namespace sac::algo {
+
+/// C = A + B (Section 5.1 plan).
+Result<storage::TiledMatrix> Add(Sac* ctx, const storage::TiledMatrix& a,
+                                 const storage::TiledMatrix& b);
+
+/// C = A - B.
+Result<storage::TiledMatrix> Sub(Sac* ctx, const storage::TiledMatrix& a,
+                                 const storage::TiledMatrix& b);
+
+/// C = A x B (group-by-join / SUMMA when enabled, 5.3 otherwise).
+Result<storage::TiledMatrix> Multiply(Sac* ctx, const storage::TiledMatrix& a,
+                                      const storage::TiledMatrix& b);
+
+/// C = A x B^T, without materializing the transpose (the join simply uses
+/// B's second index).
+Result<storage::TiledMatrix> MultiplyBt(Sac* ctx,
+                                        const storage::TiledMatrix& a,
+                                        const storage::TiledMatrix& b);
+
+/// C = A^T x B.
+Result<storage::TiledMatrix> MultiplyAt(Sac* ctx,
+                                        const storage::TiledMatrix& a,
+                                        const storage::TiledMatrix& b);
+
+/// C = A^T (Section 5.1 per-tile transpose).
+Result<storage::TiledMatrix> Transpose(Sac* ctx,
+                                       const storage::TiledMatrix& a);
+
+/// v = row sums of A (Section 5.3 plan).
+Result<storage::BlockVector> RowSums(Sac* ctx, const storage::TiledMatrix& a);
+
+/// y = A x (Section 5.3 matrix-vector plan).
+Result<storage::BlockVector> MatVec(Sac* ctx, const storage::TiledMatrix& a,
+                                    const storage::BlockVector& x);
+
+/// Sum of squares of all elements (total aggregation plan).
+Result<double> FrobeniusSquared(Sac* ctx, const storage::TiledMatrix& a);
+
+/// One gradient-descent step of matrix factorization (Section 6):
+///   E = R - P Q^T;  P += gamma (2 E Q - lambda P);
+///   Q += gamma (2 E^T P - lambda Q)
+/// Every step is a comprehension compiled by the planner.
+struct Factorization {
+  storage::TiledMatrix p;
+  storage::TiledMatrix q;
+};
+Result<Factorization> FactorizationStep(Sac* ctx,
+                                        const storage::TiledMatrix& r,
+                                        const Factorization& state,
+                                        double gamma, double lambda);
+
+}  // namespace sac::algo
+
+#endif  // SAC_API_ALGORITHMS_H_

@@ -1,0 +1,210 @@
+#include "src/api/sac.h"
+
+#include "src/comp/eval.h"
+#include "src/comp/loops.h"
+#include "src/comp/parser.h"
+#include "src/comp/rewrite.h"
+
+namespace sac {
+
+using planner::Binding;
+using planner::CompiledQuery;
+using planner::QueryResult;
+using runtime::Value;
+using runtime::ValueVec;
+
+Sac::Sac(runtime::ClusterConfig config, planner::PlannerOptions options)
+    : engine_(std::make_unique<runtime::Engine>(config)),
+      options_(options) {}
+
+Result<storage::TiledMatrix> Sac::RandomMatrix(int64_t rows, int64_t cols,
+                                               int64_t block, uint64_t seed,
+                                               double lo, double hi) {
+  return storage::RandomTiled(engine_.get(), rows, cols, block, seed, lo, hi);
+}
+
+Result<storage::TiledMatrix> Sac::RandomSparseMatrix(int64_t rows,
+                                                     int64_t cols,
+                                                     int64_t block,
+                                                     uint64_t seed,
+                                                     double density, int hi) {
+  return storage::RandomSparseTiled(engine_.get(), rows, cols, block, seed,
+                                    density, hi);
+}
+
+Result<storage::BlockVector> Sac::RandomVector(int64_t size, int64_t block,
+                                               uint64_t seed, double lo,
+                                               double hi) {
+  return storage::RandomBlockVector(engine_.get(), size, block, seed, lo, hi);
+}
+
+Result<storage::TiledMatrix> Sac::MatrixFromLocal(const la::Tile& local,
+                                                  int64_t block) {
+  return storage::FromLocal(engine_.get(), local, block);
+}
+
+Result<la::Tile> Sac::ToLocal(const storage::TiledMatrix& m) {
+  return storage::ToLocal(engine_.get(), m);
+}
+
+Result<std::vector<double>> Sac::ToLocal(const storage::BlockVector& v) {
+  return storage::ToLocalVector(engine_.get(), v);
+}
+
+void Sac::Bind(const std::string& name, storage::TiledMatrix m) {
+  binds_[name] = Binding::Tiled(std::move(m));
+}
+void Sac::Bind(const std::string& name, storage::BlockVector v) {
+  binds_[name] = Binding::Vector(std::move(v));
+}
+void Sac::Bind(const std::string& name, storage::CooMatrix c) {
+  binds_[name] = Binding::Coo(std::move(c));
+}
+void Sac::BindScalar(const std::string& name, double v) {
+  binds_[name] = Binding::Scalar(Value::Double(v));
+}
+void Sac::BindScalar(const std::string& name, int64_t v) {
+  binds_[name] = Binding::Scalar(Value::Int(v));
+}
+void Sac::BindLocal(const std::string& name, Value v) {
+  binds_[name] = Binding::Local(std::move(v));
+}
+void Sac::Unbind(const std::string& name) { binds_.erase(name); }
+
+Result<comp::ExprPtr> Sac::ParseAndNormalize(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(comp::ExprPtr e, comp::Parse(src));
+  const planner::Bindings& binds = binds_;
+  return comp::Normalize(e, [&binds](const std::string& name) {
+    auto it = binds.find(name);
+    return it != binds.end() && it->second.kind != Binding::Kind::kScalar;
+  });
+}
+
+Result<CompiledQuery> Sac::Compile(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(comp::ExprPtr e, ParseAndNormalize(src));
+  return planner::CompileQuery(e, binds_, options_);
+}
+
+Result<QueryResult> Sac::Eval(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(CompiledQuery q, Compile(src));
+  return q.run(engine_.get());
+}
+
+Result<storage::TiledMatrix> Sac::EvalTiled(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(QueryResult r, Eval(src));
+  if (r.kind != QueryResult::Kind::kTiled) {
+    return Status::InvalidArgument("query did not produce a tiled matrix");
+  }
+  return r.tiled;
+}
+
+Result<storage::BlockVector> Sac::EvalVector(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(QueryResult r, Eval(src));
+  if (r.kind != QueryResult::Kind::kBlockVector) {
+    return Status::InvalidArgument("query did not produce a block vector");
+  }
+  return r.vec;
+}
+
+Result<double> Sac::EvalScalar(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(QueryResult r, Eval(src));
+  if (r.kind != QueryResult::Kind::kValue || !r.value.is_numeric()) {
+    return Status::InvalidArgument("query did not produce a scalar");
+  }
+  return r.value.AsDouble();
+}
+
+Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(comp::LoopStmtPtr prog, comp::ParseLoopProgram(src));
+  SAC_ASSIGN_OR_RETURN(
+      std::vector<comp::TranslatedUpdate> updates,
+      comp::TranslateLoops(prog, [this](const std::string& name)
+                               -> Result<std::vector<comp::ExprPtr>> {
+        auto it = binds_.find(name);
+        if (it == binds_.end()) {
+          return Status::PlanError("loop target '" + name +
+                                   "' is not bound (bind a matrix or "
+                                   "vector of the output shape first)");
+        }
+        std::vector<comp::ExprPtr> dims;
+        if (it->second.kind == planner::Binding::Kind::kTiled) {
+          dims.push_back(comp::Expr::Int(it->second.tiled.rows));
+          dims.push_back(comp::Expr::Int(it->second.tiled.cols));
+        } else if (it->second.kind ==
+                   planner::Binding::Kind::kBlockVector) {
+          dims.push_back(comp::Expr::Int(it->second.vec.size));
+        } else {
+          return Status::PlanError("loop target '" + name +
+                                   "' is not a distributed array");
+        }
+        return dims;
+      }));
+  std::vector<std::string> report;
+  for (const comp::TranslatedUpdate& u : updates) {
+    // Normalize + compile + run, then rebind the target.
+    const planner::Bindings& binds = binds_;
+    SAC_ASSIGN_OR_RETURN(
+        comp::ExprPtr norm,
+        comp::Normalize(u.query, [&binds](const std::string& name) {
+          auto it = binds.find(name);
+          return it != binds.end() &&
+                 it->second.kind != planner::Binding::Kind::kScalar;
+        }));
+    SAC_ASSIGN_OR_RETURN(CompiledQuery q,
+                         planner::CompileQuery(norm, binds_, options_));
+    SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
+    switch (r.kind) {
+      case QueryResult::Kind::kTiled:
+        Bind(u.target, std::move(r.tiled));
+        break;
+      case QueryResult::Kind::kBlockVector:
+        Bind(u.target, std::move(r.vec));
+        break;
+      default:
+        return Status::RuntimeError("loop assignment produced a scalar");
+    }
+    report.push_back(u.target + " <- " +
+                     planner::StrategyName(q.strategy) + ": " +
+                     q.explanation);
+  }
+  return report;
+}
+
+Result<Value> Sac::ReferenceEval(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(comp::ExprPtr e, comp::Parse(src));
+  comp::Evaluator ev;
+  for (const auto& [name, b] : binds_) {
+    switch (b.kind) {
+      case Binding::Kind::kScalar:
+      case Binding::Kind::kLocal:
+        ev.Bind(name, b.value);
+        break;
+      case Binding::Kind::kTiled: {
+        SAC_ASSIGN_OR_RETURN(ValueVec rows,
+                             storage::SparsifyLocal(engine_.get(), b.tiled));
+        ev.Bind(name, Value::List(std::move(rows)));
+        break;
+      }
+      case Binding::Kind::kBlockVector: {
+        SAC_ASSIGN_OR_RETURN(std::vector<double> vec,
+                             storage::ToLocalVector(engine_.get(), b.vec));
+        ValueVec rows;
+        for (size_t i = 0; i < vec.size(); ++i) {
+          rows.push_back(runtime::VPair(Value::Int(static_cast<int64_t>(i)),
+                                        Value::Double(vec[i])));
+        }
+        ev.Bind(name, Value::List(std::move(rows)));
+        break;
+      }
+      case Binding::Kind::kCoo: {
+        SAC_ASSIGN_OR_RETURN(ValueVec rows,
+                             engine_->Collect(b.coo.entries));
+        ev.Bind(name, Value::List(std::move(rows)));
+        break;
+      }
+    }
+  }
+  return ev.Eval(e);
+}
+
+}  // namespace sac

@@ -1,0 +1,101 @@
+// sac::Sac -- the public entry point of the library.
+//
+// Usage:
+//   sac::Sac ctx;                                   // default cluster
+//   auto A = ctx.RandomMatrix(2048, 2048, 256, 1);  // tiled, seeded
+//   ctx.Bind("A", A);
+//   ctx.Bind("B", ctx.RandomMatrix(2048, 2048, 256, 2));
+//   ctx.BindScalar("n", 2048);
+//   auto C = ctx.EvalTiled(
+//       "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+//       "  kk == k, let v = a*b, group by (i,j) ]");
+//
+// Eval() parses, normalizes (Sections 2-3 rewrites), plans (Sections 4-5
+// translation rules) and runs the query on the embedded DISC engine.
+#ifndef SAC_API_SAC_H_
+#define SAC_API_SAC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/planner/plan.h"
+#include "src/planner/planner.h"
+#include "src/runtime/engine.h"
+#include "src/storage/tiled.h"
+
+namespace sac {
+
+class Sac {
+ public:
+  explicit Sac(runtime::ClusterConfig config = runtime::ClusterConfig(),
+               planner::PlannerOptions options = planner::PlannerOptions());
+
+  runtime::Engine& engine() { return *engine_; }
+  planner::PlannerOptions& options() { return options_; }
+  Metrics& metrics() { return engine_->metrics(); }
+
+  // ---- data ---------------------------------------------------------------
+  /// Dense random tiled matrix, uniform in [lo, hi), deterministic per seed.
+  Result<storage::TiledMatrix> RandomMatrix(int64_t rows, int64_t cols,
+                                            int64_t block, uint64_t seed,
+                                            double lo = 0.0, double hi = 10.0);
+  /// Sparse random matrix (integer ratings), stored as dense tiles.
+  Result<storage::TiledMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
+                                                  int64_t block, uint64_t seed,
+                                                  double density, int hi);
+  Result<storage::BlockVector> RandomVector(int64_t size, int64_t block,
+                                            uint64_t seed, double lo = 0.0,
+                                            double hi = 1.0);
+  Result<storage::TiledMatrix> MatrixFromLocal(const la::Tile& local,
+                                               int64_t block);
+  Result<la::Tile> ToLocal(const storage::TiledMatrix& m);
+  Result<std::vector<double>> ToLocal(const storage::BlockVector& v);
+
+  // ---- bindings -----------------------------------------------------------
+  void Bind(const std::string& name, storage::TiledMatrix m);
+  void Bind(const std::string& name, storage::BlockVector v);
+  void Bind(const std::string& name, storage::CooMatrix c);
+  void BindScalar(const std::string& name, double v);
+  void BindScalar(const std::string& name, int64_t v);
+  void BindLocal(const std::string& name, runtime::Value v);
+  void Unbind(const std::string& name);
+  const planner::Bindings& bindings() const { return binds_; }
+
+  // ---- compile & run --------------------------------------------------------
+  /// Parses and normalizes a query (exposed for inspection/tests).
+  Result<comp::ExprPtr> ParseAndNormalize(const std::string& src);
+
+  /// Compiles without running; inspect .strategy / .explanation.
+  Result<planner::CompiledQuery> Compile(const std::string& src);
+
+  /// Compiles and runs.
+  Result<planner::QueryResult> Eval(const std::string& src);
+
+  /// Eval expecting a tiled-matrix result.
+  Result<storage::TiledMatrix> EvalTiled(const std::string& src);
+  /// Eval expecting a block-vector result.
+  Result<storage::BlockVector> EvalVector(const std::string& src);
+  /// Eval expecting a scalar double (total aggregations).
+  Result<double> EvalScalar(const std::string& src);
+
+  /// DIABLO front end (see comp/loops.h): parses an imperative loop
+  /// program, translates each loop nest to a comprehension, compiles and
+  /// runs them in order, rebinding each target array. Targets must
+  /// already be bound (their dimensions come from the binding). Returns
+  /// one "target <- strategy" line per translated assignment.
+  Result<std::vector<std::string>> EvalLoop(const std::string& src);
+
+  /// Runs the same query through the reference evaluator on collected
+  /// inputs -- the oracle used by tests (small inputs only).
+  Result<runtime::Value> ReferenceEval(const std::string& src);
+
+ private:
+  std::unique_ptr<runtime::Engine> engine_;
+  planner::PlannerOptions options_;
+  planner::Bindings binds_;
+};
+
+}  // namespace sac
+
+#endif  // SAC_API_SAC_H_

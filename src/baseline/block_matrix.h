@@ -1,0 +1,100 @@
+// The comparison baseline of Section 6: a faithful port of Spark
+// MLlib.linalg's distributed BlockMatrix, running on the same DISC engine
+// as SAC's generated plans so that differences come from the *library's*
+// fixed execution strategy and kernels, not the substrate.
+//
+// Algorithmic fidelity to MLlib:
+//  * add()      -- cogroup of the two block RDDs, per-key block addition
+//                  (MLlib blockMap via cogroup).
+//  * multiply() -- the simulateMultiply destination analysis: each A block
+//                  (i,k) is flatMapped to every output column panel and
+//                  each B block (k,j) to every output row panel, the two
+//                  replicated streams are cogrouped by output coordinate,
+//                  and matching k products are summed into the result
+//                  block.
+//  * transpose() -- per-block transpose with swapped coordinates (narrow).
+//
+// Kernel fidelity: all block-level math goes through la::jvmlike -- the
+// generic, element-at-a-time, bounds-checked kernels that model MLlib's
+// pure-JVM Breeze fallback, which is what the paper benchmarked against
+// (see DESIGN.md substitution table).
+#ifndef SAC_BASELINE_BLOCK_MATRIX_H_
+#define SAC_BASELINE_BLOCK_MATRIX_H_
+
+#include "src/common/status.h"
+#include "src/runtime/engine.h"
+#include "src/storage/tiled.h"
+
+namespace sac::baseline {
+
+using runtime::Engine;
+
+/// MLlib-style BlockMatrix. Shares the tile layout of storage::TiledMatrix
+/// so SAC and the baseline operate on identical data.
+class BlockMatrix {
+ public:
+  BlockMatrix() = default;
+  BlockMatrix(int64_t rows, int64_t cols, int64_t block,
+              runtime::Dataset blocks)
+      : rows_(rows), cols_(cols), block_(block), blocks_(std::move(blocks)) {}
+
+  /// Wraps an existing tiled matrix (no copy; both views share tiles).
+  static BlockMatrix FromTiled(const storage::TiledMatrix& m) {
+    return BlockMatrix(m.rows, m.cols, m.block, m.tiles);
+  }
+  storage::TiledMatrix ToTiled() const {
+    return storage::TiledMatrix{rows_, cols_, block_, blocks_};
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t block() const { return block_; }
+  const runtime::Dataset& blocks() const { return blocks_; }
+
+  /// this + other (cogroup + jvmlike block add).
+  Result<BlockMatrix> Add(Engine* eng, const BlockMatrix& other) const;
+
+  /// alpha*this + beta*other (cogroup + jvmlike axpby) -- the shape MLlib
+  /// users write as a breeze expression over co-grouped blocks.
+  Result<BlockMatrix> Axpby(Engine* eng, double alpha, double beta,
+                            const BlockMatrix& other) const;
+
+  /// this - other.
+  Result<BlockMatrix> Sub(Engine* eng, const BlockMatrix& other) const {
+    return Axpby(eng, 1.0, -1.0, other);
+  }
+
+  /// this x other via simulateMultiply-style replication + cogroup.
+  Result<BlockMatrix> Multiply(Engine* eng, const BlockMatrix& other) const;
+
+  /// Per-block transpose (narrow op).
+  Result<BlockMatrix> Transpose(Engine* eng) const;
+
+  /// alpha * this (narrow op through the jvmlike kernel layer).
+  Result<BlockMatrix> Scale(Engine* eng, double alpha) const;
+
+  /// Frobenius norm squared (for factorization convergence reporting).
+  Result<double> FrobeniusSquared(Engine* eng) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t block_ = 0;
+  runtime::Dataset blocks_;
+};
+
+/// One gradient-descent iteration of matrix factorization (Section 6,
+/// third experiment) implemented purely with BlockMatrix operations:
+///   E = R - P Qt;  P += gamma (2 E Q - lambda P);  Q += gamma (2 Et P - lambda Q)
+struct FactorizationState {
+  BlockMatrix p;
+  BlockMatrix q;
+};
+Result<FactorizationState> FactorizationStep(Engine* eng,
+                                             const BlockMatrix& r,
+                                             const FactorizationState& state,
+                                             double gamma, double lambda);
+
+}  // namespace sac::baseline
+
+#endif  // SAC_BASELINE_BLOCK_MATRIX_H_

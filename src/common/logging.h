@@ -1,0 +1,74 @@
+// Minimal leveled logging plus CHECK macros. CHECK failures abort: they are
+// programming errors (invariant violations), not recoverable conditions --
+// recoverable conditions use Status (see status.h).
+#ifndef SAC_COMMON_LOGGING_H_
+#define SAC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sac {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarn so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SAC_LOG(level)                                                   \
+  ::sac::internal::LogMessage(::sac::LogLevel::k##level, __FILE__, __LINE__)
+
+#define SAC_CHECK(condition)                                             \
+  if (!(condition))                                                      \
+  ::sac::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define SAC_CHECK_EQ(a, b) SAC_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SAC_CHECK_NE(a, b) SAC_CHECK((a) != (b))
+#define SAC_CHECK_LT(a, b) SAC_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SAC_CHECK_LE(a, b) SAC_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SAC_CHECK_GT(a, b) SAC_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SAC_CHECK_GE(a, b) SAC_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define SAC_DCHECK(condition) SAC_CHECK(condition)
+
+}  // namespace sac
+
+#endif  // SAC_COMMON_LOGGING_H_

@@ -1,0 +1,16 @@
+#include "src/common/metrics.h"
+
+#include <sstream>
+
+namespace sac {
+
+std::string Metrics::ToString() const {
+  std::ostringstream os;
+  os << "shuffle=" << shuffle_bytes() / (1024.0 * 1024.0) << "MB"
+     << " records=" << shuffle_records()
+     << " cross_exec=" << cross_executor_bytes() / (1024.0 * 1024.0) << "MB"
+     << " tasks=" << tasks_run() << " recomputed=" << tasks_recomputed();
+  return os.str();
+}
+
+}  // namespace sac

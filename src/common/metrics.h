@@ -1,0 +1,71 @@
+// Runtime metrics: shuffle traffic, record counts, and stage timings.
+// Benchmarks report these next to wall time so the causal story behind a
+// speedup (e.g. "SUMMA shuffles 8x fewer bytes") is auditable.
+#ifndef SAC_COMMON_METRICS_H_
+#define SAC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace sac {
+
+/// Counters for one engine/session. All counters are cumulative;
+/// call Reset() between measured runs.
+class Metrics {
+ public:
+  void Reset() {
+    shuffle_bytes_ = 0;
+    shuffle_records_ = 0;
+    cross_executor_bytes_ = 0;
+    tasks_run_ = 0;
+    tasks_recomputed_ = 0;
+    records_processed_ = 0;
+  }
+
+  void AddShuffle(uint64_t bytes, uint64_t records, bool cross_executor) {
+    shuffle_bytes_ += bytes;
+    shuffle_records_ += records;
+    if (cross_executor) cross_executor_bytes_ += bytes;
+  }
+  void AddTask() { ++tasks_run_; }
+  void AddRecompute() { ++tasks_recomputed_; }
+  void AddRecords(uint64_t n) { records_processed_ += n; }
+
+  uint64_t shuffle_bytes() const { return shuffle_bytes_; }
+  uint64_t shuffle_records() const { return shuffle_records_; }
+  uint64_t cross_executor_bytes() const { return cross_executor_bytes_; }
+  uint64_t tasks_run() const { return tasks_run_; }
+  uint64_t tasks_recomputed() const { return tasks_recomputed_; }
+  uint64_t records_processed() const { return records_processed_; }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> shuffle_bytes_{0};
+  std::atomic<uint64_t> shuffle_records_{0};
+  std::atomic<uint64_t> cross_executor_bytes_{0};
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> tasks_recomputed_{0};
+  std::atomic<uint64_t> records_processed_{0};
+};
+
+/// Wall-clock stopwatch in milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sac
+
+#endif  // SAC_COMMON_METRICS_H_

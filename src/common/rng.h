@@ -1,0 +1,48 @@
+// Deterministic, splittable pseudo-random numbers (splitmix64 core). All
+// synthetic workloads are seeded so distributed and reference executions
+// generate bit-identical inputs.
+#ifndef SAC_COMMON_RNG_H_
+#define SAC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sac {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  /// Derives an independent stream for a sub-task (e.g. one tile).
+  Rng Split(uint64_t stream) const {
+    Rng child(state_ ^ (stream * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sac
+
+#endif  // SAC_COMMON_RNG_H_

@@ -1,0 +1,130 @@
+// Status and Result<T>: exception-free error propagation in the style of
+// Apache Arrow / RocksDB. Every fallible public API in this project returns
+// either a Status (no payload) or a Result<T> (payload or error).
+#ifndef SAC_COMMON_STATUS_H_
+#define SAC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace sac {
+
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kParseError = 2,        // comprehension source text is not well-formed
+  kTypeError = 3,         // scope/type analysis rejected the program
+  kPlanError = 4,         // no translation rule applies / planner bug guard
+  kRuntimeError = 5,      // failure while executing a physical plan
+  kNotImplemented = 6,    // feature documented as future work
+  kIoError = 7,           // (de)serialization failure
+  kCancelled = 8,         // task killed by fault injection
+};
+
+/// Human-readable name of a StatusCode ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An immutable (ok | code+message) pair. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ParseError: unexpected token ']' at 3:14" or "OK".
+  std::string ToString() const;
+
+  /// Prefix the message with more context, keeping the code.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result. T must be movable.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                // NOLINT
+  Result(Status status) : status_(std::move(status)) {}        // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of a failed Result aborts.
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate an error Status from an expression, Arrow-style.
+#define SAC_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::sac::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define SAC_CONCAT_IMPL(x, y) x##y
+#define SAC_CONCAT(x, y) SAC_CONCAT_IMPL(x, y)
+
+// Evaluate a Result-returning expression; on error return the Status, on
+// success bind the value to `lhs`.
+#define SAC_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto SAC_CONCAT(_res_, __LINE__) = (rexpr);                    \
+  if (!SAC_CONCAT(_res_, __LINE__).ok())                         \
+    return SAC_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(SAC_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace sac
+
+#endif  // SAC_COMMON_STATUS_H_

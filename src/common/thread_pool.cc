@@ -1,0 +1,95 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace sac {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t num_chunks = std::min(n, num_threads());
+  if (num_chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunked static partitioning; a shared latch signals completion so this
+  // does not interfere with unrelated tasks in the same pool.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->pending = num_chunks;
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = c * chunk;
+    const size_t hi = std::min(n, lo + chunk);
+    Submit([&fn, lo, hi, latch] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->pending == 0) latch->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->pending == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(2u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace sac

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a ParallelFor helper. This is the substrate
+// for both levels of parallelism in the paper's generated code: Spark's
+// task-per-partition parallelism and Scala's `.par` multicore loops inside
+// a tile operation.
+#ifndef SAC_COMMON_THREAD_POOL_H_
+#define SAC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sac {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), splitting work across the pool and
+  /// blocking until done. Safe to call from outside the pool only.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide default pool sized from hardware_concurrency (min 2, so
+  /// concurrency bugs surface even on single-core hosts).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable idle_cv_;   // wakes Wait()
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sac
+
+#endif  // SAC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,182 @@
+// Abstract syntax for the array-comprehension language of Figure 2 of the
+// paper, extended with the constructs its examples use: array indexing
+// `A[i,j]`, reductions `+/e`, builders `matrix(n,m)[...]` / `tiled(n,m)[...]`
+// / `vector(n)[...]` / `rdd[...]`, `.length`, ranges `a until b` / `a to b`,
+// and `if (c) e1 else e2`.
+//
+// Nodes are immutable and shared (ExprPtr); rewrites build new trees.
+#ifndef SAC_COMP_AST_H_
+#define SAC_COMP_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sac::comp {
+
+/// Source position for error messages (1-based).
+struct Pos {
+  int line = 0;
+  int col = 0;
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------------
+
+struct Pattern;
+using PatternPtr = std::shared_ptr<const Pattern>;
+
+/// A pattern binds variables by destructuring: `((i,j),m)`.
+struct Pattern {
+  enum class Kind { kVar, kWildcard, kTuple };
+  Kind kind = Kind::kWildcard;
+  std::string var;                  // kVar
+  std::vector<PatternPtr> elems;    // kTuple
+  Pos pos;
+
+  static PatternPtr Var(std::string name, Pos pos = {});
+  static PatternPtr Wildcard(Pos pos = {});
+  static PatternPtr Tuple(std::vector<PatternPtr> elems, Pos pos = {});
+
+  /// All variable names bound by this pattern, left to right.
+  void CollectVars(std::vector<std::string>* out) const;
+  std::vector<std::string> Vars() const;
+  bool BindsVar(const std::string& name) const;
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+const char* BinOpName(BinOp op);
+
+enum class UnOp { kNeg, kNot };
+
+/// Reduction monoids (the `⊕` of `⊕/e`). kConcat is `++` (bag union).
+enum class ReduceOp { kSum, kProd, kMin, kMax, kAnd, kOr, kConcat, kCount, kAvg };
+const char* ReduceOpName(ReduceOp op);
+
+struct Qualifier;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,      // int_val
+    kDoubleLit,   // double_val
+    kBoolLit,     // bool_val
+    kStringLit,   // str_val
+    kVar,         // str_val = name
+    kTuple,       // children
+    kBinary,      // bin_op, children = {lhs, rhs}
+    kUnary,       // un_op, children = {operand}
+    kCall,        // str_val = function name, children = args
+    kIndex,       // children = {array, idx...}
+    kReduce,      // reduce_op, children = {operand}
+    kComprehension,  // children = {head}, quals
+    kBuild,       // str_val = builder name, children = {comp, args...}
+    kIf,          // children = {cond, then, else}
+  };
+
+  Kind kind;
+  Pos pos;
+
+  int64_t int_val = 0;
+  double double_val = 0.0;
+  bool bool_val = false;
+  std::string str_val;
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ReduceOp reduce_op = ReduceOp::kSum;
+  std::vector<ExprPtr> children;
+  std::vector<Qualifier> quals;  // kComprehension only
+
+  // -- factory functions ----------------------------------------------------
+  static ExprPtr Int(int64_t v, Pos pos = {});
+  static ExprPtr Double(double v, Pos pos = {});
+  static ExprPtr Bool(bool v, Pos pos = {});
+  static ExprPtr Str(std::string v, Pos pos = {});
+  static ExprPtr Var(std::string name, Pos pos = {});
+  static ExprPtr Tuple(std::vector<ExprPtr> elems, Pos pos = {});
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r, Pos pos = {});
+  static ExprPtr Unary(UnOp op, ExprPtr e, Pos pos = {});
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args, Pos pos = {});
+  static ExprPtr Index(ExprPtr array, std::vector<ExprPtr> indices,
+                       Pos pos = {});
+  static ExprPtr Reduce(ReduceOp op, ExprPtr e, Pos pos = {});
+  static ExprPtr Comprehension(ExprPtr head, std::vector<Qualifier> quals,
+                               Pos pos = {});
+  static ExprPtr Build(std::string builder, ExprPtr comp,
+                       std::vector<ExprPtr> args, Pos pos = {});
+  static ExprPtr If(ExprPtr cond, ExprPtr then_e, ExprPtr else_e,
+                    Pos pos = {});
+
+  // -- convenience accessors -------------------------------------------------
+  bool is(Kind k) const { return kind == k; }
+  const ExprPtr& head() const { return children[0]; }  // kComprehension/kBuild
+
+  /// Pretty-prints in (parseable) source syntax.
+  std::string ToString() const;
+
+  /// Structural equality (ignores positions).
+  bool Equals(const Expr& other) const;
+};
+
+/// One comprehension qualifier (Figure 2).
+struct Qualifier {
+  enum class Kind {
+    kGenerator,   // p <- e
+    kLet,         // let p = e
+    kGuard,       // e
+    kGroupBy,     // group by p [: e]
+  };
+  Kind kind;
+  PatternPtr pattern;  // generator / let / group-by
+  ExprPtr expr;        // generator source / let rhs / guard / group-by key
+  Pos pos;
+
+  static Qualifier Generator(PatternPtr p, ExprPtr e, Pos pos = {});
+  static Qualifier Let(PatternPtr p, ExprPtr e, Pos pos = {});
+  static Qualifier Guard(ExprPtr e, Pos pos = {});
+  /// `group by p` (expr == nullptr) or `group by p : e`.
+  static Qualifier GroupBy(PatternPtr p, ExprPtr e, Pos pos = {});
+
+  std::string ToString() const;
+  bool Equals(const Qualifier& other) const;
+};
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+// ---------------------------------------------------------------------------
+
+/// Free variables of an expression (variables used but not bound by an
+/// enclosing comprehension qualifier inside `e`).
+std::vector<std::string> FreeVars(const ExprPtr& e);
+
+/// Does `e` mention variable `name` free?
+bool UsesVar(const ExprPtr& e, const std::string& name);
+
+/// Substitute free occurrences of variable `name` with `replacement`.
+ExprPtr SubstituteVar(const ExprPtr& e, const std::string& name,
+                      const ExprPtr& replacement);
+
+/// Renames every variable bound inside `e`'s comprehensions by appending a
+/// unique suffix; used before rule (3) unnesting to avoid capture.
+ExprPtr FreshenBoundVars(const ExprPtr& e, int* counter);
+
+}  // namespace sac::comp
+
+#endif  // SAC_COMP_AST_H_

@@ -1,0 +1,628 @@
+#include "src/comp/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/la/tile.h"
+
+namespace sac::comp {
+
+using runtime::ValueEq;
+using runtime::ValueHash;
+
+namespace {
+
+constexpr int64_t kMaxRange = 32 * 1024 * 1024;
+
+Status ErrAt(Pos pos, const std::string& msg) {
+  return Status::RuntimeError(msg + " at " + pos.ToString());
+}
+
+/// Insertion-ordered grouping of env snapshots by key.
+struct Groups {
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> index;
+  std::vector<Value> keys;
+  // rows[group][var] in snapshot-var order.
+  std::vector<std::vector<ValueVec>> rows;
+};
+
+}  // namespace
+
+Status Evaluator::MatchPattern(const PatternPtr& p, const Value& v,
+                               Env* env) {
+  switch (p->kind) {
+    case Pattern::Kind::kWildcard:
+      return Status::OK();
+    case Pattern::Kind::kVar:
+      env->Bind(p->var, v);
+      return Status::OK();
+    case Pattern::Kind::kTuple: {
+      if (!v.is_tuple() || v.TupleSize() != p->elems.size()) {
+        return ErrAt(p->pos, "pattern " + p->ToString() +
+                                 " does not match value " + v.ToString());
+      }
+      for (size_t i = 0; i < p->elems.size(); ++i) {
+        SAC_RETURN_NOT_OK(MatchPattern(p->elems[i], v.At(i), env));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Result<ValueVec> Evaluator::Iterable(const Value& v, Pos pos) {
+  if (v.is_list()) return v.AsList();
+  if (v.is_tile()) {
+    // Implicit sparsifier: a dense matrix iterates as ((i,j), v).
+    const la::Tile& t = v.AsTile();
+    ValueVec out;
+    out.reserve(static_cast<size_t>(t.size()));
+    for (int64_t i = 0; i < t.rows(); ++i) {
+      for (int64_t j = 0; j < t.cols(); ++j) {
+        out.push_back(runtime::VPair(runtime::VIdx2(i, j),
+                                     runtime::VDouble(t.At(i, j))));
+      }
+    }
+    return out;
+  }
+  return ErrAt(pos, "generator source is not iterable: " + v.ToString());
+}
+
+Result<Value> Evaluator::FoldReduce(ReduceOp op, const ValueVec& items,
+                                    Pos pos) {
+  switch (op) {
+    case ReduceOp::kCount:
+      return Value::Int(static_cast<int64_t>(items.size()));
+    case ReduceOp::kConcat: {
+      ValueVec out;
+      for (const Value& v : items) {
+        if (v.is_list()) {
+          out.insert(out.end(), v.AsList().begin(), v.AsList().end());
+        } else {
+          out.push_back(v);
+        }
+      }
+      return Value::List(std::move(out));
+    }
+    case ReduceOp::kAnd: {
+      for (const Value& v : items) {
+        if (!v.AsBool()) return Value::Bool(false);
+      }
+      return Value::Bool(true);
+    }
+    case ReduceOp::kOr: {
+      for (const Value& v : items) {
+        if (v.AsBool()) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+    case ReduceOp::kAvg: {
+      if (items.empty()) return ErrAt(pos, "avg/ of empty collection");
+      double s = 0;
+      for (const Value& v : items) s += v.AsDouble();
+      return Value::Double(s / static_cast<double>(items.size()));
+    }
+    case ReduceOp::kMin:
+    case ReduceOp::kMax: {
+      if (items.empty()) {
+        return ErrAt(pos, "min/max of empty collection");
+      }
+      Value best = items[0];
+      for (size_t i = 1; i < items.size(); ++i) {
+        const int c = items[i].Compare(best);
+        if ((op == ReduceOp::kMin && c < 0) ||
+            (op == ReduceOp::kMax && c > 0)) {
+          best = items[i];
+        }
+      }
+      return best;
+    }
+    case ReduceOp::kSum:
+    case ReduceOp::kProd: {
+      bool all_int = true;
+      for (const Value& v : items) {
+        if (!v.is_numeric()) {
+          return ErrAt(pos, "numeric reduction over non-number " +
+                                v.ToString());
+        }
+        if (!v.is_int()) all_int = false;
+      }
+      if (all_int) {
+        int64_t acc = op == ReduceOp::kSum ? 0 : 1;
+        for (const Value& v : items) {
+          acc = op == ReduceOp::kSum ? acc + v.AsInt() : acc * v.AsInt();
+        }
+        return Value::Int(acc);
+      }
+      double acc = op == ReduceOp::kSum ? 0.0 : 1.0;
+      for (const Value& v : items) {
+        acc = op == ReduceOp::kSum ? acc + v.AsDouble() : acc * v.AsDouble();
+      }
+      return Value::Double(acc);
+    }
+  }
+  return ErrAt(pos, "unknown reduction");
+}
+
+Result<Value> Evaluator::Eval(const ExprPtr& e) {
+  Env env;
+  return EvalWith(e, &env);
+}
+
+Result<Value> Evaluator::EvalWith(const ExprPtr& e, Env* env) {
+  return EvalExpr(e, env);
+}
+
+Result<Value> Evaluator::EvalExpr(const ExprPtr& e, Env* env) {
+  switch (e->kind) {
+    case Expr::Kind::kIntLit:
+      return Value::Int(e->int_val);
+    case Expr::Kind::kDoubleLit:
+      return Value::Double(e->double_val);
+    case Expr::Kind::kBoolLit:
+      return Value::Bool(e->bool_val);
+    case Expr::Kind::kStringLit:
+      return Value::Str(e->str_val);
+    case Expr::Kind::kVar: {
+      if (const Value* v = env->Lookup(e->str_val)) return *v;
+      auto it = globals_.find(e->str_val);
+      if (it != globals_.end()) return it->second;
+      return ErrAt(e->pos, "unbound variable '" + e->str_val + "'");
+    }
+    case Expr::Kind::kTuple: {
+      ValueVec elems;
+      elems.reserve(e->children.size());
+      for (const auto& c : e->children) {
+        SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(c, env));
+        elems.push_back(std::move(v));
+      }
+      return Value::Tuple(std::move(elems));
+    }
+    case Expr::Kind::kBinary: {
+      // Short-circuit logicals first.
+      if (e->bin_op == BinOp::kAnd || e->bin_op == BinOp::kOr) {
+        SAC_ASSIGN_OR_RETURN(Value l, EvalExpr(e->children[0], env));
+        const bool lb = l.AsBool();
+        if (e->bin_op == BinOp::kAnd && !lb) return Value::Bool(false);
+        if (e->bin_op == BinOp::kOr && lb) return Value::Bool(true);
+        SAC_ASSIGN_OR_RETURN(Value r, EvalExpr(e->children[1], env));
+        return Value::Bool(r.AsBool());
+      }
+      SAC_ASSIGN_OR_RETURN(Value l, EvalExpr(e->children[0], env));
+      SAC_ASSIGN_OR_RETURN(Value r, EvalExpr(e->children[1], env));
+      switch (e->bin_op) {
+        case BinOp::kEq:
+          return Value::Bool(l.Equals(r));
+        case BinOp::kNe:
+          return Value::Bool(!l.Equals(r));
+        case BinOp::kLt:
+          return Value::Bool(l.Compare(r) < 0);
+        case BinOp::kLe:
+          return Value::Bool(l.Compare(r) <= 0);
+        case BinOp::kGt:
+          return Value::Bool(l.Compare(r) > 0);
+        case BinOp::kGe:
+          return Value::Bool(l.Compare(r) >= 0);
+        default:
+          break;
+      }
+      if (!l.is_numeric() || !r.is_numeric()) {
+        return ErrAt(e->pos, "arithmetic on non-numbers: " + l.ToString() +
+                                 " " + BinOpName(e->bin_op) + " " +
+                                 r.ToString());
+      }
+      if (l.is_int() && r.is_int()) {
+        const int64_t a = l.AsInt(), b = r.AsInt();
+        switch (e->bin_op) {
+          case BinOp::kAdd:
+            return Value::Int(a + b);
+          case BinOp::kSub:
+            return Value::Int(a - b);
+          case BinOp::kMul:
+            return Value::Int(a * b);
+          case BinOp::kDiv:
+            if (b == 0) return ErrAt(e->pos, "integer division by zero");
+            return Value::Int(a / b);
+          case BinOp::kMod:
+            if (b == 0) return ErrAt(e->pos, "integer modulo by zero");
+            return Value::Int(a % b);
+          default:
+            break;
+        }
+      }
+      const double a = l.AsDouble(), b = r.AsDouble();
+      switch (e->bin_op) {
+        case BinOp::kAdd:
+          return Value::Double(a + b);
+        case BinOp::kSub:
+          return Value::Double(a - b);
+        case BinOp::kMul:
+          return Value::Double(a * b);
+        case BinOp::kDiv:
+          return Value::Double(a / b);
+        case BinOp::kMod:
+          return Value::Double(std::fmod(a, b));
+        default:
+          return ErrAt(e->pos, "bad binary operator");
+      }
+    }
+    case Expr::Kind::kUnary: {
+      SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(e->children[0], env));
+      if (e->un_op == UnOp::kNot) return Value::Bool(!v.AsBool());
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      return Value::Double(-v.AsDouble());
+    }
+    case Expr::Kind::kCall:
+      return EvalCall(e, env);
+    case Expr::Kind::kIndex:
+      return EvalIndex(e, env);
+    case Expr::Kind::kReduce: {
+      SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(e->children[0], env));
+      if (!v.is_list()) {
+        return ErrAt(e->pos, "reduction over non-collection " + v.ToString());
+      }
+      return FoldReduce(e->reduce_op, v.AsList(), e->pos);
+    }
+    case Expr::Kind::kComprehension:
+      return EvalComprehension(e, env);
+    case Expr::Kind::kBuild:
+      return EvalBuild(e, env);
+    case Expr::Kind::kIf: {
+      SAC_ASSIGN_OR_RETURN(Value c, EvalExpr(e->children[0], env));
+      return EvalExpr(e->children[c.AsBool() ? 1 : 2], env);
+    }
+  }
+  return ErrAt(e->pos, "unhandled expression kind");
+}
+
+Result<Value> Evaluator::EvalComprehension(const ExprPtr& e, Env* env) {
+  ValueVec out;
+  SAC_RETURN_NOT_OK(EvalSegment(e->quals, 0, e->children[0], env, {}, &out));
+  return Value::List(std::move(out));
+}
+
+Status Evaluator::WalkRange(const std::vector<Qualifier>& quals, size_t start,
+                            size_t stop, Env* env,
+                            const std::function<Status(Env*)>& on_reach) {
+  if (start == stop) return on_reach(env);
+  const Qualifier& q = quals[start];
+  switch (q.kind) {
+    case Qualifier::Kind::kGenerator: {
+      SAC_ASSIGN_OR_RETURN(Value src, EvalExpr(q.expr, env));
+      SAC_ASSIGN_OR_RETURN(ValueVec items, Iterable(src, q.pos));
+      for (const Value& item : items) {
+        const size_t mark = env->Mark();
+        SAC_RETURN_NOT_OK(MatchPattern(q.pattern, item, env));
+        SAC_RETURN_NOT_OK(WalkRange(quals, start + 1, stop, env, on_reach));
+        env->Reset(mark);
+      }
+      return Status::OK();
+    }
+    case Qualifier::Kind::kLet: {
+      SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(q.expr, env));
+      const size_t mark = env->Mark();
+      SAC_RETURN_NOT_OK(MatchPattern(q.pattern, v, env));
+      SAC_RETURN_NOT_OK(WalkRange(quals, start + 1, stop, env, on_reach));
+      env->Reset(mark);
+      return Status::OK();
+    }
+    case Qualifier::Kind::kGuard: {
+      SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(q.expr, env));
+      if (!v.is_bool()) {
+        return ErrAt(q.pos, "guard is not boolean: " + v.ToString());
+      }
+      if (!v.AsBool()) return Status::OK();
+      return WalkRange(quals, start + 1, stop, env, on_reach);
+    }
+    case Qualifier::Kind::kGroupBy:
+      return Status::RuntimeError("internal: group-by inside WalkRange");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Variables bound by generator/let patterns in quals[start, stop).
+std::vector<std::string> SegmentBoundVars(const std::vector<Qualifier>& quals,
+                                          size_t start, size_t stop) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (size_t i = start; i < stop; ++i) {
+    const Qualifier& q = quals[i];
+    if (q.kind == Qualifier::Kind::kGenerator ||
+        q.kind == Qualifier::Kind::kLet) {
+      for (const auto& v : q.pattern->Vars()) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+/// The key value denoted by a (bound) group-by pattern.
+Result<Value> PatternValue(const PatternPtr& p, const Env& env, Pos pos) {
+  switch (p->kind) {
+    case Pattern::Kind::kVar: {
+      const Value* v = env.Lookup(p->var);
+      if (!v) {
+        return Status::RuntimeError("group-by key variable '" + p->var +
+                                    "' unbound at " + pos.ToString());
+      }
+      return *v;
+    }
+    case Pattern::Kind::kWildcard:
+      return Status::RuntimeError("wildcard in group-by key at " +
+                                  pos.ToString());
+    case Pattern::Kind::kTuple: {
+      ValueVec elems;
+      elems.reserve(p->elems.size());
+      for (const auto& el : p->elems) {
+        SAC_ASSIGN_OR_RETURN(Value v, PatternValue(el, env, pos));
+        elems.push_back(std::move(v));
+      }
+      return Value::Tuple(std::move(elems));
+    }
+  }
+  return Status::RuntimeError("bad pattern");
+}
+
+}  // namespace
+
+Status Evaluator::EvalSegment(const std::vector<Qualifier>& quals,
+                              size_t start, const ExprPtr& head, Env* env,
+                              const std::vector<std::string>& liftable,
+                              ValueVec* out) {
+  size_t g = start;
+  while (g < quals.size() && quals[g].kind != Qualifier::Kind::kGroupBy) ++g;
+  if (g == quals.size()) {
+    return WalkRange(quals, start, g, env, [&](Env* env2) -> Status {
+      SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(head, env2));
+      out->push_back(std::move(v));
+      return Status::OK();
+    });
+  }
+
+  const Qualifier& gb = quals[g];
+  // Variables a group-by lifts: everything bound earlier in this
+  // comprehension (outer segments plus this one) minus the key variables.
+  std::vector<std::string> bound = liftable;
+  for (const auto& v : SegmentBoundVars(quals, start, g)) {
+    if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+      bound.push_back(v);
+    }
+  }
+  const std::vector<std::string> key_vars = gb.pattern->Vars();
+  std::vector<std::string> lifted;
+  for (const auto& v : bound) {
+    if (std::find(key_vars.begin(), key_vars.end(), v) == key_vars.end()) {
+      lifted.push_back(v);
+    }
+  }
+
+  Groups groups;
+  SAC_RETURN_NOT_OK(WalkRange(quals, start, g, env, [&](Env* env2) -> Status {
+    const size_t mark = env2->Mark();
+    // `group by p : e` is sugar for `let p = e, group by p` (Section 3).
+    if (gb.expr) {
+      SAC_ASSIGN_OR_RETURN(Value kv, EvalExpr(gb.expr, env2));
+      SAC_RETURN_NOT_OK(MatchPattern(gb.pattern, kv, env2));
+    }
+    SAC_ASSIGN_OR_RETURN(Value key, PatternValue(gb.pattern, *env2, gb.pos));
+    auto it = groups.index.find(key);
+    size_t slot;
+    if (it == groups.index.end()) {
+      slot = groups.keys.size();
+      groups.index.emplace(key, slot);
+      groups.keys.push_back(key);
+      groups.rows.emplace_back(lifted.size());
+    } else {
+      slot = it->second;
+    }
+    for (size_t i = 0; i < lifted.size(); ++i) {
+      const Value* v = env2->Lookup(lifted[i]);
+      if (!v) {
+        return Status::RuntimeError("lifted variable '" + lifted[i] +
+                                    "' unbound at " + gb.pos.ToString());
+      }
+      groups.rows[slot][i].push_back(*v);
+    }
+    env2->Reset(mark);
+    return Status::OK();
+  }));
+
+  for (size_t s = 0; s < groups.keys.size(); ++s) {
+    const size_t mark = env->Mark();
+    SAC_RETURN_NOT_OK(MatchPattern(gb.pattern, groups.keys[s], env));
+    for (size_t i = 0; i < lifted.size(); ++i) {
+      env->Bind(lifted[i], Value::List(std::move(groups.rows[s][i])));
+    }
+    SAC_RETURN_NOT_OK(EvalSegment(quals, g + 1, head, env, bound, out));
+    env->Reset(mark);
+  }
+  return Status::OK();
+}
+
+Result<Value> Evaluator::EvalBuild(const ExprPtr& e, Env* env) {
+  const std::string& b = e->str_val;
+  SAC_ASSIGN_OR_RETURN(Value comp, EvalExpr(e->children[0], env));
+  if (!comp.is_list()) {
+    return ErrAt(e->pos, "builder over non-collection");
+  }
+  const ValueVec& items = comp.AsList();
+
+  auto arg_int = [&](size_t i) -> Result<int64_t> {
+    SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(e->children[i + 1], env));
+    return v.AsInt();
+  };
+  const size_t nargs = e->children.size() - 1;
+
+  if (b == "rdd" || b == "list" || b == "bag") {
+    return comp;
+  }
+  if (b == "set") {
+    ValueVec out;
+    std::unordered_set<Value, ValueHash, ValueEq> seen;
+    for (const Value& v : items) {
+      if (seen.insert(v).second) out.push_back(v);
+    }
+    return Value::List(std::move(out));
+  }
+  if ((b == "vector" || b == "array" || b == "tiled") && nargs == 1) {
+    SAC_ASSIGN_OR_RETURN(int64_t n, arg_int(0));
+    if (n < 0 || n > kMaxRange) return ErrAt(e->pos, "bad vector size");
+    std::vector<double> dense(static_cast<size_t>(n), 0.0);
+    for (const Value& item : items) {
+      if (!item.is_tuple() || item.TupleSize() != 2) {
+        return ErrAt(e->pos, "vector builder expects (i, v) pairs");
+      }
+      const int64_t i = item.At(0).AsInt();
+      if (i < 0 || i >= n) continue;  // paper's builder guards i in range
+      dense[static_cast<size_t>(i)] = item.At(1).AsDouble();
+    }
+    ValueVec out;
+    out.reserve(dense.size());
+    for (int64_t i = 0; i < n; ++i) {
+      out.push_back(runtime::VPair(Value::Int(i), Value::Double(dense[i])));
+    }
+    return Value::List(std::move(out));
+  }
+  if ((b == "matrix" || b == "tiled") && nargs == 2) {
+    SAC_ASSIGN_OR_RETURN(int64_t n, arg_int(0));
+    SAC_ASSIGN_OR_RETURN(int64_t m, arg_int(1));
+    if (n < 0 || m < 0 || n * m > kMaxRange) {
+      return ErrAt(e->pos, "bad matrix size");
+    }
+    la::Tile t(n, m);
+    for (const Value& item : items) {
+      if (!item.is_tuple() || item.TupleSize() != 2 ||
+          !item.At(0).is_tuple() || item.At(0).TupleSize() != 2) {
+        return ErrAt(e->pos, "matrix builder expects ((i,j), v) pairs");
+      }
+      const int64_t i = item.At(0).At(0).AsInt();
+      const int64_t j = item.At(0).At(1).AsInt();
+      if (i < 0 || i >= n || j < 0 || j >= m) continue;
+      t.Set(i, j, item.At(1).AsDouble());
+    }
+    return Value::TileVal(std::move(t));
+  }
+  return ErrAt(e->pos, "unknown builder '" + b + "' with " +
+                           std::to_string(nargs) + " arguments");
+}
+
+Result<Value> Evaluator::EvalCall(const ExprPtr& e, Env* env) {
+  const std::string& fn = e->str_val;
+  ValueVec args;
+  args.reserve(e->children.size());
+  for (const auto& c : e->children) {
+    SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(c, env));
+    args.push_back(std::move(v));
+  }
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return ErrAt(e->pos, fn + " expects " + std::to_string(n) +
+                               " arguments");
+    }
+    return Status::OK();
+  };
+  if (fn == "until" || fn == "to") {
+    SAC_RETURN_NOT_OK(need(2));
+    const int64_t lo = args[0].AsInt();
+    int64_t hi = args[1].AsInt();
+    if (fn == "to") hi += 1;
+    if (hi - lo > kMaxRange) return ErrAt(e->pos, "range too large");
+    ValueVec out;
+    out.reserve(static_cast<size_t>(std::max<int64_t>(0, hi - lo)));
+    for (int64_t i = lo; i < hi; ++i) out.push_back(Value::Int(i));
+    return Value::List(std::move(out));
+  }
+  if (fn == "list") {
+    return Value::List(std::move(args));
+  }
+  if (fn == "length" || fn == "count" || fn == "size") {
+    SAC_RETURN_NOT_OK(need(1));
+    if (args[0].is_list()) {
+      return Value::Int(static_cast<int64_t>(args[0].AsList().size()));
+    }
+    if (args[0].is_tile()) return Value::Int(args[0].AsTile().size());
+    return ErrAt(e->pos, fn + " of non-collection");
+  }
+  if (fn == "sum") {
+    SAC_RETURN_NOT_OK(need(1));
+    if (!args[0].is_list()) return ErrAt(e->pos, "sum of non-collection");
+    return FoldReduce(ReduceOp::kSum, args[0].AsList(), e->pos);
+  }
+  if (fn == "random") {
+    SAC_RETURN_NOT_OK(need(0));
+    return Value::Double(rng_.NextDouble());
+  }
+  if (fn == "abs") {
+    SAC_RETURN_NOT_OK(need(1));
+    if (args[0].is_int()) return Value::Int(std::abs(args[0].AsInt()));
+    return Value::Double(std::fabs(args[0].AsDouble()));
+  }
+  if (fn == "sqrt" || fn == "exp" || fn == "log" || fn == "floor" ||
+      fn == "ceil") {
+    SAC_RETURN_NOT_OK(need(1));
+    const double x = args[0].AsDouble();
+    if (fn == "sqrt") return Value::Double(std::sqrt(x));
+    if (fn == "exp") return Value::Double(std::exp(x));
+    if (fn == "log") return Value::Double(std::log(x));
+    if (fn == "floor") return Value::Double(std::floor(x));
+    return Value::Double(std::ceil(x));
+  }
+  if (fn == "pow") {
+    SAC_RETURN_NOT_OK(need(2));
+    return Value::Double(std::pow(args[0].AsDouble(), args[1].AsDouble()));
+  }
+  if (fn == "min" || fn == "max") {
+    SAC_RETURN_NOT_OK(need(2));
+    const int c = args[0].Compare(args[1]);
+    return (fn == "min") == (c <= 0) ? args[0] : args[1];
+  }
+  if (fn == "toDouble") {
+    SAC_RETURN_NOT_OK(need(1));
+    return Value::Double(args[0].AsDouble());
+  }
+  if (fn == "toInt") {
+    SAC_RETURN_NOT_OK(need(1));
+    return Value::Int(static_cast<int64_t>(args[0].AsDouble()));
+  }
+  return ErrAt(e->pos, "unknown function '" + fn + "'");
+}
+
+Result<Value> Evaluator::EvalIndex(const ExprPtr& e, Env* env) {
+  SAC_ASSIGN_OR_RETURN(Value arr, EvalExpr(e->children[0], env));
+  ValueVec idx;
+  for (size_t i = 1; i < e->children.size(); ++i) {
+    SAC_ASSIGN_OR_RETURN(Value v, EvalExpr(e->children[i], env));
+    idx.push_back(std::move(v));
+  }
+  if (arr.is_tile()) {
+    if (idx.size() != 2) return ErrAt(e->pos, "matrix needs two indices");
+    const la::Tile& t = arr.AsTile();
+    const int64_t i = idx[0].AsInt(), j = idx[1].AsInt();
+    if (i < 0 || i >= t.rows() || j < 0 || j >= t.cols()) {
+      return ErrAt(e->pos, "matrix index out of bounds");
+    }
+    return Value::Double(t.At(i, j));
+  }
+  if (arr.is_list()) {
+    if (idx.size() != 1) return ErrAt(e->pos, "vector needs one index");
+    // Association-list lookup on (key, value) pairs.
+    const Value& key = idx[0];
+    for (const Value& item : arr.AsList()) {
+      if (item.is_tuple() && item.TupleSize() == 2 &&
+          item.At(0).Equals(key)) {
+        return item.At(1);
+      }
+    }
+    return ErrAt(e->pos, "key " + key.ToString() + " not found");
+  }
+  return ErrAt(e->pos, "indexing non-array " + arr.ToString());
+}
+
+}  // namespace sac::comp

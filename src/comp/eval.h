@@ -1,0 +1,110 @@
+// Reference evaluator: executes any comprehension directly over
+// association lists, following the formal semantics of Sections 2-3
+// (desugaring rules 4-7 and the group-by rule 11) with no optimization.
+// It is deliberately simple and serves as the correctness oracle for the
+// optimizing planners; it is also the executor for tile-level expressions
+// whose loop shape the kernel dispatcher does not recognize.
+//
+// Value conventions:
+//  * plain `[e|q]` and `rdd[e|q]`  -> Value::List in generation order
+//  * `vector(n)[e|q]`, `tiled(n)[e|q]` -> dense Value::List of (i, v),
+//    length n, missing entries 0.0
+//  * `matrix(n,m)[e|q]`, `tiled(n,m)[e|q]` -> Value::TileVal, dense n x m
+//  * a generator over a Tile value iterates ((i,j), v) for every element
+//    (the implicit matrix sparsifier); over a List it iterates elements.
+#ifndef SAC_COMP_EVAL_H_
+#define SAC_COMP_EVAL_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/comp/ast.h"
+#include "src/runtime/value.h"
+
+namespace sac::comp {
+
+using runtime::Value;
+using runtime::ValueVec;
+
+/// Mutable binding stack with lexical scoping (mark/reset).
+class Env {
+ public:
+  size_t Mark() const { return stack_.size(); }
+  void Reset(size_t mark) { stack_.resize(mark); }
+  void Bind(const std::string& name, Value v) {
+    stack_.emplace_back(name, std::move(v));
+  }
+  /// Most recent binding wins; nullptr if unbound.
+  const Value* Lookup(const std::string& name) const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> stack_;
+};
+
+/// Evaluation context: initial bindings plus a seeded stream for the
+/// `random()` builtin.
+class Evaluator {
+ public:
+  explicit Evaluator(uint64_t seed = 42) : rng_(seed) {}
+
+  /// Binds a global name visible to every evaluation.
+  void Bind(const std::string& name, Value v) {
+    globals_[name] = std::move(v);
+  }
+  const std::unordered_map<std::string, Value>& globals() const {
+    return globals_;
+  }
+
+  /// Evaluates `e` under the globals.
+  Result<Value> Eval(const ExprPtr& e);
+
+  /// Evaluates `e` under globals plus extra local bindings.
+  Result<Value> EvalWith(const ExprPtr& e, Env* env);
+
+  /// Destructures `v` against `p`, binding pattern variables into `env`.
+  /// Fails (RuntimeError) on shape mismatch.
+  static Status MatchPattern(const PatternPtr& p, const Value& v, Env* env);
+
+  /// Folds a list with a reduction monoid (also used by planners for
+  /// scalar post-aggregation).
+  static Result<Value> FoldReduce(ReduceOp op, const ValueVec& items,
+                                  Pos pos);
+
+ private:
+  Result<Value> EvalExpr(const ExprPtr& e, Env* env);
+  Result<Value> EvalComprehension(const ExprPtr& e, Env* env);
+  /// Runs qualifiers [start, stop), invoking `on_reach` once per
+  /// environment that satisfies them. The range must not contain group-bys.
+  Status WalkRange(const std::vector<Qualifier>& quals, size_t start,
+                   size_t stop, Env* env,
+                   const std::function<Status(Env*)>& on_reach);
+  /// Handles quals[start..] including group-by segmentation (rule 11).
+  /// `liftable` is the set of variables bound earlier in this
+  /// comprehension that a group-by must lift to lists.
+  Status EvalSegment(const std::vector<Qualifier>& quals, size_t start,
+                     const ExprPtr& head, Env* env,
+                     const std::vector<std::string>& liftable, ValueVec* out);
+  Result<Value> EvalBuild(const ExprPtr& e, Env* env);
+  Result<Value> EvalCall(const ExprPtr& e, Env* env);
+  Result<Value> EvalIndex(const ExprPtr& e, Env* env);
+
+  /// Expands a generator source into an iterable list view. Tiles are
+  /// sparsified to ((i,j),v); lists pass through.
+  static Result<ValueVec> Iterable(const Value& v, Pos pos);
+
+  std::unordered_map<std::string, Value> globals_;
+  Rng rng_;
+};
+
+}  // namespace sac::comp
+
+#endif  // SAC_COMP_EVAL_H_

@@ -1,0 +1,284 @@
+#include "src/comp/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sac::comp {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+  auto emit = [&](TokKind kind, Pos pos, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+  auto emit_reduce = [&](ReduceOp op, Pos pos) {
+    Token t;
+    t.kind = TokKind::kReduce;
+    t.reduce_op = op;
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    Pos pos{line, col};
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#') {  // line comment
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      bool is_double = false;
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_double = true;
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        size_t save = i;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+          is_double = true;
+          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        } else {
+          i = save;  // 'e' belongs to a following identifier
+        }
+      }
+      std::string text = src.substr(start, i - start);
+      Token t;
+      t.pos = pos;
+      t.text = text;
+      if (is_double) {
+        t.kind = TokKind::kDouble;
+        t.double_val = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (IsIdentChar(peek())) advance();
+      std::string text = src.substr(start, i - start);
+      // Named reductions `min/ max/ avg/ count/` (no space before '/').
+      if (peek() == '/') {
+        ReduceOp op;
+        bool is_reduce = true;
+        if (text == "min") {
+          op = ReduceOp::kMin;
+        } else if (text == "max") {
+          op = ReduceOp::kMax;
+        } else if (text == "avg") {
+          op = ReduceOp::kAvg;
+        } else if (text == "count") {
+          op = ReduceOp::kCount;
+        } else {
+          is_reduce = false;
+          op = ReduceOp::kSum;
+        }
+        if (is_reduce) {
+          advance();  // '/'
+          emit_reduce(op, pos);
+          continue;
+        }
+      }
+      emit(TokKind::kIdent, pos, std::move(text));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (i < src.size() && peek() != '"') {
+        text += peek();
+        advance();
+      }
+      if (i >= src.size()) {
+        return Status::ParseError("unterminated string at " + pos.ToString());
+      }
+      advance();  // closing quote
+      emit(TokKind::kString, pos, std::move(text));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        advance();
+        emit(TokKind::kLParen, pos);
+        continue;
+      case ')':
+        advance();
+        emit(TokKind::kRParen, pos);
+        continue;
+      case '[':
+        advance();
+        emit(TokKind::kLBracket, pos);
+        continue;
+      case ']':
+        advance();
+        emit(TokKind::kRBracket, pos);
+        continue;
+      case ',':
+        advance();
+        emit(TokKind::kComma, pos);
+        continue;
+      case ':':
+        advance();
+        emit(TokKind::kColon, pos);
+        continue;
+      case ';':
+        advance();
+        emit(TokKind::kSemi, pos);
+        continue;
+      case '{':
+        advance();
+        emit(TokKind::kLBrace, pos);
+        continue;
+      case '}':
+        advance();
+        emit(TokKind::kRBrace, pos);
+        continue;
+      case '.':
+        advance();
+        emit(TokKind::kDot, pos);
+        continue;
+      case '+':
+        if (peek(1) == '+' && peek(2) == '/') {
+          advance(3);
+          emit_reduce(ReduceOp::kConcat, pos);
+        } else if (peek(1) == '/') {
+          advance(2);
+          emit_reduce(ReduceOp::kSum, pos);
+        } else {
+          advance();
+          emit(TokKind::kPlus, pos);
+        }
+        continue;
+      case '-':
+        advance();
+        emit(TokKind::kMinus, pos);
+        continue;
+      case '*':
+        if (peek(1) == '/') {
+          advance(2);
+          emit_reduce(ReduceOp::kProd, pos);
+        } else {
+          advance();
+          emit(TokKind::kStar, pos);
+        }
+        continue;
+      case '/':
+        advance();
+        emit(TokKind::kSlash, pos);
+        continue;
+      case '%':
+        advance();
+        emit(TokKind::kPercent, pos);
+        continue;
+      case '=':
+        if (peek(1) == '=') {
+          advance(2);
+          emit(TokKind::kEqEq, pos);
+        } else {
+          advance();
+          emit(TokKind::kEq, pos);
+        }
+        continue;
+      case '!':
+        if (peek(1) == '=') {
+          advance(2);
+          emit(TokKind::kNe, pos);
+        } else {
+          advance();
+          emit(TokKind::kNot, pos);
+        }
+        continue;
+      case '<':
+        if (peek(1) == '-') {
+          advance(2);
+          emit(TokKind::kArrow, pos);
+        } else if (peek(1) == '=') {
+          advance(2);
+          emit(TokKind::kLe, pos);
+        } else {
+          advance();
+          emit(TokKind::kLt, pos);
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          advance(2);
+          emit(TokKind::kGe, pos);
+        } else {
+          advance();
+          emit(TokKind::kGt, pos);
+        }
+        continue;
+      case '&':
+        if (peek(1) == '&' && peek(2) == '/') {
+          advance(3);
+          emit_reduce(ReduceOp::kAnd, pos);
+        } else if (peek(1) == '&') {
+          advance(2);
+          emit(TokKind::kAndAnd, pos);
+        } else {
+          return Status::ParseError("stray '&' at " + pos.ToString());
+        }
+        continue;
+      case '|':
+        if (peek(1) == '|' && peek(2) == '/') {
+          advance(3);
+          emit_reduce(ReduceOp::kOr, pos);
+        } else if (peek(1) == '|') {
+          advance(2);
+          emit(TokKind::kOrOr, pos);
+        } else {
+          advance();
+          emit(TokKind::kBar, pos);
+        }
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at " + pos.ToString());
+    }
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.pos = Pos{line, col};
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace sac::comp

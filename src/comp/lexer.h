@@ -1,0 +1,49 @@
+// Tokenizer for the comprehension language (Figure 2 syntax plus the
+// extensions listed in ast.h). `#` starts a line comment.
+#ifndef SAC_COMP_LEXER_H_
+#define SAC_COMP_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/comp/ast.h"
+
+namespace sac::comp {
+
+enum class TokKind {
+  kEof,
+  kInt,        // 123
+  kDouble,     // 1.5, 2e-3
+  kString,     // "..."
+  kIdent,      // names and keywords (keyword() distinguishes)
+  kLParen, kRParen, kLBracket, kRBracket,
+  kComma, kBar, kArrow,        // , | <-
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kEqEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr, kNot,
+  kReduceSlash,  // the '/' of a reduction like `+/`; emitted as part of
+                 // kReduce below -- see Token::reduce_op
+  kReduce,       // +/ */ &&/ ||/ ++/ min/ max/ avg/ count/ (op in reduce_op)
+  kColon, kDot, kSemi, kLBrace, kRBrace,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;       // identifier / literal text
+  int64_t int_val = 0;
+  double double_val = 0.0;
+  ReduceOp reduce_op = ReduceOp::kSum;
+  Pos pos;
+
+  bool IsIdent(const char* s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// Tokenizes `src`; returns ParseError with position on bad input.
+Result<std::vector<Token>> Lex(const std::string& src);
+
+}  // namespace sac::comp
+
+#endif  // SAC_COMP_LEXER_H_

@@ -1,0 +1,163 @@
+#include "src/comp/loops.h"
+
+#include <sstream>
+
+namespace sac::comp {
+
+std::string LoopStmt::ToString(int indent) const {
+  const std::string pad(indent * 2, ' ');
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kFor:
+      os << pad << "for " << var << " = " << lo->ToString() << ", "
+         << hi->ToString() << " do\n"
+         << body->ToString(indent + 1);
+      break;
+    case Kind::kSeq:
+      os << pad << "{\n";
+      for (const auto& s : stmts) os << s->ToString(indent + 1);
+      os << pad << "}\n";
+      break;
+    case Kind::kAssign:
+    case Kind::kUpdate: {
+      os << pad << target << "[";
+      for (size_t i = 0; i < indices.size(); ++i) {
+        if (i) os << ",";
+        os << indices[i]->ToString();
+      }
+      os << "]" << (kind == Kind::kAssign ? " := " : " += ")
+         << rhs->ToString() << ";\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+struct LoopCtx {
+  std::string var;
+  ExprPtr lo;
+  ExprPtr hi;  // inclusive
+};
+
+/// Translates one innermost assignment under the enclosing loop nest.
+Result<TranslatedUpdate> TranslateAssignment(
+    const LoopStmt& stmt, const std::vector<LoopCtx>& loops,
+    const DimsFn& dims) {
+  SAC_ASSIGN_OR_RETURN(std::vector<ExprPtr> dim_args, dims(stmt.target));
+  if (dim_args.size() != stmt.indices.size()) {
+    return Status::PlanError(
+        "assignment to '" + stmt.target + "' uses " +
+        std::to_string(stmt.indices.size()) + " indices but the array has " +
+        std::to_string(dim_args.size()) + " dimensions at " +
+        stmt.pos.ToString());
+  }
+
+  std::vector<Qualifier> quals;
+  for (const LoopCtx& l : loops) {
+    // for v = lo, hi (inclusive) => v <- lo until hi+1
+    ExprPtr hi1 =
+        Expr::Binary(BinOp::kAdd, l.hi, Expr::Int(1, stmt.pos), stmt.pos);
+    quals.push_back(Qualifier::Generator(
+        Pattern::Var(l.var, stmt.pos),
+        Expr::Call("until", {l.lo, hi1}, stmt.pos), stmt.pos));
+  }
+
+  ExprPtr head_key = stmt.indices.size() == 1
+                         ? stmt.indices[0]
+                         : Expr::Tuple(stmt.indices, stmt.pos);
+  ExprPtr head_val = stmt.rhs;
+
+  if (stmt.kind == LoopStmt::Kind::kUpdate) {
+    // V[k] += rhs  =>  group by the index, sum the bag of rhs values.
+    // When every index is a plain loop variable the group-by pattern uses
+    // them directly (so the 5.3/5.4 rules can fire); otherwise the
+    // key-expression sugar introduces fresh key variables.
+    bool plain = true;
+    for (const auto& ie : stmt.indices) {
+      if (ie->kind != Expr::Kind::kVar) plain = false;
+    }
+    const std::string v = "v$loop";
+    quals.push_back(Qualifier::Let(Pattern::Var(v, stmt.pos), stmt.rhs,
+                                   stmt.pos));
+    if (plain) {
+      std::vector<PatternPtr> key_pats;
+      for (const auto& ie : stmt.indices) {
+        key_pats.push_back(Pattern::Var(ie->str_val, stmt.pos));
+      }
+      PatternPtr key_pat = key_pats.size() == 1
+                               ? key_pats[0]
+                               : Pattern::Tuple(std::move(key_pats), stmt.pos);
+      quals.push_back(Qualifier::GroupBy(key_pat, nullptr, stmt.pos));
+    } else {
+      std::vector<PatternPtr> key_pats;
+      std::vector<ExprPtr> key_vars;
+      for (size_t i = 0; i < stmt.indices.size(); ++i) {
+        const std::string kv = "k$loop" + std::to_string(i);
+        key_pats.push_back(Pattern::Var(kv, stmt.pos));
+        key_vars.push_back(Expr::Var(kv, stmt.pos));
+      }
+      PatternPtr key_pat = key_pats.size() == 1
+                               ? key_pats[0]
+                               : Pattern::Tuple(key_pats, stmt.pos);
+      quals.push_back(Qualifier::GroupBy(key_pat, head_key, stmt.pos));
+      head_key = key_vars.size() == 1 ? key_vars[0]
+                                      : Expr::Tuple(key_vars, stmt.pos);
+    }
+    head_val = Expr::Reduce(ReduceOp::kSum, Expr::Var(v, stmt.pos),
+                            stmt.pos);
+  }
+
+  ExprPtr comp = Expr::Comprehension(
+      Expr::Tuple({head_key, head_val}, stmt.pos), std::move(quals),
+      stmt.pos);
+  TranslatedUpdate out;
+  out.target = stmt.target;
+  out.query = Expr::Build("tiled", comp, dim_args, stmt.pos);
+  return out;
+}
+
+Status TranslateRec(const LoopStmtPtr& stmt, std::vector<LoopCtx>* loops,
+                    const DimsFn& dims,
+                    std::vector<TranslatedUpdate>* out) {
+  switch (stmt->kind) {
+    case LoopStmt::Kind::kFor: {
+      loops->push_back(LoopCtx{stmt->var, stmt->lo, stmt->hi});
+      SAC_RETURN_NOT_OK(TranslateRec(stmt->body, loops, dims, out));
+      loops->pop_back();
+      return Status::OK();
+    }
+    case LoopStmt::Kind::kSeq:
+      // Independent statements in a loop body become independent loop
+      // nests (the DIABLO restriction: statements inside one nest must
+      // not have loop-carried dependencies on each other).
+      for (const auto& s : stmt->stmts) {
+        SAC_RETURN_NOT_OK(TranslateRec(s, loops, dims, out));
+      }
+      return Status::OK();
+    case LoopStmt::Kind::kAssign:
+    case LoopStmt::Kind::kUpdate: {
+      SAC_ASSIGN_OR_RETURN(TranslatedUpdate t,
+                           TranslateAssignment(*stmt, *loops, dims));
+      out->push_back(std::move(t));
+      return Status::OK();
+    }
+  }
+  return Status::PlanError("bad loop statement");
+}
+
+}  // namespace
+
+Result<std::vector<TranslatedUpdate>> TranslateLoops(const LoopStmtPtr& prog,
+                                                     const DimsFn& dims) {
+  std::vector<TranslatedUpdate> out;
+  std::vector<LoopCtx> loops;
+  SAC_RETURN_NOT_OK(TranslateRec(prog, &loops, dims, &out));
+  if (out.empty()) {
+    return Status::PlanError("loop program contains no assignments");
+  }
+  return out;
+}
+
+}  // namespace sac::comp

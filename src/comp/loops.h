@@ -1,0 +1,85 @@
+// A miniature DIABLO front end (the paper's companion system [13]): an
+// imperative loop language over arrays whose assignments are translated
+// to array comprehensions, which SAC then compiles for block arrays --
+// exactly the "SAC is a drop-in back end for DIABLO" pipeline of
+// Section 1.1.
+//
+// Language:
+//   program  := stmt*
+//   stmt     := 'for' VAR '=' expr ',' expr 'do' stmt        (hi inclusive)
+//             | '{' stmt* '}'
+//             | VAR '[' exprs ']' ':=' expr ';'
+//             | VAR '[' exprs ']' '+=' expr ';'
+//   expr     := the comprehension expression grammar (so A[i,j]*B[k,j],
+//               conditionals, scalars etc. all work)
+//
+// Translation (the DIABLO rules, specialized to block arrays):
+//   for-nest ending in  V[e1,e2] := rhs
+//     => tiled(d1,d2)[ ((e1,e2), rhs) | i <- lo until hi+1, ... ]
+//   for-nest ending in  V[e1,e2] += rhs
+//     => tiled(d1,d2)[ ((e1,e2), +/v) | ..., let v = rhs,
+//                      group by (e1,e2) ]
+// (`+=` targets are taken as zero-initialized accumulators, the common
+// DIABLO pattern.) A program is a sequence of such nests; each result is
+// rebound before the next statement, so later statements see earlier
+// updates.
+#ifndef SAC_COMP_LOOPS_H_
+#define SAC_COMP_LOOPS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/comp/ast.h"
+
+namespace sac::comp {
+
+struct LoopStmt;
+using LoopStmtPtr = std::shared_ptr<const LoopStmt>;
+
+struct LoopStmt {
+  enum class Kind { kFor, kSeq, kAssign, kUpdate };
+  Kind kind = Kind::kSeq;
+  Pos pos;
+
+  // kFor
+  std::string var;
+  ExprPtr lo, hi;          // inclusive bounds
+  LoopStmtPtr body;
+
+  // kSeq
+  std::vector<LoopStmtPtr> stmts;
+
+  // kAssign (:=) / kUpdate (+=)
+  std::string target;
+  std::vector<ExprPtr> indices;
+  ExprPtr rhs;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// Parses a loop program.
+Result<LoopStmtPtr> ParseLoopProgram(const std::string& src);
+
+/// One translated assignment: the target array name and the comprehension
+/// (a `tiled(...)` Build expression) that computes its new value.
+struct TranslatedUpdate {
+  std::string target;
+  ExprPtr query;
+};
+
+/// Dimension lookup for a target array: returns the output dimension
+/// expressions (1 for vectors, 2 for matrices).
+using DimsFn =
+    std::function<Result<std::vector<ExprPtr>>(const std::string&)>;
+
+/// Translates a loop program into a sequence of comprehension queries,
+/// one per innermost assignment (executed in order with rebinding).
+Result<std::vector<TranslatedUpdate>> TranslateLoops(const LoopStmtPtr& prog,
+                                                     const DimsFn& dims);
+
+}  // namespace sac::comp
+
+#endif  // SAC_COMP_LOOPS_H_

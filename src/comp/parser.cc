@@ -1,0 +1,471 @@
+#include "src/comp/parser.h"
+
+#include <vector>
+
+#include "src/comp/lexer.h"
+#include "src/comp/loops.h"
+
+namespace sac::comp {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<ExprPtr> ParseAll() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!At(TokKind::kEof)) {
+      return Error("trailing input after expression");
+    }
+    return e;
+  }
+
+  Result<PatternPtr> ParsePatternAll() {
+    SAC_ASSIGN_OR_RETURN(PatternPtr p, ParsePat());
+    if (!At(TokKind::kEof)) return Error("trailing input after pattern");
+    return p;
+  }
+
+  // ---- loop statements (the DIABLO front end) ------------------------------
+
+  Result<LoopStmtPtr> ParseLoopProgramAll() {
+    auto seq = std::make_shared<LoopStmt>();
+    seq->kind = LoopStmt::Kind::kSeq;
+    seq->pos = Cur().pos;
+    while (!At(TokKind::kEof)) {
+      SAC_ASSIGN_OR_RETURN(LoopStmtPtr s, ParseStmt());
+      seq->stmts.push_back(std::move(s));
+    }
+    if (seq->stmts.empty()) return Error("empty loop program");
+    return LoopStmtPtr(seq);
+  }
+
+  Result<LoopStmtPtr> ParseStmt() {
+    const Pos pos = Cur().pos;
+    if (AtIdent("for")) {
+      Advance();
+      if (!At(TokKind::kIdent)) return Error("expected loop variable");
+      auto stmt = std::make_shared<LoopStmt>();
+      stmt->kind = LoopStmt::Kind::kFor;
+      stmt->pos = pos;
+      stmt->var = Cur().text;
+      Advance();
+      SAC_RETURN_NOT_OK(Expect(TokKind::kEq, "'=' in for"));
+      SAC_ASSIGN_OR_RETURN(stmt->lo, ParseExpr());
+      SAC_RETURN_NOT_OK(Expect(TokKind::kComma, "',' in for bounds"));
+      SAC_ASSIGN_OR_RETURN(stmt->hi, ParseExpr());
+      if (!AtIdent("do")) return Error("expected 'do'");
+      Advance();
+      SAC_ASSIGN_OR_RETURN(stmt->body, ParseStmt());
+      return LoopStmtPtr(stmt);
+    }
+    if (Eat(TokKind::kLBrace)) {
+      auto seq = std::make_shared<LoopStmt>();
+      seq->kind = LoopStmt::Kind::kSeq;
+      seq->pos = pos;
+      while (!At(TokKind::kRBrace)) {
+        if (At(TokKind::kEof)) return Error("unterminated block");
+        SAC_ASSIGN_OR_RETURN(LoopStmtPtr s, ParseStmt());
+        seq->stmts.push_back(std::move(s));
+      }
+      Advance();  // '}'
+      return LoopStmtPtr(seq);
+    }
+    // Assignment: V[indices] := rhs ;  or  V[indices] += rhs ;
+    if (!At(TokKind::kIdent)) return Error("expected statement");
+    auto stmt = std::make_shared<LoopStmt>();
+    stmt->pos = pos;
+    stmt->target = Cur().text;
+    Advance();
+    SAC_RETURN_NOT_OK(Expect(TokKind::kLBracket, "'[' in assignment"));
+    for (;;) {
+      SAC_ASSIGN_OR_RETURN(ExprPtr idx, ParseExpr());
+      stmt->indices.push_back(std::move(idx));
+      if (!Eat(TokKind::kComma)) break;
+    }
+    SAC_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']' in assignment"));
+    if (Eat(TokKind::kColon)) {
+      SAC_RETURN_NOT_OK(Expect(TokKind::kEq, "'=' after ':'"));
+      stmt->kind = LoopStmt::Kind::kAssign;
+    } else if (Eat(TokKind::kPlus)) {
+      SAC_RETURN_NOT_OK(Expect(TokKind::kEq, "'=' after '+'"));
+      stmt->kind = LoopStmt::Kind::kUpdate;
+    } else {
+      return Error("expected ':=' or '+='");
+    }
+    SAC_ASSIGN_OR_RETURN(stmt->rhs, ParseExpr());
+    SAC_RETURN_NOT_OK(Expect(TokKind::kSemi, "';' after assignment"));
+    return LoopStmtPtr(stmt);
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  bool AtIdent(const char* s) const { return Cur().IsIdent(s); }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool Eat(TokKind k) {
+    if (At(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at " + Cur().pos.ToString());
+  }
+  Status Expect(TokKind k, const char* what) {
+    if (!Eat(k)) return Error(std::string("expected ") + what);
+    return Status::OK();
+  }
+
+  // ---- patterns -----------------------------------------------------------
+  Result<PatternPtr> ParsePat() {
+    const Pos pos = Cur().pos;
+    if (At(TokKind::kIdent)) {
+      std::string name = Cur().text;
+      Advance();
+      if (name == "_") return Pattern::Wildcard(pos);
+      return Pattern::Var(std::move(name), pos);
+    }
+    if (Eat(TokKind::kLParen)) {
+      std::vector<PatternPtr> elems;
+      if (!At(TokKind::kRParen)) {
+        for (;;) {
+          SAC_ASSIGN_OR_RETURN(PatternPtr p, ParsePat());
+          elems.push_back(std::move(p));
+          if (!Eat(TokKind::kComma)) break;
+        }
+      }
+      SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' in pattern"));
+      if (elems.size() == 1) return elems[0];
+      return Pattern::Tuple(std::move(elems), pos);
+    }
+    return Error("expected pattern");
+  }
+
+  // ---- expressions ---------------------------------------------------------
+  Result<ExprPtr> ParseExpr() {
+    if (AtIdent("if")) {
+      const Pos pos = Cur().pos;
+      Advance();
+      SAC_RETURN_NOT_OK(Expect(TokKind::kLParen, "'(' after if"));
+      SAC_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' after condition"));
+      SAC_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExpr());
+      if (!AtIdent("else")) return Error("expected 'else'");
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExpr());
+      return Expr::If(std::move(cond), std::move(then_e), std::move(else_e),
+                      pos);
+    }
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (At(TokKind::kOrOr)) {
+      const Pos pos = Cur().pos;
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs), pos);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp());
+    while (At(TokKind::kAndAnd)) {
+      const Pos pos = Cur().pos;
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp());
+      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs), pos);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRange());
+    BinOp op;
+    switch (Cur().kind) {
+      case TokKind::kEqEq: op = BinOp::kEq; break;
+      case TokKind::kNe: op = BinOp::kNe; break;
+      case TokKind::kLt: op = BinOp::kLt; break;
+      case TokKind::kLe: op = BinOp::kLe; break;
+      case TokKind::kGt: op = BinOp::kGt; break;
+      case TokKind::kGe: op = BinOp::kGe; break;
+      default:
+        return lhs;
+    }
+    const Pos pos = Cur().pos;
+    Advance();
+    SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRange());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs), pos);
+  }
+
+  Result<ExprPtr> ParseRange() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    if (AtIdent("until") || AtIdent("to")) {
+      const std::string fn = Cur().text;
+      const Pos pos = Cur().pos;
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+      return Expr::Call(fn, {std::move(lhs), std::move(rhs)}, pos);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    for (;;) {
+      BinOp op;
+      if (At(TokKind::kPlus)) {
+        op = BinOp::kAdd;
+      } else if (At(TokKind::kMinus)) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      const Pos pos = Cur().pos;
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), pos);
+    }
+  }
+
+  Result<ExprPtr> ParseMul() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (At(TokKind::kStar)) {
+        op = BinOp::kMul;
+      } else if (At(TokKind::kSlash)) {
+        op = BinOp::kDiv;
+      } else if (At(TokKind::kPercent)) {
+        op = BinOp::kMod;
+      } else {
+        return lhs;
+      }
+      const Pos pos = Cur().pos;
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), pos);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const Pos pos = Cur().pos;
+    if (Eat(TokKind::kMinus)) {
+      SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Unary(UnOp::kNeg, std::move(e), pos);
+    }
+    if (Eat(TokKind::kNot)) {
+      SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Unary(UnOp::kNot, std::move(e), pos);
+    }
+    if (At(TokKind::kReduce)) {
+      const ReduceOp op = Cur().reduce_op;
+      Advance();
+      SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Reduce(op, std::move(e), pos);
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    SAC_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    for (;;) {
+      const Pos pos = Cur().pos;
+      if (At(TokKind::kLBracket)) {
+        Advance();
+        SAC_ASSIGN_OR_RETURN(BracketBody body, ParseBracketBody());
+        if (body.is_comprehension) {
+          // `name(args)[ e | q ]` / `name[ e | q ]` is a builder.
+          if (e->is(Expr::Kind::kVar)) {
+            e = Expr::Build(e->str_val, body.comp, {}, pos);
+          } else if (e->is(Expr::Kind::kCall)) {
+            e = Expr::Build(e->str_val, body.comp, e->children, pos);
+          } else {
+            return Error("comprehension brackets after non-builder");
+          }
+        } else {
+          e = Expr::Index(std::move(e), std::move(body.elems), pos);
+        }
+        continue;
+      }
+      if (At(TokKind::kDot)) {
+        Advance();
+        if (!At(TokKind::kIdent)) return Error("expected field after '.'");
+        std::string field = Cur().text;
+        Advance();
+        e = Expr::Call(std::move(field), {std::move(e)}, pos);
+        continue;
+      }
+      if (At(TokKind::kLParen) && e->is(Expr::Kind::kVar)) {
+        Advance();
+        std::vector<ExprPtr> args;
+        if (!At(TokKind::kRParen)) {
+          for (;;) {
+            SAC_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+            if (!Eat(TokKind::kComma)) break;
+          }
+        }
+        SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' after arguments"));
+        e = Expr::Call(e->str_val, std::move(args), pos);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  struct BracketBody {
+    bool is_comprehension = false;
+    ExprPtr comp;                 // when comprehension
+    std::vector<ExprPtr> elems;   // when index list / list literal
+  };
+
+  // Parses the inside of `[ ... ]` including the closing bracket. The body
+  // is a comprehension iff a '|' follows the first expression.
+  Result<BracketBody> ParseBracketBody() {
+    BracketBody body;
+    const Pos pos = Cur().pos;
+    if (Eat(TokKind::kRBracket)) return body;  // empty list
+    SAC_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+    if (Eat(TokKind::kBar)) {
+      body.is_comprehension = true;
+      std::vector<Qualifier> quals;
+      if (!At(TokKind::kRBracket)) {
+        for (;;) {
+          SAC_ASSIGN_OR_RETURN(Qualifier q, ParseQualifier());
+          quals.push_back(std::move(q));
+          if (!Eat(TokKind::kComma)) break;
+        }
+      }
+      SAC_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+      body.comp = Expr::Comprehension(std::move(first), std::move(quals), pos);
+      return body;
+    }
+    body.elems.push_back(std::move(first));
+    while (Eat(TokKind::kComma)) {
+      SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      body.elems.push_back(std::move(e));
+    }
+    SAC_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+    return body;
+  }
+
+  Result<Qualifier> ParseQualifier() {
+    const Pos pos = Cur().pos;
+    if (AtIdent("let")) {
+      Advance();
+      SAC_ASSIGN_OR_RETURN(PatternPtr p, ParsePat());
+      SAC_RETURN_NOT_OK(Expect(TokKind::kEq, "'=' in let"));
+      SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      return Qualifier::Let(std::move(p), std::move(e), pos);
+    }
+    if (AtIdent("group")) {
+      Advance();
+      if (!AtIdent("by")) return Error("expected 'by' after 'group'");
+      Advance();
+      SAC_ASSIGN_OR_RETURN(PatternPtr p, ParsePat());
+      ExprPtr key;
+      if (Eat(TokKind::kColon)) {
+        SAC_ASSIGN_OR_RETURN(key, ParseExpr());
+      }
+      return Qualifier::GroupBy(std::move(p), std::move(key), pos);
+    }
+    // Generator `p <- e` vs guard: try pattern + arrow, else backtrack.
+    const size_t save = pos_;
+    {
+      auto pat = ParsePat();
+      if (pat.ok() && At(TokKind::kArrow)) {
+        Advance();
+        SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        return Qualifier::Generator(std::move(pat).value(), std::move(e), pos);
+      }
+    }
+    pos_ = save;
+    SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    return Qualifier::Guard(std::move(e), pos);
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Pos pos = Cur().pos;
+    switch (Cur().kind) {
+      case TokKind::kInt: {
+        const int64_t v = Cur().int_val;
+        Advance();
+        return Expr::Int(v, pos);
+      }
+      case TokKind::kDouble: {
+        const double v = Cur().double_val;
+        Advance();
+        return Expr::Double(v, pos);
+      }
+      case TokKind::kString: {
+        std::string v = Cur().text;
+        Advance();
+        return Expr::Str(std::move(v), pos);
+      }
+      case TokKind::kIdent: {
+        std::string name = Cur().text;
+        if (name == "true" || name == "false") {
+          Advance();
+          return Expr::Bool(name == "true", pos);
+        }
+        Advance();
+        return Expr::Var(std::move(name), pos);
+      }
+      case TokKind::kLParen: {
+        Advance();
+        std::vector<ExprPtr> elems;
+        if (!At(TokKind::kRParen)) {
+          for (;;) {
+            SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            elems.push_back(std::move(e));
+            if (!Eat(TokKind::kComma)) break;
+          }
+        }
+        SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        if (elems.size() == 1) return elems[0];
+        return Expr::Tuple(std::move(elems), pos);
+      }
+      case TokKind::kLBracket: {
+        Advance();
+        SAC_ASSIGN_OR_RETURN(BracketBody body, ParseBracketBody());
+        if (body.is_comprehension) return body.comp;
+        return Expr::Call("list", std::move(body.elems), pos);
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> Parse(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(src));
+  Parser parser(std::move(toks));
+  return parser.ParseAll();
+}
+
+Result<PatternPtr> ParsePattern(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(src));
+  Parser parser(std::move(toks));
+  return parser.ParsePatternAll();
+}
+
+Result<LoopStmtPtr> ParseLoopProgram(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(src));
+  Parser parser(std::move(toks));
+  return parser.ParseLoopProgramAll();
+}
+
+}  // namespace sac::comp

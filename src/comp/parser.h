@@ -1,0 +1,36 @@
+// Recursive-descent parser for array comprehensions (Figure 2 syntax).
+//
+// Grammar sketch (precedence low to high):
+//   expr    := 'if' '(' expr ')' expr 'else' expr | or
+//   or      := and ('||' and)*
+//   and     := cmp ('&&' cmp)*
+//   cmp     := range (('=='|'!='|'<'|'<='|'>'|'>=') range)?
+//   range   := add (('until'|'to') add)?
+//   add     := mul (('+'|'-') mul)*
+//   mul     := unary (('*'|'/'|'%') unary)*
+//   unary   := '-' unary | '!' unary | REDUCE unary | postfix
+//   postfix := primary ('[' exprs ']' | '.' ident | '(' exprs ')')*
+//   primary := literal | ident | '(' exprs ')' | '[' comp ']'
+//
+// `name(args...)[ e | q ]` and `name[ e | q ]` parse as builders (kBuild);
+// `e[ i, j ]` with no '|' inside the brackets parses as array indexing.
+// Qualifiers: `p <- e`, `let p = e`, `group by p [: e]`, or a guard expr.
+#ifndef SAC_COMP_PARSER_H_
+#define SAC_COMP_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/comp/ast.h"
+
+namespace sac::comp {
+
+/// Parses one expression; the whole input must be consumed.
+Result<ExprPtr> Parse(const std::string& src);
+
+/// Parses a pattern, e.g. "((i,j),m)" (exposed for tests).
+Result<PatternPtr> ParsePattern(const std::string& src);
+
+}  // namespace sac::comp
+
+#endif  // SAC_COMP_PARSER_H_

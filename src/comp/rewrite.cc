@@ -1,0 +1,509 @@
+#include "src/comp/rewrite.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace sac::comp {
+
+namespace {
+
+/// Applies `fn` to every comprehension node, bottom-up.
+ExprPtr MapComprehensions(
+    const ExprPtr& e,
+    const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  std::shared_ptr<Expr> copy = std::make_shared<Expr>(*e);
+  for (auto& c : copy->children) c = MapComprehensions(c, fn);
+  for (auto& q : copy->quals) {
+    if (q.expr) q.expr = MapComprehensions(q.expr, fn);
+  }
+  ExprPtr out = copy;
+  if (out->kind == Expr::Kind::kComprehension) out = fn(out);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// group by p : e   =>   let p = e, group by p
+// ---------------------------------------------------------------------------
+
+ExprPtr DesugarGroupByKeys(const ExprPtr& e) {
+  return MapComprehensions(e, [](const ExprPtr& comp) -> ExprPtr {
+    bool has_sugar = false;
+    for (const Qualifier& q : comp->quals) {
+      if (q.kind == Qualifier::Kind::kGroupBy && q.expr) has_sugar = true;
+    }
+    if (!has_sugar) return comp;
+    std::vector<Qualifier> quals;
+    for (const Qualifier& q : comp->quals) {
+      if (q.kind == Qualifier::Kind::kGroupBy && q.expr) {
+        quals.push_back(Qualifier::Let(q.pattern, q.expr, q.pos));
+        quals.push_back(Qualifier::GroupBy(q.pattern, nullptr, q.pos));
+      } else {
+        quals.push_back(q);
+      }
+    }
+    return Expr::Comprehension(comp->children[0], std::move(quals),
+                               comp->pos);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Array indexing desugaring (Section 2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct IndexingRewriter {
+  const IsArrayFn& is_array;
+  int* counter;
+  // New qualifiers produced by the rewrite of one expression.
+  std::vector<Qualifier> pending;
+
+  /// Replaces V[e1..en] (V an array) with a fresh variable k0, recording
+  /// the generator ((k1..kn),k0) <- V and guards ki == ei.
+  ExprPtr Rewrite(const ExprPtr& e) {
+    if (e->kind == Expr::Kind::kIndex &&
+        e->children[0]->kind == Expr::Kind::kVar &&
+        is_array(e->children[0]->str_val)) {
+      std::vector<ExprPtr> idx;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        idx.push_back(Rewrite(e->children[i]));
+      }
+      const std::string k0 = "k$" + std::to_string((*counter)++);
+      std::vector<PatternPtr> kpats;
+      std::vector<std::string> kvars;
+      for (size_t i = 0; i < idx.size(); ++i) {
+        std::string ki = "k$" + std::to_string((*counter)++);
+        kpats.push_back(Pattern::Var(ki, e->pos));
+        kvars.push_back(std::move(ki));
+      }
+      PatternPtr key_pat = kpats.size() == 1
+                               ? kpats[0]
+                               : Pattern::Tuple(std::move(kpats), e->pos);
+      PatternPtr pat = Pattern::Tuple(
+          {std::move(key_pat), Pattern::Var(k0, e->pos)}, e->pos);
+      pending.push_back(
+          Qualifier::Generator(std::move(pat), e->children[0], e->pos));
+      for (size_t i = 0; i < idx.size(); ++i) {
+        pending.push_back(Qualifier::Guard(
+            Expr::Binary(BinOp::kEq, Expr::Var(kvars[i], e->pos), idx[i],
+                         e->pos),
+            e->pos));
+      }
+      return Expr::Var(k0, e->pos);
+    }
+    // Do not descend into nested comprehensions (they get their own pass).
+    if (e->kind == Expr::Kind::kComprehension) return e;
+    if (e->children.empty()) return e;
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& c : copy->children) c = Rewrite(c);
+    return copy;
+  }
+};
+
+}  // namespace
+
+Result<ExprPtr> DesugarIndexing(const ExprPtr& e, const IsArrayFn& is_array,
+                                int* counter) {
+  ExprPtr out = MapComprehensions(e, [&](const ExprPtr& comp) -> ExprPtr {
+    bool changed = false;
+    std::vector<Qualifier> quals;
+    for (const Qualifier& q : comp->quals) {
+      if (q.kind == Qualifier::Kind::kGuard ||
+          q.kind == Qualifier::Kind::kLet) {
+        IndexingRewriter rw{is_array, counter, {}};
+        ExprPtr ne = rw.Rewrite(q.expr);
+        if (!rw.pending.empty()) {
+          changed = true;
+          // The generator and its guards precede the qualifier that used
+          // the indexing, so every referenced variable is already bound.
+          for (auto& nq : rw.pending) quals.push_back(std::move(nq));
+        }
+        Qualifier q2 = q;
+        q2.expr = ne;
+        quals.push_back(std::move(q2));
+      } else {
+        quals.push_back(q);
+      }
+    }
+    IndexingRewriter rw{is_array, counter, {}};
+    ExprPtr head = rw.Rewrite(comp->children[0]);
+    if (!rw.pending.empty()) {
+      changed = true;
+      for (auto& nq : rw.pending) quals.push_back(std::move(nq));
+    }
+    if (!changed) return comp;
+    return Expr::Comprehension(head, std::move(quals), comp->pos);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule (3): flatten nested comprehensions
+// ---------------------------------------------------------------------------
+
+ExprPtr FlattenNested(const ExprPtr& e, int* counter) {
+  return MapComprehensions(e, [&](const ExprPtr& comp) -> ExprPtr {
+    bool changed = false;
+    std::vector<Qualifier> quals;
+    for (const Qualifier& q : comp->quals) {
+      if (q.kind == Qualifier::Kind::kGenerator &&
+          q.expr->kind == Expr::Kind::kComprehension) {
+        const ExprPtr inner_raw = q.expr;
+        bool has_group_by = false;
+        for (const Qualifier& iq : inner_raw->quals) {
+          if (iq.kind == Qualifier::Kind::kGroupBy) has_group_by = true;
+        }
+        if (!has_group_by) {
+          // Rename to avoid capture, then splice: q1, q3, let p = e2, q2.
+          ExprPtr inner = FreshenBoundVars(inner_raw, counter);
+          for (const Qualifier& iq : inner->quals) quals.push_back(iq);
+          quals.push_back(
+              Qualifier::Let(q.pattern, inner->children[0], q.pos));
+          changed = true;
+          continue;
+        }
+      }
+      quals.push_back(q);
+    }
+    if (!changed) return comp;
+    return Expr::Comprehension(comp->children[0], std::move(quals),
+                               comp->pos);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Index-range merging (Section 2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsUntilRange(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kCall && e->str_val == "until" &&
+         e->children.size() == 2;
+}
+
+}  // namespace
+
+ExprPtr MergeEqualRanges(const ExprPtr& e) {
+  return MapComprehensions(e, [](const ExprPtr& comp) -> ExprPtr {
+    // Find: generator `v <- lo until hi` (v a plain variable) and a later
+    // guard `v == expr` / `expr == v` where expr does not use v and uses
+    // only variables bound before the generator... conservatively, uses
+    // only variables not bound by this or later qualifiers. We check the
+    // simpler sound condition: expr's free variables are all bound by
+    // qualifiers *earlier* than the generator.
+    std::vector<std::string> bound_before;
+    for (size_t gi = 0; gi < comp->quals.size(); ++gi) {
+      const Qualifier& g = comp->quals[gi];
+      if (g.kind == Qualifier::Kind::kGenerator ||
+          g.kind == Qualifier::Kind::kLet) {
+        for (const auto& v : g.pattern->Vars()) bound_before.push_back(v);
+      }
+      if (g.kind != Qualifier::Kind::kGenerator) continue;
+      if (g.pattern->kind != Pattern::Kind::kVar) continue;
+      if (!IsUntilRange(g.expr)) continue;
+      const std::string& v = g.pattern->var;
+      // Scan later qualifiers for a usable equality guard, stopping at a
+      // group-by (the guard would then see lifted variables).
+      for (size_t qi = gi + 1; qi < comp->quals.size(); ++qi) {
+        const Qualifier& q = comp->quals[qi];
+        if (q.kind == Qualifier::Kind::kGroupBy) break;
+        if (q.kind != Qualifier::Kind::kGuard) continue;
+        if (q.expr->kind != Expr::Kind::kBinary ||
+            q.expr->bin_op != BinOp::kEq) {
+          continue;
+        }
+        ExprPtr lhs = q.expr->children[0];
+        ExprPtr rhs = q.expr->children[1];
+        ExprPtr other;
+        if (lhs->kind == Expr::Kind::kVar && lhs->str_val == v) {
+          other = rhs;
+        } else if (rhs->kind == Expr::Kind::kVar && rhs->str_val == v) {
+          other = lhs;
+        } else {
+          continue;
+        }
+        if (UsesVar(other, v)) continue;
+        // `other` must be evaluable where the generator stood: all its
+        // free variables bound before the generator.
+        bool ok = true;
+        std::vector<std::string> bound_at_gen;
+        for (size_t k = 0; k < gi; ++k) {
+          const Qualifier& b = comp->quals[k];
+          if (b.pattern) {
+            for (const auto& bv : b.pattern->Vars()) {
+              bound_at_gen.push_back(bv);
+            }
+          }
+        }
+        for (const auto& fv : FreeVars(other)) {
+          // Free names that are not locally bound anywhere are globals --
+          // fine. Names bound after the generator are not.
+          bool bound_later = false;
+          for (size_t k = gi; k < comp->quals.size(); ++k) {
+            const Qualifier& b = comp->quals[k];
+            if (k != qi && b.pattern && b.pattern->BindsVar(fv)) {
+              bound_later = true;
+            }
+          }
+          bool bound_early =
+              std::find(bound_at_gen.begin(), bound_at_gen.end(), fv) !=
+              bound_at_gen.end();
+          if (bound_later && !bound_early) ok = false;
+        }
+        // When `other` is bound only by a generator *after* the range
+        // (e.g. the fresh index variables of desugared array accesses),
+        // the let must move to the guard's position instead -- which is
+        // sound iff v is not used between the range and the guard.
+        bool insert_at_guard = false;
+        if (!ok) {
+          bool used_between = false;
+          for (size_t k = gi + 1; k < qi; ++k) {
+            if (comp->quals[k].expr && UsesVar(comp->quals[k].expr, v)) {
+              used_between = true;
+            }
+          }
+          if (!used_between) {
+            insert_at_guard = true;
+            ok = true;
+          }
+        }
+        if (!ok) continue;
+
+        // Rewrite: v <- lo until hi  =>  let v = other, other >= lo,
+        // other < hi; drop the guard.
+        std::vector<Qualifier> quals;
+        const ExprPtr lo = g.expr->children[0];
+        const ExprPtr hi = g.expr->children[1];
+        auto push_merged = [&]() {
+          quals.push_back(Qualifier::Let(g.pattern, other, g.pos));
+          quals.push_back(Qualifier::Guard(
+              Expr::Binary(BinOp::kGe, other, lo, g.pos), g.pos));
+          quals.push_back(Qualifier::Guard(
+              Expr::Binary(BinOp::kLt, other, hi, g.pos), g.pos));
+        };
+        for (size_t k = 0; k < comp->quals.size(); ++k) {
+          if (k == gi) {
+            if (!insert_at_guard) push_merged();
+            continue;  // drop the range generator
+          }
+          if (k == qi) {
+            if (insert_at_guard) push_merged();
+            continue;  // drop the equality guard
+          }
+          quals.push_back(comp->quals[k]);
+        }
+        // Recurse: more ranges may now be mergeable.
+        return MergeEqualRanges(Expr::Comprehension(
+            comp->children[0], std::move(quals), comp->pos));
+      }
+    }
+    return comp;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation of variable-to-variable lets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+PatternPtr RenameVarInPattern(const PatternPtr& p, const std::string& from,
+                              const std::string& to) {
+  switch (p->kind) {
+    case Pattern::Kind::kWildcard:
+      return p;
+    case Pattern::Kind::kVar:
+      return p->var == from ? Pattern::Var(to, p->pos) : p;
+    case Pattern::Kind::kTuple: {
+      std::vector<PatternPtr> elems;
+      for (const auto& el : p->elems) {
+        elems.push_back(RenameVarInPattern(el, from, to));
+      }
+      return Pattern::Tuple(std::move(elems), p->pos);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+ExprPtr CopyPropagateLets(const ExprPtr& e) {
+  return MapComprehensions(e, [](const ExprPtr& comp) -> ExprPtr {
+    for (size_t li = 0; li < comp->quals.size(); ++li) {
+      const Qualifier& l = comp->quals[li];
+      if (l.kind != Qualifier::Kind::kLet ||
+          l.pattern->kind != Pattern::Kind::kVar ||
+          l.expr->kind != Expr::Kind::kVar) {
+        continue;
+      }
+      const std::string v = l.pattern->var;
+      const std::string w = l.expr->str_val;
+      if (v == w) continue;
+      // Neither name may be rebound later (keeps the substitution sound
+      // without shadowing analysis; desugared names are unique anyway).
+      bool rebound = false;
+      for (size_t k = li + 1; k < comp->quals.size(); ++k) {
+        const Qualifier& q = comp->quals[k];
+        if (q.pattern && q.kind != Qualifier::Kind::kGroupBy &&
+            (q.pattern->BindsVar(v) || q.pattern->BindsVar(w))) {
+          rebound = true;
+        }
+      }
+      if (rebound) continue;
+      const ExprPtr wv = Expr::Var(w, l.pos);
+      std::vector<Qualifier> quals(comp->quals.begin(),
+                                   comp->quals.begin() + li);
+      for (size_t k = li + 1; k < comp->quals.size(); ++k) {
+        Qualifier q = comp->quals[k];
+        if (q.expr) q.expr = SubstituteVar(q.expr, v, wv);
+        if (q.kind == Qualifier::Kind::kGroupBy) {
+          q.pattern = RenameVarInPattern(q.pattern, v, w);
+        }
+        quals.push_back(std::move(q));
+      }
+      ExprPtr head = SubstituteVar(comp->children[0], v, wv);
+      // Recurse for further copies.
+      return CopyPropagateLets(
+          Expr::Comprehension(head, std::move(quals), comp->pos));
+    }
+    return comp;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rule (15): injective group-by elimination
+// ---------------------------------------------------------------------------
+
+ExprPtr EliminateInjectiveGroupBy(const ExprPtr& e) {
+  return MapComprehensions(e, [](const ExprPtr& comp) -> ExprPtr {
+    // Applies when: the group-by is the last qualifier, its key pattern
+    // variables are exactly the index variables of the single array
+    // generator, and no other generator exists (so array-index uniqueness
+    // makes every group a singleton).
+    if (comp->quals.empty() ||
+        comp->quals.back().kind != Qualifier::Kind::kGroupBy ||
+        comp->quals.back().expr != nullptr) {
+      return comp;
+    }
+    const Qualifier& gb = comp->quals.back();
+    const Qualifier* gen = nullptr;
+    std::vector<std::string> lifted;
+    for (size_t i = 0; i + 1 < comp->quals.size(); ++i) {
+      const Qualifier& q = comp->quals[i];
+      switch (q.kind) {
+        case Qualifier::Kind::kGenerator:
+          if (gen) return comp;  // more than one generator
+          gen = &q;
+          break;
+        case Qualifier::Kind::kLet:
+          break;
+        case Qualifier::Kind::kGuard:
+          break;
+        case Qualifier::Kind::kGroupBy:
+          return comp;  // multiple group-bys
+      }
+      if (q.pattern) {
+        for (const auto& v : q.pattern->Vars()) lifted.push_back(v);
+      }
+    }
+    if (!gen) return comp;
+    // The generator must draw from a named array (not a range) and bind
+    // (index-pattern, value).
+    if (gen->expr->kind != Expr::Kind::kVar) return comp;
+    if (gen->pattern->kind != Pattern::Kind::kTuple ||
+        gen->pattern->elems.size() != 2) {
+      return comp;
+    }
+    std::vector<std::string> index_vars = gen->pattern->elems[0]->Vars();
+    if (index_vars.empty()) return comp;
+    std::vector<std::string> key_vars = gb.pattern->Vars();
+    if (key_vars != index_vars) return comp;
+
+    std::vector<Qualifier> quals(comp->quals.begin(),
+                                 comp->quals.end() - 1);
+    // Each group is a singleton, so a lifted variable is the singleton bag
+    // of its value. The group-by was the last qualifier, so only the head
+    // can see lifted variables: substitute x -> list(x) there, which the
+    // singleton-reduction simplifier then collapses under ⊕/.
+    ExprPtr head = comp->children[0];
+    for (const auto& v : lifted) {
+      if (std::find(key_vars.begin(), key_vars.end(), v) != key_vars.end()) {
+        continue;
+      }
+      head = SubstituteVar(head, v,
+                           Expr::Call("list", {Expr::Var(v, gb.pos)}, gb.pos));
+    }
+    return Expr::Comprehension(head, std::move(quals), comp->pos);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ⊕/list(x) simplification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ExprPtr SimplifyReduceNode(const ExprPtr& e) {
+  if (e->kind != Expr::Kind::kReduce) return e;
+  const ExprPtr& operand = e->children[0];
+  if (operand->kind != Expr::Kind::kCall || operand->str_val != "list" ||
+      operand->children.size() != 1) {
+    return e;
+  }
+  const ExprPtr& x = operand->children[0];
+  switch (e->reduce_op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kProd:
+    case ReduceOp::kMin:
+    case ReduceOp::kMax:
+    case ReduceOp::kAvg:
+      return x;
+    case ReduceOp::kCount:
+      return Expr::Int(1, e->pos);
+    default:
+      return e;  // ++/ and boolean monoids keep their list semantics
+  }
+}
+
+ExprPtr SimplifyAll(const ExprPtr& e) {
+  std::shared_ptr<Expr> copy = std::make_shared<Expr>(*e);
+  for (auto& c : copy->children) c = SimplifyAll(c);
+  for (auto& q : copy->quals) {
+    if (q.expr) q.expr = SimplifyAll(q.expr);
+  }
+  return SimplifyReduceNode(copy);
+}
+
+}  // namespace
+
+ExprPtr SimplifySingletonReductions(const ExprPtr& e) {
+  return SimplifyAll(e);
+}
+
+// ---------------------------------------------------------------------------
+// Normalize to fixpoint
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Normalize(const ExprPtr& e, const IsArrayFn& is_array) {
+  int counter = 0;
+  ExprPtr cur = e;
+  for (int iter = 0; iter < 20; ++iter) {
+    ExprPtr next = DesugarGroupByKeys(cur);
+    SAC_ASSIGN_OR_RETURN(next, DesugarIndexing(next, is_array, &counter));
+    next = FlattenNested(next, &counter);
+    next = MergeEqualRanges(next);
+    next = CopyPropagateLets(next);
+    next = EliminateInjectiveGroupBy(next);
+    next = SimplifySingletonReductions(next);
+    if (next->Equals(*cur)) return cur;
+    cur = next;
+  }
+  return cur;
+}
+
+}  // namespace sac::comp

@@ -1,0 +1,66 @@
+// The paper's source-to-source rewrite rules, each implemented as a named,
+// individually testable AST transformation:
+//
+//  * DesugarGroupByKeys  -- `group by p : e`  =>  `let p = e, group by p`
+//    (Section 3).
+//  * DesugarIndexing     -- array indexing V[e1,...,en] inside a
+//    comprehension becomes a generator ((k1,...,kn),k0) <- V plus equality
+//    guards ki == ei, with the index expression replaced by k0 (Section 2).
+//  * FlattenNested       -- rule (3): a generator drawing from a nested
+//    comprehension (without group-by) is spliced into the outer qualifier
+//    list, after alpha-renaming to avoid capture.
+//  * MergeEqualRanges    -- two index generators over ranges related by an
+//    equality guard are fused into one generator and a let (Section 2).
+//  * Normalize           -- applies all of the above to fixpoint.
+#ifndef SAC_COMP_REWRITE_H_
+#define SAC_COMP_REWRITE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/comp/ast.h"
+
+namespace sac::comp {
+
+/// True for names that denote arrays (used by DesugarIndexing to decide
+/// which Index expressions to rewrite).
+using IsArrayFn = std::function<bool(const std::string&)>;
+
+/// `group by p : e` => `let p = e, group by p`, everywhere.
+ExprPtr DesugarGroupByKeys(const ExprPtr& e);
+
+/// Rewrites array indexing in comprehension heads/guards/lets into
+/// generators plus equality guards. Fresh variables use the counter.
+Result<ExprPtr> DesugarIndexing(const ExprPtr& e, const IsArrayFn& is_array,
+                                int* counter);
+
+/// Rule (3): flattens nested comprehensions in generator position.
+ExprPtr FlattenNested(const ExprPtr& e, int* counter);
+
+/// Fuses `i <- a until b, j <- c until d, i == j` into
+/// `i <- max(a,c) until min(b,d), let j = i`.
+ExprPtr MergeEqualRanges(const ExprPtr& e);
+
+/// Copy propagation: `let v = w` (w a plain variable) is removed and v is
+/// replaced by w in all subsequent qualifiers (including group-by
+/// patterns) and the head. Cleans up after range merging so the planner
+/// sees index equalities between generator variables directly.
+ExprPtr CopyPropagateLets(const ExprPtr& e);
+
+/// Rule (15): a group-by whose key is the full index pattern of the only
+/// array generator is injective (array indices are unique), so each group
+/// is a singleton. The group-by is removed and every lifted variable x is
+/// rebound to the singleton bag `let x = list(x)`.
+ExprPtr EliminateInjectiveGroupBy(const ExprPtr& e);
+
+/// `⊕/list(x)` over a singleton collapses to the element (for sum, prod,
+/// min, max, avg) or a constant (count); cleans up after rule (15).
+ExprPtr SimplifySingletonReductions(const ExprPtr& e);
+
+/// Applies every rewrite to fixpoint (bounded).
+Result<ExprPtr> Normalize(const ExprPtr& e, const IsArrayFn& is_array);
+
+}  // namespace sac::comp
+
+#endif  // SAC_COMP_REWRITE_H_

@@ -1,0 +1,302 @@
+#include "src/exec/scalar_fn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sac::exec {
+
+using comp::BinOp;
+using comp::Expr;
+using comp::ExprPtr;
+using comp::UnOp;
+
+namespace {
+
+Status Unsupported(const ExprPtr& e, const char* what) {
+  return Status::PlanError(std::string("cannot compile ") + what + ": " +
+                           e->ToString());
+}
+
+int FindArg(const std::vector<std::string>& args, const std::string& name) {
+  auto it = std::find(args.begin(), args.end(), name);
+  return it == args.end() ? -1 : static_cast<int>(it - args.begin());
+}
+
+}  // namespace
+
+Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
+                                 const std::vector<std::string>& args,
+                                 const ConstEnv& consts) {
+  switch (e->kind) {
+    case Expr::Kind::kIntLit: {
+      const double v = static_cast<double>(e->int_val);
+      return ScalarFn([v](const double*) { return v; });
+    }
+    case Expr::Kind::kDoubleLit: {
+      const double v = e->double_val;
+      return ScalarFn([v](const double*) { return v; });
+    }
+    case Expr::Kind::kVar: {
+      const int slot = FindArg(args, e->str_val);
+      if (slot >= 0) {
+        return ScalarFn([slot](const double* a) { return a[slot]; });
+      }
+      auto it = consts.find(e->str_val);
+      if (it != consts.end()) {
+        const double v = it->second;
+        return ScalarFn([v](const double*) { return v; });
+      }
+      return Unsupported(e, "unbound scalar variable");
+    }
+    case Expr::Kind::kUnary: {
+      if (e->un_op != UnOp::kNeg) return Unsupported(e, "boolean negation");
+      SAC_ASSIGN_OR_RETURN(ScalarFn f,
+                           CompileScalarFn(e->children[0], args, consts));
+      return ScalarFn([f](const double* a) { return -f(a); });
+    }
+    case Expr::Kind::kBinary: {
+      SAC_ASSIGN_OR_RETURN(ScalarFn l,
+                           CompileScalarFn(e->children[0], args, consts));
+      SAC_ASSIGN_OR_RETURN(ScalarFn r,
+                           CompileScalarFn(e->children[1], args, consts));
+      switch (e->bin_op) {
+        case BinOp::kAdd:
+          return ScalarFn([l, r](const double* a) { return l(a) + r(a); });
+        case BinOp::kSub:
+          return ScalarFn([l, r](const double* a) { return l(a) - r(a); });
+        case BinOp::kMul:
+          return ScalarFn([l, r](const double* a) { return l(a) * r(a); });
+        case BinOp::kDiv:
+          return ScalarFn([l, r](const double* a) { return l(a) / r(a); });
+        case BinOp::kMod:
+          return ScalarFn(
+              [l, r](const double* a) { return std::fmod(l(a), r(a)); });
+        default:
+          return Unsupported(e, "comparison outside if-condition");
+      }
+    }
+    case Expr::Kind::kIf: {
+      // Condition: numeric comparison (or && / || of them).
+      const ExprPtr& cond = e->children[0];
+      std::function<bool(const double*)> pred;
+      {
+        // Compile a small boolean fragment over doubles.
+        std::function<Result<std::function<bool(const double*)>>(
+            const ExprPtr&)>
+            compile_pred = [&](const ExprPtr& c)
+            -> Result<std::function<bool(const double*)>> {
+          if (c->kind == Expr::Kind::kBoolLit) {
+            const bool v = c->bool_val;
+            return std::function<bool(const double*)>(
+                [v](const double*) { return v; });
+          }
+          if (c->kind == Expr::Kind::kUnary && c->un_op == UnOp::kNot) {
+            SAC_ASSIGN_OR_RETURN(auto inner, compile_pred(c->children[0]));
+            return std::function<bool(const double*)>(
+                [inner](const double* a) { return !inner(a); });
+          }
+          if (c->kind != Expr::Kind::kBinary) {
+            return Unsupported(c, "if-condition");
+          }
+          if (c->bin_op == BinOp::kAnd || c->bin_op == BinOp::kOr) {
+            SAC_ASSIGN_OR_RETURN(auto l, compile_pred(c->children[0]));
+            SAC_ASSIGN_OR_RETURN(auto r, compile_pred(c->children[1]));
+            const bool is_and = c->bin_op == BinOp::kAnd;
+            return std::function<bool(const double*)>(
+                [l, r, is_and](const double* a) {
+                  return is_and ? (l(a) && r(a)) : (l(a) || r(a));
+                });
+          }
+          SAC_ASSIGN_OR_RETURN(ScalarFn l,
+                               CompileScalarFn(c->children[0], args, consts));
+          SAC_ASSIGN_OR_RETURN(ScalarFn r,
+                               CompileScalarFn(c->children[1], args, consts));
+          const BinOp op = c->bin_op;
+          return std::function<bool(const double*)>(
+              [l, r, op](const double* a) {
+                const double x = l(a), y = r(a);
+                switch (op) {
+                  case BinOp::kEq: return x == y;
+                  case BinOp::kNe: return x != y;
+                  case BinOp::kLt: return x < y;
+                  case BinOp::kLe: return x <= y;
+                  case BinOp::kGt: return x > y;
+                  case BinOp::kGe: return x >= y;
+                  default: return false;
+                }
+              });
+        };
+        SAC_ASSIGN_OR_RETURN(pred, compile_pred(cond));
+      }
+      SAC_ASSIGN_OR_RETURN(ScalarFn t,
+                           CompileScalarFn(e->children[1], args, consts));
+      SAC_ASSIGN_OR_RETURN(ScalarFn f,
+                           CompileScalarFn(e->children[2], args, consts));
+      return ScalarFn(
+          [pred, t, f](const double* a) { return pred(a) ? t(a) : f(a); });
+    }
+    case Expr::Kind::kCall: {
+      const std::string& fn = e->str_val;
+      std::vector<ScalarFn> cargs;
+      for (const auto& c : e->children) {
+        SAC_ASSIGN_OR_RETURN(ScalarFn f, CompileScalarFn(c, args, consts));
+        cargs.push_back(std::move(f));
+      }
+      if (fn == "abs" && cargs.size() == 1) {
+        auto f = cargs[0];
+        return ScalarFn([f](const double* a) { return std::fabs(f(a)); });
+      }
+      if (fn == "sqrt" && cargs.size() == 1) {
+        auto f = cargs[0];
+        return ScalarFn([f](const double* a) { return std::sqrt(f(a)); });
+      }
+      if (fn == "exp" && cargs.size() == 1) {
+        auto f = cargs[0];
+        return ScalarFn([f](const double* a) { return std::exp(f(a)); });
+      }
+      if (fn == "log" && cargs.size() == 1) {
+        auto f = cargs[0];
+        return ScalarFn([f](const double* a) { return std::log(f(a)); });
+      }
+      if (fn == "pow" && cargs.size() == 2) {
+        auto f = cargs[0], g = cargs[1];
+        return ScalarFn(
+            [f, g](const double* a) { return std::pow(f(a), g(a)); });
+      }
+      if (fn == "min" && cargs.size() == 2) {
+        auto f = cargs[0], g = cargs[1];
+        return ScalarFn(
+            [f, g](const double* a) { return std::min(f(a), g(a)); });
+      }
+      if (fn == "max" && cargs.size() == 2) {
+        auto f = cargs[0], g = cargs[1];
+        return ScalarFn(
+            [f, g](const double* a) { return std::max(f(a), g(a)); });
+      }
+      if (fn == "toDouble" && cargs.size() == 1) return cargs[0];
+      return Unsupported(e, "function call");
+    }
+    default:
+      return Unsupported(e, "expression");
+  }
+}
+
+Result<IntFn> CompileIntFn(const ExprPtr& e,
+                           const std::vector<std::string>& args,
+                           const ConstEnv& consts) {
+  switch (e->kind) {
+    case Expr::Kind::kIntLit: {
+      const int64_t v = e->int_val;
+      return IntFn([v](const int64_t*) { return v; });
+    }
+    case Expr::Kind::kVar: {
+      const int slot = FindArg(args, e->str_val);
+      if (slot >= 0) {
+        return IntFn([slot](const int64_t* a) { return a[slot]; });
+      }
+      auto it = consts.find(e->str_val);
+      if (it != consts.end() &&
+          it->second == static_cast<int64_t>(it->second)) {
+        const int64_t v = static_cast<int64_t>(it->second);
+        return IntFn([v](const int64_t*) { return v; });
+      }
+      return Unsupported(e, "unbound index variable");
+    }
+    case Expr::Kind::kUnary: {
+      if (e->un_op != UnOp::kNeg) return Unsupported(e, "index negation");
+      SAC_ASSIGN_OR_RETURN(IntFn f,
+                           CompileIntFn(e->children[0], args, consts));
+      return IntFn([f](const int64_t* a) { return -f(a); });
+    }
+    case Expr::Kind::kBinary: {
+      SAC_ASSIGN_OR_RETURN(IntFn l,
+                           CompileIntFn(e->children[0], args, consts));
+      SAC_ASSIGN_OR_RETURN(IntFn r,
+                           CompileIntFn(e->children[1], args, consts));
+      switch (e->bin_op) {
+        case BinOp::kAdd:
+          return IntFn([l, r](const int64_t* a) { return l(a) + r(a); });
+        case BinOp::kSub:
+          return IntFn([l, r](const int64_t* a) { return l(a) - r(a); });
+        case BinOp::kMul:
+          return IntFn([l, r](const int64_t* a) { return l(a) * r(a); });
+        case BinOp::kDiv:
+          return IntFn([l, r](const int64_t* a) {
+            const int64_t d = r(a);
+            return d == 0 ? 0 : l(a) / d;
+          });
+        case BinOp::kMod:
+          return IntFn([l, r](const int64_t* a) {
+            const int64_t d = r(a);
+            return d == 0 ? 0 : l(a) % d;
+          });
+        default:
+          return Unsupported(e, "index operator");
+      }
+    }
+    case Expr::Kind::kCall: {
+      if ((e->str_val == "min" || e->str_val == "max") &&
+          e->children.size() == 2) {
+        SAC_ASSIGN_OR_RETURN(IntFn l,
+                             CompileIntFn(e->children[0], args, consts));
+        SAC_ASSIGN_OR_RETURN(IntFn r,
+                             CompileIntFn(e->children[1], args, consts));
+        const bool is_min = e->str_val == "min";
+        return IntFn([l, r, is_min](const int64_t* a) {
+          return is_min ? std::min(l(a), r(a)) : std::max(l(a), r(a));
+        });
+      }
+      return Unsupported(e, "index function");
+    }
+    default:
+      return Unsupported(e, "index expression");
+  }
+}
+
+Result<PredFn> CompileIntPred(const ExprPtr& e,
+                              const std::vector<std::string>& args,
+                              const ConstEnv& consts) {
+  switch (e->kind) {
+    case Expr::Kind::kBoolLit: {
+      const bool v = e->bool_val;
+      return PredFn([v](const int64_t*) { return v; });
+    }
+    case Expr::Kind::kUnary: {
+      if (e->un_op != UnOp::kNot) return Unsupported(e, "guard negation");
+      SAC_ASSIGN_OR_RETURN(PredFn f,
+                           CompileIntPred(e->children[0], args, consts));
+      return PredFn([f](const int64_t* a) { return !f(a); });
+    }
+    case Expr::Kind::kBinary: {
+      if (e->bin_op == BinOp::kAnd || e->bin_op == BinOp::kOr) {
+        SAC_ASSIGN_OR_RETURN(PredFn l,
+                             CompileIntPred(e->children[0], args, consts));
+        SAC_ASSIGN_OR_RETURN(PredFn r,
+                             CompileIntPred(e->children[1], args, consts));
+        const bool is_and = e->bin_op == BinOp::kAnd;
+        return PredFn([l, r, is_and](const int64_t* a) {
+          return is_and ? (l(a) && r(a)) : (l(a) || r(a));
+        });
+      }
+      SAC_ASSIGN_OR_RETURN(IntFn l, CompileIntFn(e->children[0], args, consts));
+      SAC_ASSIGN_OR_RETURN(IntFn r, CompileIntFn(e->children[1], args, consts));
+      const BinOp op = e->bin_op;
+      return PredFn([l, r, op](const int64_t* a) {
+        const int64_t x = l(a), y = r(a);
+        switch (op) {
+          case BinOp::kEq: return x == y;
+          case BinOp::kNe: return x != y;
+          case BinOp::kLt: return x < y;
+          case BinOp::kLe: return x <= y;
+          case BinOp::kGt: return x > y;
+          case BinOp::kGe: return x >= y;
+          default: return false;
+        }
+      });
+    }
+    default:
+      return Unsupported(e, "guard");
+  }
+}
+
+}  // namespace sac::exec

@@ -1,0 +1,132 @@
+#include "src/la/jvmlike.h"
+
+#include "src/common/logging.h"
+
+namespace sac::la::jvmlike {
+
+namespace {
+
+class TileRef : public MatrixRef {
+ public:
+  explicit TileRef(Tile* t) : tile_(t) {}
+  int64_t rows() const override { return tile_->rows(); }
+  int64_t cols() const override { return tile_->cols(); }
+  double Get(int64_t i, int64_t j) const override {
+    SAC_CHECK(i >= 0 && i < tile_->rows() && j >= 0 && j < tile_->cols())
+        << "index (" << i << "," << j << ") out of bounds";
+    return tile_->At(i, j);
+  }
+  void Set(int64_t i, int64_t j, double v) override {
+    SAC_CHECK(i >= 0 && i < tile_->rows() && j >= 0 && j < tile_->cols());
+    tile_->Set(i, j, v);
+  }
+
+ private:
+  Tile* tile_;
+};
+
+class ConstTileRef : public MatrixRef {
+ public:
+  explicit ConstTileRef(const Tile* t) : tile_(t) {}
+  int64_t rows() const override { return tile_->rows(); }
+  int64_t cols() const override { return tile_->cols(); }
+  double Get(int64_t i, int64_t j) const override {
+    SAC_CHECK(i >= 0 && i < tile_->rows() && j >= 0 && j < tile_->cols());
+    return tile_->At(i, j);
+  }
+  void Set(int64_t, int64_t, double) override {
+    SAC_CHECK(false) << "write to const matrix";
+  }
+
+ private:
+  const Tile* tile_;
+};
+
+}  // namespace
+
+std::unique_ptr<MatrixRef> Wrap(Tile* tile) {
+  return std::make_unique<TileRef>(tile);
+}
+std::unique_ptr<MatrixRef> WrapConst(const Tile* tile) {
+  return std::make_unique<ConstTileRef>(tile);
+}
+
+void GenericAdd(const MatrixRef& a, const MatrixRef& b, MatrixRef* out) {
+  const int64_t m = a.rows(), n = a.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->Set(i, j, a.Get(i, j) + b.Get(i, j));
+    }
+  }
+}
+
+void GenericGemmAccum(const MatrixRef& a, const MatrixRef& b,
+                      MatrixRef* out) {
+  const int64_t m = a.rows(), l = a.cols(), n = b.cols();
+  // Textbook i-j-k order: strided access on B every iteration, exactly the
+  // access pattern Breeze's fallback uses on column-major data.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = out->Get(i, j);
+      for (int64_t k = 0; k < l; ++k) {
+        s += a.Get(i, k) * b.Get(k, j);
+      }
+      out->Set(i, j, s);
+    }
+  }
+}
+
+void GenericAxpby(double alpha, const MatrixRef& a, double beta,
+                  const MatrixRef& b, MatrixRef* out) {
+  const int64_t m = a.rows(), n = a.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->Set(i, j, alpha * a.Get(i, j) + beta * b.Get(i, j));
+    }
+  }
+}
+
+void TileAdd(const Tile& a, const Tile& b, Tile* out) {
+  if (out->rows() != a.rows() || out->cols() != a.cols()) {
+    *out = Tile(a.rows(), a.cols());
+  }
+  auto ra = WrapConst(&a);
+  auto rb = WrapConst(&b);
+  auto ro = Wrap(out);
+  GenericAdd(*ra, *rb, ro.get());
+}
+
+void TileGemmAccum(const Tile& a, const Tile& b, Tile* out) {
+  if (out->rows() == 0 && out->cols() == 0) *out = Tile(a.rows(), b.cols());
+  auto ra = WrapConst(&a);
+  auto rb = WrapConst(&b);
+  auto ro = Wrap(out);
+  GenericGemmAccum(*ra, *rb, ro.get());
+}
+
+void TileAxpby(double alpha, const Tile& a, double beta, const Tile& b,
+               Tile* out) {
+  if (out->rows() != a.rows() || out->cols() != a.cols()) {
+    *out = Tile(a.rows(), a.cols());
+  }
+  auto ra = WrapConst(&a);
+  auto rb = WrapConst(&b);
+  auto ro = Wrap(out);
+  GenericAxpby(alpha, *ra, beta, *rb, ro.get());
+}
+
+void TileTranspose(const Tile& a, Tile* out) {
+  if (out->rows() != a.cols() || out->cols() != a.rows()) {
+    *out = Tile(a.cols(), a.rows());
+  }
+  auto ra = WrapConst(&a);
+  auto ro = Wrap(out);
+  const int64_t m = a.rows(), n = a.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      ro->Set(j, i, ra->Get(i, j));
+    }
+  }
+}
+
+}  // namespace sac::la::jvmlike

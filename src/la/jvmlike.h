@@ -1,0 +1,54 @@
+// "JVM-like" kernels used by the MLlib baseline (see DESIGN.md, table of
+// substitutions). The paper evaluates MLlib with the *pure JVM*
+// implementation of Breeze -- element-at-a-time access through a generic
+// Matrix interface with bounds checks and no native BLAS. We model that
+// execution profile with a virtual-dispatch, bounds-checked kernel layer.
+// The point is not to be artificially slow: it is to be exactly as generic
+// and indirection-heavy as MLlib's non-native code path, so the baseline's
+// relative position in the Figure 4 plots has the same cause.
+#ifndef SAC_LA_JVMLIKE_H_
+#define SAC_LA_JVMLIKE_H_
+
+#include <memory>
+
+#include "src/la/tile.h"
+
+namespace sac::la::jvmlike {
+
+/// Breeze-style generic matrix: every access is a virtual call with a
+/// bounds check, matching element access on the JVM without escape
+/// analysis or vectorization.
+class MatrixRef {
+ public:
+  virtual ~MatrixRef() = default;
+  virtual int64_t rows() const = 0;
+  virtual int64_t cols() const = 0;
+  virtual double Get(int64_t i, int64_t j) const = 0;
+  virtual void Set(int64_t i, int64_t j, double v) = 0;
+};
+
+/// Wraps a Tile as a MatrixRef.
+std::unique_ptr<MatrixRef> Wrap(Tile* tile);
+std::unique_ptr<MatrixRef> WrapConst(const Tile* tile);
+
+/// out = a + b via generic element access (Breeze's default zipMap).
+void GenericAdd(const MatrixRef& a, const MatrixRef& b, MatrixRef* out);
+
+/// out += a * b via the textbook i-j-k loop with generic element access
+/// (Breeze's fallback gemm when native BLAS is absent).
+void GenericGemmAccum(const MatrixRef& a, const MatrixRef& b, MatrixRef* out);
+
+/// out = alpha*a + beta*b via generic element access.
+void GenericAxpby(double alpha, const MatrixRef& a, double beta,
+                  const MatrixRef& b, MatrixRef* out);
+
+/// Convenience wrappers operating directly on tiles.
+void TileAdd(const Tile& a, const Tile& b, Tile* out);
+void TileGemmAccum(const Tile& a, const Tile& b, Tile* out);
+void TileAxpby(double alpha, const Tile& a, double beta, const Tile& b,
+               Tile* out);
+void TileTranspose(const Tile& a, Tile* out);
+
+}  // namespace sac::la::jvmlike
+
+#endif  // SAC_LA_JVMLIKE_H_

@@ -1,0 +1,60 @@
+// Optimized dense kernels. These are the precompiled equivalents of the
+// loop nests SAC's translator derives in Sections 3 and 5 (e.g. the triple
+// loop `V(i*N+j) += A(i*N+k) * B(k*N+j)` for the tile product). The planner
+// pattern-matches its generated loop IR onto these kernels; anything that
+// does not match runs through the loop-IR interpreter instead.
+#ifndef SAC_LA_KERNELS_H_
+#define SAC_LA_KERNELS_H_
+
+#include <functional>
+
+#include "src/la/tile.h"
+
+namespace sac::la {
+
+/// out = a + b elementwise. Shapes must agree.
+void Add(const Tile& a, const Tile& b, Tile* out);
+
+/// out = a - b elementwise.
+void Sub(const Tile& a, const Tile& b, Tile* out);
+
+/// out = a * b elementwise (Hadamard).
+void Mul(const Tile& a, const Tile& b, Tile* out);
+
+/// out = alpha*a + beta*b elementwise.
+void Axpby(double alpha, const Tile& a, double beta, const Tile& b, Tile* out);
+
+/// out = alpha * a.
+void Scale(double alpha, const Tile& a, Tile* out);
+
+/// acc += t elementwise, in place (the tile monoid of Section 5.3).
+void AddInPlace(Tile* acc, const Tile& t);
+
+/// out += a * b (matrix product); blocked i-k-j loop with a restrict'd
+/// inner kernel. Shapes: a is m x l, b is l x n, out is m x n.
+void GemmAccum(const Tile& a, const Tile& b, Tile* out);
+
+/// out = a^T.
+void Transpose(const Tile& a, Tile* out);
+
+/// Row reduction: out[i] = sum_j a(i,j). `out` must have a.rows() elements.
+void RowSums(const Tile& a, double* out);
+
+/// Column reduction: out[j] = sum_i a(i,j).
+void ColSums(const Tile& a, double* out);
+
+/// Frobenius-style total sum of all elements.
+double TotalSum(const Tile& a);
+
+/// Elementwise map with an arbitrary scalar function (slow path for
+/// non-recognized elementwise expressions).
+void MapElements(const Tile& a, const std::function<double(double)>& f,
+                 Tile* out);
+
+/// Elementwise zip with an arbitrary binary scalar function (slow path).
+void ZipElements(const Tile& a, const Tile& b,
+                 const std::function<double(double, double)>& f, Tile* out);
+
+}  // namespace sac::la
+
+#endif  // SAC_LA_KERNELS_H_

@@ -1,0 +1,91 @@
+#include "src/la/sparse_tile.h"
+
+#include "src/common/logging.h"
+#include "src/la/kernels.h"
+
+namespace sac::la {
+
+SparseTile SparseTile::FromDense(const Tile& dense) {
+  std::vector<int64_t> row_ptr;
+  std::vector<int32_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(dense.rows() + 1);
+  row_ptr.push_back(0);
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense.At(i, j);
+      if (v != 0.0) {
+        col_idx.push_back(static_cast<int32_t>(j));
+        values.push_back(v);
+      }
+    }
+    row_ptr.push_back(static_cast<int64_t>(values.size()));
+  }
+  return SparseTile(dense.rows(), dense.cols(), std::move(row_ptr),
+                    std::move(col_idx), std::move(values));
+}
+
+Tile SparseTile::ToDense() const {
+  Tile out(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out.Set(i, col_idx_[p], values_[p]);
+    }
+  }
+  return out;
+}
+
+void SpMV(const SparseTile& a, const Tile& x, Tile* y) {
+  SAC_CHECK_EQ(x.cols(), a.cols());
+  if (y->cols() != a.rows()) *y = Tile(1, a.rows());
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vs = a.values();
+  const double* px = x.data();
+  double* py = y->data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double s = py[i];
+    for (int64_t p = rp[i]; p < rp[i + 1]; ++p) {
+      s += vs[p] * px[ci[p]];
+    }
+    py[i] = s;
+  }
+}
+
+void SpGemmAccum(const SparseTile& a, const Tile& b, Tile* out) {
+  SAC_CHECK_EQ(a.cols(), b.rows());
+  if (out->rows() == 0 && out->cols() == 0) *out = Tile(a.rows(), b.cols());
+  SAC_CHECK_EQ(out->rows(), a.rows());
+  SAC_CHECK_EQ(out->cols(), b.cols());
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vs = a.values();
+  const int64_t n = b.cols();
+  const double* pb = b.data();
+  double* pc = out->data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double* crow = pc + i * n;
+    for (int64_t p = rp[i]; p < rp[i + 1]; ++p) {
+      const double aik = vs[p];
+      const double* brow = pb + static_cast<int64_t>(ci[p]) * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void SpAxpby(double alpha, const SparseTile& a, double beta, const Tile& b,
+             Tile* out) {
+  SAC_CHECK_EQ(a.rows(), b.rows());
+  SAC_CHECK_EQ(a.cols(), b.cols());
+  Scale(beta, b, out);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vs = a.values();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t p = rp[i]; p < rp[i + 1]; ++p) {
+      out->Add(i, ci[p], alpha * vs[p]);
+    }
+  }
+}
+
+}  // namespace sac::la

@@ -1,0 +1,76 @@
+// Compressed sparse row (CSR) tiles -- the Section 8 future-work item
+// ("tiled arrays where each tile is stored in the compressed sparse
+// column format"; we use the row-major twin to match the dense tiles).
+// Following the paper's own guidance, sparse operations are provided as
+// black-box library kernels that plug into the distributed layer, rather
+// than being derived from comprehensions.
+#ifndef SAC_LA_SPARSE_TILE_H_
+#define SAC_LA_SPARSE_TILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/tile.h"
+
+namespace sac::la {
+
+class SparseTile {
+ public:
+  SparseTile() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+  SparseTile(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+             std::vector<int32_t> col_idx, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {}
+
+  /// Compresses a dense tile, dropping exact zeros.
+  static SparseTile FromDense(const Tile& dense);
+
+  /// Expands back to a dense tile.
+  Tile ToDense() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Bytes of payload (the compression headline vs rows*cols*8 dense).
+  size_t PayloadBytes() const {
+    return row_ptr_.size() * sizeof(int64_t) +
+           col_idx_.size() * sizeof(int32_t) +
+           values_.size() * sizeof(double);
+  }
+
+  bool operator==(const SparseTile& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+           values_ == other.values_;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;   // rows+1 entries
+  std::vector<int32_t> col_idx_;   // nnz entries
+  std::vector<double> values_;     // nnz entries
+};
+
+/// y(0,i) += sum_k A(i,k) * x(0,k). `y` is a 1 x rows dense tile, `x` a
+/// 1 x cols dense tile.
+void SpMV(const SparseTile& a, const Tile& x, Tile* y);
+
+/// out += A_sparse * B_dense (CSR x dense gemm).
+void SpGemmAccum(const SparseTile& a, const Tile& b, Tile* out);
+
+/// out = alpha*A_sparse (as dense) + beta*B_dense.
+void SpAxpby(double alpha, const SparseTile& a, double beta, const Tile& b,
+             Tile* out);
+
+}  // namespace sac::la
+
+#endif  // SAC_LA_SPARSE_TILE_H_

@@ -1,0 +1,20 @@
+#include "src/la/tile.h"
+
+#include <sstream>
+
+namespace sac::la {
+
+std::string Tile::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tile(" << rows_ << "x" << cols_ << ")[";
+  const int64_t n = std::min<int64_t>(size(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (n < size()) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace sac::la

@@ -1,0 +1,62 @@
+// A Tile is the unit of data distribution for block arrays (Section 5 of
+// the paper): a fixed-size dense chunk stored row-major in an unboxed
+// double buffer, in which indices are calculated, not stored.
+#ifndef SAC_LA_TILE_H_
+#define SAC_LA_TILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace sac::la {
+
+class Tile {
+ public:
+  Tile() : rows_(0), cols_(0) {}
+  Tile(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    SAC_CHECK_GE(rows, 0);
+    SAC_CHECK_GE(cols, 0);
+  }
+  Tile(int64_t rows, int64_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    SAC_CHECK_EQ(static_cast<size_t>(rows * cols), data_.size());
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double At(int64_t i, int64_t j) const { return data_[i * cols_ + j]; }
+  void Set(int64_t i, int64_t j, double v) { data_[i * cols_ + j] = v; }
+  void Add(int64_t i, int64_t j, double v) { data_[i * cols_ + j] += v; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& vec() const { return data_; }
+
+  /// Fills with uniform values in [lo, hi) from a deterministic stream.
+  void FillRandom(Rng* rng, double lo, double hi) {
+    for (auto& v : data_) v = rng->Uniform(lo, hi);
+  }
+
+  bool operator==(const Tile& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  std::string ToString(int64_t max_elems = 16) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace sac::la
+
+#endif  // SAC_LA_TILE_H_

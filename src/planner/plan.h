@@ -1,0 +1,117 @@
+// Planner-facing types: bindings (what names in a query refer to), the
+// compiled query (a physical plan bound to the DISC engine), and planner
+// options controlling which translation strategies are eligible.
+#ifndef SAC_PLANNER_PLAN_H_
+#define SAC_PLANNER_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/runtime/engine.h"
+#include "src/storage/tiled.h"
+
+namespace sac::planner {
+
+/// What a free variable of a query denotes.
+struct Binding {
+  enum class Kind {
+    kScalar,       // int / double / bool
+    kLocal,        // local dense matrix (Value::TileVal) or list
+    kTiled,        // distributed TiledMatrix
+    kBlockVector,  // distributed BlockVector
+    kCoo,          // distributed coordinate matrix
+  };
+  Kind kind = Kind::kScalar;
+  runtime::Value value;  // kScalar / kLocal
+  storage::TiledMatrix tiled;
+  storage::BlockVector vec;
+  storage::CooMatrix coo;
+
+  static Binding Scalar(runtime::Value v) {
+    Binding b;
+    b.kind = Kind::kScalar;
+    b.value = std::move(v);
+    return b;
+  }
+  static Binding Local(runtime::Value v) {
+    Binding b;
+    b.kind = Kind::kLocal;
+    b.value = std::move(v);
+    return b;
+  }
+  static Binding Tiled(storage::TiledMatrix m) {
+    Binding b;
+    b.kind = Kind::kTiled;
+    b.tiled = std::move(m);
+    return b;
+  }
+  static Binding Vector(storage::BlockVector v) {
+    Binding b;
+    b.kind = Kind::kBlockVector;
+    b.vec = std::move(v);
+    return b;
+  }
+  static Binding Coo(storage::CooMatrix c) {
+    Binding b;
+    b.kind = Kind::kCoo;
+    b.coo = std::move(c);
+    return b;
+  }
+
+  bool is_distributed() const {
+    return kind == Kind::kTiled || kind == Kind::kBlockVector ||
+           kind == Kind::kCoo;
+  }
+};
+
+using Bindings = std::unordered_map<std::string, Binding>;
+
+/// The value a query evaluates to.
+struct QueryResult {
+  enum class Kind { kValue, kTiled, kBlockVector };
+  Kind kind = Kind::kValue;
+  runtime::Value value;  // scalars, lists, local matrices
+  storage::TiledMatrix tiled;
+  storage::BlockVector vec;
+};
+
+/// Which Section-5 translation the planner chose (reported for tests,
+/// EXPLAIN output and the ablation benches).
+enum class Strategy {
+  kTilingPreserving,  // 5.1: join of tiles, no group-by shuffle
+  kReplication,       // 5.2: I_f(K) replication + groupByKey
+  kReduceByKey,       // 5.3: join + reduceByKey with a tile monoid
+  kGroupByJoin,       // 5.4: SUMMA-style replicate + cogroup
+  kCoo,               // Section 4: element-level coordinate format
+  kLocalFallback,     // collect + reference evaluation (small data)
+  kLocal,             // purely local inputs, reference evaluation
+};
+const char* StrategyName(Strategy s);
+
+struct PlannerOptions {
+  /// Enables the Section 5.4 group-by-join (SUMMA) rule. The Figure 4.B
+  /// "SAC" series disables it to get the plain join + group-by plan.
+  bool enable_group_by_join = true;
+  /// Forces the Section 4 coordinate-format translation (DIABLO-style),
+  /// used by the COO-vs-tiled ablation.
+  bool force_coo = false;
+  /// Largest total input cell count the local fallback will collect.
+  int64_t local_fallback_max_cells = 1 << 22;
+  /// Use the deliberately generic "jvmlike" kernels inside tile operations
+  /// (models a library baseline; the generated-code path keeps this off).
+  bool use_jvmlike_kernels = false;
+};
+
+/// A compiled, executable query plan.
+struct CompiledQuery {
+  Strategy strategy = Strategy::kLocal;
+  std::string explanation;  // one line: rule fired and why
+  std::function<Result<QueryResult>(runtime::Engine*)> run;
+};
+
+}  // namespace sac::planner
+
+#endif  // SAC_PLANNER_PLAN_H_

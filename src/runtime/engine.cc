@@ -1,0 +1,466 @@
+#include "src/runtime/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/common/serialize.h"
+
+namespace sac::runtime {
+
+namespace {
+
+/// Insertion-ordered key index: maps keys to dense slots so reduce-side
+/// folds produce rows in first-seen order (deterministic output).
+class KeySlots {
+ public:
+  size_t SlotFor(const Value& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const size_t slot = keys_.size();
+    index_.emplace(key, slot);
+    keys_.push_back(key);
+    return slot;
+  }
+  const std::vector<Value>& keys() const { return keys_; }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> index_;
+  std::vector<Value> keys_;
+};
+
+Status ExpectPair(const Value& row) {
+  if (!row.is_tuple() || row.TupleSize() != 2) {
+    return Status::RuntimeError(
+        "wide operator expects (key, value) rows, got " + row.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Engine::Engine(ClusterConfig config)
+    : config_(config), pool_(static_cast<size_t>(config.TotalCores())) {
+  SAC_CHECK_GE(config_.num_executors, 1);
+  SAC_CHECK_GE(config_.cores_per_executor, 1);
+  SAC_CHECK_GE(config_.default_parallelism, 1);
+}
+
+Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
+                           std::vector<Dataset> parents, int num_partitions) {
+  auto ds = std::make_shared<DatasetImpl>();
+  ds->kind_ = kind;
+  ds->label_ = std::move(label);
+  ds->parents_ = std::move(parents);
+  ds->parts_.resize(num_partitions);
+  ds->available_.assign(num_partitions, false);
+  return ds;
+}
+
+Status Engine::ParallelParts(int n, const std::function<Status(int)>& fn) {
+  std::mutex mu;
+  Status first_error;
+  pool_.ParallelFor(static_cast<size_t>(n), [&](size_t i) {
+    metrics_.AddTask();
+    Status st = fn(static_cast<int>(i));
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+    }
+  });
+  return first_error;
+}
+
+Dataset Engine::Parallelize(ValueVec rows, int num_partitions) {
+  if (num_partitions <= 0) num_partitions = config_.default_parallelism;
+  Dataset ds = NewDataset(DatasetImpl::OpKind::kSource, "parallelize", {},
+                          num_partitions);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ds->parts_[i % num_partitions].push_back(std::move(rows[i]));
+  }
+  ds->available_.assign(num_partitions, true);
+  return ds;
+}
+
+Result<Dataset> Engine::GeneratePartitions(
+    int num_partitions, const std::function<Status(int, Partition*)>& gen,
+    const std::string& label) {
+  if (num_partitions <= 0) num_partitions = config_.default_parallelism;
+  Dataset ds =
+      NewDataset(DatasetImpl::OpKind::kSource, label, {}, num_partitions);
+  // Sources regenerate themselves on recovery.
+  ds->wide_fn_ = [gen](Engine*, DatasetImpl* self, int out_part) -> Status {
+    self->parts_[out_part].clear();
+    SAC_RETURN_NOT_OK(gen(out_part, &self->parts_[out_part]));
+    self->available_[out_part] = true;
+    return Status::OK();
+  };
+  SAC_RETURN_NOT_OK(ParallelParts(num_partitions, [&](int i) {
+    SAC_RETURN_NOT_OK(gen(i, &ds->parts_[i]));
+    ds->available_[i] = true;
+    return Status::OK();
+  }));
+  return ds;
+}
+
+Result<Dataset> Engine::Map(const Dataset& in, MapFn fn,
+                            const std::string& label) {
+  return MapPartitions(
+      in,
+      [fn](const Partition& src, Partition* out) {
+        out->reserve(src.size());
+        for (const Value& row : src) out->push_back(fn(row));
+        return Status::OK();
+      },
+      label);
+}
+
+Result<Dataset> Engine::FlatMap(const Dataset& in, FlatMapFn fn,
+                                const std::string& label) {
+  return MapPartitions(
+      in,
+      [fn](const Partition& src, Partition* out) {
+        for (const Value& row : src) fn(row, out);
+        return Status::OK();
+      },
+      label);
+}
+
+Result<Dataset> Engine::Filter(const Dataset& in, PredFn pred,
+                               const std::string& label) {
+  return MapPartitions(
+      in,
+      [pred](const Partition& src, Partition* out) {
+        for (const Value& row : src) {
+          if (pred(row)) out->push_back(row);
+        }
+        return Status::OK();
+      },
+      label);
+}
+
+Result<Dataset> Engine::MapPartitions(const Dataset& in, PartitionFn fn,
+                                      const std::string& label) {
+  SAC_RETURN_NOT_OK(Recover(in));
+  Dataset ds = NewDataset(DatasetImpl::OpKind::kNarrow, label, {in},
+                          in->num_partitions());
+  ds->narrow_fn_ = fn;
+  SAC_RETURN_NOT_OK(ParallelParts(ds->num_partitions(), [&](int i) {
+    metrics_.AddRecords(in->parts_[i].size());
+    SAC_RETURN_NOT_OK(fn(in->parts_[i], &ds->parts_[i]));
+    ds->available_[i] = true;
+    return Status::OK();
+  }));
+  return ds;
+}
+
+Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
+  SAC_RETURN_NOT_OK(Recover(a));
+  SAC_RETURN_NOT_OK(Recover(b));
+  const int n = a->num_partitions() + b->num_partitions();
+  Dataset ds = NewDataset(DatasetImpl::OpKind::kUnion, "union", {a, b}, n);
+  for (int i = 0; i < a->num_partitions(); ++i) ds->parts_[i] = a->parts_[i];
+  for (int i = 0; i < b->num_partitions(); ++i) {
+    ds->parts_[a->num_partitions() + i] = b->parts_[i];
+  }
+  ds->available_.assign(n, true);
+  const int na = a->num_partitions();
+  ds->wide_fn_ = [na](Engine* eng, DatasetImpl* self, int out) -> Status {
+    DatasetImpl* parent =
+        out < na ? self->parents_[0].get() : self->parents_[1].get();
+    const int src = out < na ? out : out - na;
+    if (!parent->IsAvailable(src)) {
+      SAC_RETURN_NOT_OK(eng->RecomputePartition(parent, src));
+    }
+    self->parts_[out] = parent->parts_[src];
+    self->available_[out] = true;
+    return Status::OK();
+  };
+  return ds;
+}
+
+Result<Engine::ShuffleBuckets> Engine::BucketRows(const Partition& rows,
+                                                  int src_part,
+                                                  int num_dest) {
+  ShuffleBuckets buckets;
+  std::vector<ByteWriter> writers(num_dest);
+  for (const Value& row : rows) {
+    SAC_RETURN_NOT_OK(ExpectPair(row));
+    const int dest =
+        static_cast<int>(row.At(0).Hash() % static_cast<uint64_t>(num_dest));
+    row.Serialize(&writers[dest]);
+    ++buckets.records;
+  }
+  buckets.by_dest.resize(num_dest);
+  for (int d = 0; d < num_dest; ++d) {
+    metrics_.AddShuffle(writers[d].size(), 0,
+                        ExecutorOf(src_part) != ExecutorOf(d));
+    buckets.by_dest[d] = writers[d].TakeBuffer();
+  }
+  metrics_.AddShuffle(0, buckets.records, false);
+  return buckets;
+}
+
+Result<Dataset> Engine::ShuffleOp(DatasetImpl::OpKind kind,
+                                  const std::string& label,
+                                  std::vector<Dataset> parents,
+                                  int num_partitions, MapSideFn map_side,
+                                  ReduceSideFn reduce_side) {
+  for (const Dataset& p : parents) SAC_RETURN_NOT_OK(Recover(p));
+  Dataset ds = NewDataset(kind, label, std::move(parents), num_partitions);
+  ds->wide_fn_ = [map_side, reduce_side](Engine* eng, DatasetImpl* self,
+                                         int out) {
+    return eng->ExecuteShuffle(self, map_side, reduce_side, out);
+  };
+  SAC_RETURN_NOT_OK(ExecuteShuffle(ds.get(), map_side, reduce_side, -1));
+  return ds;
+}
+
+Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
+                              const ReduceSideFn& reduce_side,
+                              int only_dest) {
+  const int num_dest = ds->num_partitions();
+  const int num_parents = static_cast<int>(ds->parents_.size());
+
+  // Map side: bucket every parent partition (parallel across partitions).
+  // buckets[parent][src][dest] = serialized rows.
+  std::vector<std::vector<std::vector<std::vector<uint8_t>>>> buckets(
+      num_parents);
+  for (int p = 0; p < num_parents; ++p) {
+    SAC_RETURN_NOT_OK(Recover(ds->parents_[p]));
+    DatasetImpl* parent = ds->parents_[p].get();
+    const int num_src = parent->num_partitions();
+    buckets[p].resize(num_src);
+    SAC_RETURN_NOT_OK(ParallelParts(num_src, [&](int s) -> Status {
+      SAC_ASSIGN_OR_RETURN(Partition combined,
+                           map_side(parent->parts_[s], p));
+      SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
+                           BucketRows(combined, s, num_dest));
+      buckets[p][s] = std::move(bs.by_dest);
+      return Status::OK();
+    }));
+  }
+
+  // Reduce side: deserialize this destination's buckets in deterministic
+  // (parent, source-partition) order, then fold.
+  auto reduce_one = [&](int d) -> Status {
+    ValueVec rows_a, rows_b;
+    for (int p = 0; p < num_parents; ++p) {
+      ValueVec& rows = (p == 0) ? rows_a : rows_b;
+      for (auto& src_buckets : buckets[p]) {
+        ByteReader reader(src_buckets[d]);
+        while (!reader.AtEnd()) {
+          SAC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(&reader));
+          rows.push_back(std::move(v));
+        }
+      }
+    }
+    Partition out;
+    SAC_RETURN_NOT_OK(reduce_side(std::move(rows_a), std::move(rows_b), &out));
+    ds->parts_[d] = std::move(out);
+    ds->available_[d] = true;
+    return Status::OK();
+  };
+
+  if (only_dest >= 0) return reduce_one(only_dest);
+  return ParallelParts(num_dest, reduce_one);
+}
+
+Result<Dataset> Engine::ReduceByKey(const Dataset& in, CombineFn combine,
+                                    int num_partitions) {
+  if (num_partitions <= 0) num_partitions = in->num_partitions();
+  auto fold = [combine](ValueVec rows, Partition* out) -> Status {
+    KeySlots slots;
+    std::vector<Value> acc;
+    for (Value& row : rows) {
+      SAC_RETURN_NOT_OK(ExpectPair(row));
+      const size_t slot = slots.SlotFor(row.At(0));
+      if (slot == acc.size()) {
+        acc.push_back(row.At(1));
+      } else {
+        acc[slot] = combine(acc[slot], row.At(1));
+      }
+    }
+    out->reserve(acc.size());
+    for (size_t s = 0; s < acc.size(); ++s) {
+      out->push_back(VPair(slots.keys()[s], std::move(acc[s])));
+    }
+    return Status::OK();
+  };
+  MapSideFn map_side = [fold](const Partition& src, int) -> Result<Partition> {
+    Partition combined;
+    SAC_RETURN_NOT_OK(fold(src, &combined));  // map-side combine
+    return combined;
+  };
+  ReduceSideFn reduce_side = [fold](ValueVec rows_a, ValueVec,
+                                    Partition* out) {
+    return fold(std::move(rows_a), out);
+  };
+  return ShuffleOp(DatasetImpl::OpKind::kShuffle, "reduceByKey", {in},
+                   num_partitions, std::move(map_side),
+                   std::move(reduce_side));
+}
+
+Result<Dataset> Engine::GroupByKey(const Dataset& in, int num_partitions) {
+  if (num_partitions <= 0) num_partitions = in->num_partitions();
+  MapSideFn map_side = [](const Partition& src, int) -> Result<Partition> {
+    for (const Value& row : src) SAC_RETURN_NOT_OK(ExpectPair(row));
+    return src;  // every record is shuffled (no combining)
+  };
+  ReduceSideFn reduce_side = [](ValueVec rows_a, ValueVec, Partition* out) {
+    KeySlots slots;
+    std::vector<ValueVec> groups;
+    for (Value& row : rows_a) {
+      const size_t slot = slots.SlotFor(row.At(0));
+      if (slot == groups.size()) groups.emplace_back();
+      groups[slot].push_back(row.At(1));
+    }
+    out->reserve(groups.size());
+    for (size_t s = 0; s < groups.size(); ++s) {
+      out->push_back(
+          VPair(slots.keys()[s], Value::List(std::move(groups[s]))));
+    }
+    return Status::OK();
+  };
+  return ShuffleOp(DatasetImpl::OpKind::kShuffle, "groupByKey", {in},
+                   num_partitions, std::move(map_side),
+                   std::move(reduce_side));
+}
+
+Result<Dataset> Engine::PartitionBy(const Dataset& in, int num_partitions) {
+  if (num_partitions <= 0) num_partitions = in->num_partitions();
+  MapSideFn map_side = [](const Partition& src, int) -> Result<Partition> {
+    for (const Value& row : src) SAC_RETURN_NOT_OK(ExpectPair(row));
+    return src;
+  };
+  ReduceSideFn reduce_side = [](ValueVec rows_a, ValueVec, Partition* out) {
+    *out = std::move(rows_a);
+    return Status::OK();
+  };
+  return ShuffleOp(DatasetImpl::OpKind::kShuffle, "partitionBy", {in},
+                   num_partitions, std::move(map_side),
+                   std::move(reduce_side));
+}
+
+Result<Dataset> Engine::Join(const Dataset& a, const Dataset& b,
+                             int num_partitions) {
+  if (num_partitions <= 0) {
+    num_partitions = std::max(a->num_partitions(), b->num_partitions());
+  }
+  MapSideFn map_side = [](const Partition& src, int) -> Result<Partition> {
+    for (const Value& row : src) SAC_RETURN_NOT_OK(ExpectPair(row));
+    return src;
+  };
+  ReduceSideFn reduce_side = [](ValueVec rows_a, ValueVec rows_b,
+                                Partition* out) {
+    // Build hash of B values per key (insertion order), then stream A.
+    std::unordered_map<Value, ValueVec, ValueHash, ValueEq> b_index;
+    for (Value& row : rows_b) b_index[row.At(0)].push_back(row.At(1));
+    for (Value& row : rows_a) {
+      auto it = b_index.find(row.At(0));
+      if (it == b_index.end()) continue;
+      for (const Value& w : it->second) {
+        out->push_back(VPair(row.At(0), VTuple({row.At(1), w})));
+      }
+    }
+    return Status::OK();
+  };
+  return ShuffleOp(DatasetImpl::OpKind::kCoShuffle, "join", {a, b},
+                   num_partitions, std::move(map_side),
+                   std::move(reduce_side));
+}
+
+Result<Dataset> Engine::CoGroup(const Dataset& a, const Dataset& b,
+                                int num_partitions) {
+  if (num_partitions <= 0) {
+    num_partitions = std::max(a->num_partitions(), b->num_partitions());
+  }
+  MapSideFn map_side = [](const Partition& src, int) -> Result<Partition> {
+    for (const Value& row : src) SAC_RETURN_NOT_OK(ExpectPair(row));
+    return src;
+  };
+  ReduceSideFn reduce_side = [](ValueVec rows_a, ValueVec rows_b,
+                                Partition* out) {
+    KeySlots slots;
+    std::vector<ValueVec> ga, gb;
+    auto add = [&](ValueVec& rows, bool left) {
+      for (Value& row : rows) {
+        const size_t slot = slots.SlotFor(row.At(0));
+        if (slot == ga.size()) {
+          ga.emplace_back();
+          gb.emplace_back();
+        }
+        (left ? ga : gb)[slot].push_back(row.At(1));
+      }
+    };
+    add(rows_a, true);
+    add(rows_b, false);
+    out->reserve(slots.size());
+    for (size_t s = 0; s < slots.size(); ++s) {
+      out->push_back(VPair(slots.keys()[s],
+                           VTuple({Value::List(std::move(ga[s])),
+                                   Value::List(std::move(gb[s]))})));
+    }
+    return Status::OK();
+  };
+  return ShuffleOp(DatasetImpl::OpKind::kCoShuffle, "cogroup", {a, b},
+                   num_partitions, std::move(map_side),
+                   std::move(reduce_side));
+}
+
+Result<ValueVec> Engine::Collect(const Dataset& in) {
+  SAC_RETURN_NOT_OK(Recover(in));
+  ValueVec out;
+  size_t total = 0;
+  for (const auto& p : in->parts_) total += p.size();
+  out.reserve(total);
+  for (const auto& p : in->parts_) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+Result<int64_t> Engine::Count(const Dataset& in) {
+  SAC_RETURN_NOT_OK(Recover(in));
+  int64_t total = 0;
+  for (const auto& p : in->parts_) total += static_cast<int64_t>(p.size());
+  return total;
+}
+
+Status Engine::Recover(const Dataset& ds) {
+  for (int i = 0; i < ds->num_partitions(); ++i) {
+    if (!ds->available_[i]) {
+      SAC_RETURN_NOT_OK(RecomputePartition(ds.get(), i));
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::RecomputePartition(DatasetImpl* ds, int i) {
+  metrics_.AddRecompute();
+  switch (ds->kind_) {
+    case DatasetImpl::OpKind::kSource:
+      if (ds->wide_fn_) return ds->wide_fn_(this, ds, i);
+      return Status::RuntimeError(
+          "lost partition of non-regenerable source '" + ds->label_ + "'");
+    case DatasetImpl::OpKind::kNarrow: {
+      DatasetImpl* parent = ds->parents_[0].get();
+      if (!parent->IsAvailable(i)) {
+        SAC_RETURN_NOT_OK(RecomputePartition(parent, i));
+      }
+      ds->parts_[i].clear();
+      SAC_RETURN_NOT_OK(ds->narrow_fn_(parent->parts_[i], &ds->parts_[i]));
+      ds->available_[i] = true;
+      return Status::OK();
+    }
+    case DatasetImpl::OpKind::kShuffle:
+    case DatasetImpl::OpKind::kCoShuffle:
+    case DatasetImpl::OpKind::kUnion:
+      return ds->wide_fn_(this, ds, i);
+  }
+  return Status::RuntimeError("unknown dataset kind");
+}
+
+}  // namespace sac::runtime

@@ -1,0 +1,205 @@
+// The DISC (Data-Intensive Scalable Computing) engine: a multi-threaded,
+// shared-nothing-style dataflow runtime with the Spark RDD operator set the
+// paper's translator targets -- map/flatMap/filter/mapPartitions (narrow),
+// reduceByKey/groupByKey/join/cogroup/partitionBy (wide, with a real
+// serialize-route-deserialize hash shuffle), plus parallelize/collect.
+//
+// Fidelity notes (see DESIGN.md):
+//  * Wide operators serialize every record into per-destination byte
+//    buffers and deserialize on the "reduce side", so shuffle volume costs
+//    real work and is metered exactly (per-executor byte accounting).
+//  * reduceByKey performs map-side combining before the shuffle, exactly
+//    the property Section 4 of the paper relies on when preferring it over
+//    groupByKey.
+//  * Datasets are evaluated eagerly but record their lineage, so a lost
+//    partition (fault injection) is recomputed from its parents, like
+//    Spark's RDD recovery.
+//  * Reduce-side folds iterate buckets in source-partition order, so
+//    results are deterministic regardless of thread scheduling.
+#ifndef SAC_RUNTIME_ENGINE_H_
+#define SAC_RUNTIME_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/runtime/value.h"
+
+namespace sac::runtime {
+
+/// Shape of the simulated cluster. Executors matter only for shuffle
+/// accounting (records moving between partitions owned by different
+/// executors count as network traffic); cores size the thread pool.
+struct ClusterConfig {
+  int num_executors = 4;
+  int cores_per_executor = 1;
+  int default_parallelism = 8;  // partitions created by Parallelize
+
+  int TotalCores() const { return num_executors * cores_per_executor; }
+};
+
+using Partition = ValueVec;
+
+class Engine;
+
+/// One node in the lineage DAG. Created only through Engine operators.
+class DatasetImpl {
+ public:
+  enum class OpKind {
+    kSource,
+    kNarrow,    // per-partition function of the single parent partition
+    kShuffle,   // keyed shuffle of one parent (reduceByKey/groupByKey/partitionBy)
+    kCoShuffle, // keyed shuffle of two parents (join/cogroup)
+    kUnion,
+  };
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  const std::string& label() const { return label_; }
+
+  /// Fault injection: drop the materialized data of one partition.
+  void InvalidatePartition(int i) { available_[i] = false; }
+  bool IsAvailable(int i) const { return available_[i]; }
+
+ private:
+  friend class Engine;
+  OpKind kind_ = OpKind::kSource;
+  std::string label_;
+  std::vector<std::shared_ptr<DatasetImpl>> parents_;
+  std::vector<Partition> parts_;
+  std::vector<bool> available_;
+
+  // Recompute closures (captured at operator creation) by kind:
+  // narrow: output partition i from parent partition i.
+  std::function<Status(const Partition& in, Partition* out)> narrow_fn_;
+  // shuffle: output partition i from *all* parent partitions.
+  std::function<Status(Engine* eng, DatasetImpl* self, int out_part)>
+      wide_fn_;
+};
+
+using Dataset = std::shared_ptr<DatasetImpl>;
+
+/// Row-level functions used by narrow operators. They must be thread-safe
+/// (they run concurrently on different partitions).
+using MapFn = std::function<Value(const Value&)>;
+using FlatMapFn = std::function<void(const Value&, ValueVec*)>;
+using PredFn = std::function<bool(const Value&)>;
+using CombineFn = std::function<Value(const Value&, const Value&)>;
+using PartitionFn = std::function<Status(const Partition&, Partition*)>;
+
+class Engine {
+ public:
+  explicit Engine(ClusterConfig config = ClusterConfig());
+
+  const ClusterConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  ThreadPool& pool() { return pool_; }
+
+  // ---- Sources ------------------------------------------------------
+  /// Distributes `rows` round-robin over `num_partitions` partitions
+  /// (<=0 means config().default_parallelism).
+  Dataset Parallelize(ValueVec rows, int num_partitions = -1);
+
+  /// Builds each partition from a generator function (parallel).
+  Result<Dataset> GeneratePartitions(
+      int num_partitions,
+      const std::function<Status(int, Partition*)>& gen,
+      const std::string& label = "generate");
+
+  // ---- Narrow transformations ---------------------------------------
+  Result<Dataset> Map(const Dataset& in, MapFn fn,
+                      const std::string& label = "map");
+  Result<Dataset> FlatMap(const Dataset& in, FlatMapFn fn,
+                          const std::string& label = "flatMap");
+  Result<Dataset> Filter(const Dataset& in, PredFn pred,
+                         const std::string& label = "filter");
+  Result<Dataset> MapPartitions(const Dataset& in, PartitionFn fn,
+                                const std::string& label = "mapPartitions");
+  Result<Dataset> Union(const Dataset& a, const Dataset& b);
+
+  // ---- Wide (shuffling) transformations ------------------------------
+  // All of these expect rows shaped as pairs (key, value).
+
+  /// Spark's reduceByKey(combine): map-side combine per partition, hash
+  /// shuffle of the partial aggregates, reduce-side fold in deterministic
+  /// order. `combine` must be associative.
+  Result<Dataset> ReduceByKey(const Dataset& in, CombineFn combine,
+                              int num_partitions = -1);
+
+  /// Spark's groupByKey: shuffles every record; output rows are
+  /// (key, List[v]) with values in (source partition, row) order.
+  Result<Dataset> GroupByKey(const Dataset& in, int num_partitions = -1);
+
+  /// Inner join: output rows (key, (v, w)) for every matching pair.
+  Result<Dataset> Join(const Dataset& a, const Dataset& b,
+                       int num_partitions = -1);
+
+  /// CoGroup: output rows (key, (List[v], List[w])) for keys present in
+  /// either input.
+  Result<Dataset> CoGroup(const Dataset& a, const Dataset& b,
+                          int num_partitions = -1);
+
+  /// Hash-repartition by key without aggregation.
+  Result<Dataset> PartitionBy(const Dataset& in, int num_partitions = -1);
+
+  // ---- Actions --------------------------------------------------------
+  /// Gathers all rows (recovering lost partitions first). Order is
+  /// partition-major and deterministic.
+  Result<ValueVec> Collect(const Dataset& in);
+  Result<int64_t> Count(const Dataset& in);
+
+  /// Recomputes any invalidated partitions from lineage (recursively).
+  Status Recover(const Dataset& ds);
+
+ private:
+  // Map-side transform applied per source partition before routing (e.g.
+  // the local combine of reduceByKey); the int selects the parent (0/1).
+  using MapSideFn = std::function<Result<Partition>(const Partition&, int)>;
+  // Builds one output partition from the deserialized rows of each parent,
+  // concatenated in source-partition order (rows_b empty for one parent).
+  using ReduceSideFn =
+      std::function<Status(ValueVec rows_a, ValueVec rows_b, Partition* out)>;
+
+  Dataset NewDataset(DatasetImpl::OpKind kind, std::string label,
+                     std::vector<Dataset> parents, int num_partitions);
+
+  /// Creates, executes and wires up a wide (shuffling) operator.
+  Result<Dataset> ShuffleOp(DatasetImpl::OpKind kind, const std::string& label,
+                            std::vector<Dataset> parents, int num_partitions,
+                            MapSideFn map_side, ReduceSideFn reduce_side);
+
+  /// Runs the shuffle for `ds`; only_dest >= 0 restricts to one output
+  /// partition (lineage recovery), -1 computes all of them.
+  Status ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
+                        const ReduceSideFn& reduce_side, int only_dest);
+
+  /// Runs fn over partitions in parallel; collects the first error.
+  Status ParallelParts(int n, const std::function<Status(int)>& fn);
+
+  Status RecomputePartition(DatasetImpl* ds, int i);
+
+  // Map-side shuffle helper: computes, serializes and routes `rows` of
+  // source partition src_part into per-destination buffers, accounting
+  // metrics. Returns one byte buffer per destination partition.
+  struct ShuffleBuckets {
+    std::vector<std::vector<uint8_t>> by_dest;
+    uint64_t records = 0;
+  };
+  Result<ShuffleBuckets> BucketRows(const Partition& rows, int src_part,
+                                    int num_dest);
+
+  int ExecutorOf(int partition) const {
+    return partition % config_.num_executors;
+  }
+
+  ClusterConfig config_;
+  ThreadPool pool_;
+  Metrics metrics_;
+};
+
+}  // namespace sac::runtime
+
+#endif  // SAC_RUNTIME_ENGINE_H_

@@ -1,0 +1,90 @@
+#include "src/storage/io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/serialize.h"
+
+namespace sac::storage {
+
+using runtime::Value;
+using runtime::ValueVec;
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5341435F54494C45ULL;  // "SAC_TILE"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveTiled(Engine* eng, const TiledMatrix& m, const std::string& path) {
+  SAC_ASSIGN_OR_RETURN(ValueVec rows, eng->Collect(m.tiles));
+  ByteWriter w;
+  w.PutU64(kMagic);
+  w.PutU32(kVersion);
+  w.PutI64(m.rows);
+  w.PutI64(m.cols);
+  w.PutI64(m.block);
+  w.PutU64(rows.size());
+  for (const Value& row : rows) row.Serialize(&w);
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open '" + path + "' for writing");
+  if (std::fwrite(w.buffer().data(), 1, w.size(), f.get()) != w.size()) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<TiledMatrix> LoadTiled(Engine* eng, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open '" + path + "'");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 0) return Status::IoError("cannot stat '" + path + "'");
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IoError("short read from '" + path + "'");
+  }
+
+  ByteReader r(buf);
+  SAC_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kMagic) {
+    return Status::IoError("'" + path + "' is not a SAC tiled-matrix file");
+  }
+  SAC_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kVersion) {
+    return Status::IoError("unsupported file version " +
+                           std::to_string(version));
+  }
+  TiledMatrix m;
+  SAC_ASSIGN_OR_RETURN(m.rows, r.GetI64());
+  SAC_ASSIGN_OR_RETURN(m.cols, r.GetI64());
+  SAC_ASSIGN_OR_RETURN(m.block, r.GetI64());
+  if (m.rows <= 0 || m.cols <= 0 || m.block <= 0) {
+    return Status::IoError("corrupt header in '" + path + "'");
+  }
+  SAC_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  ValueVec rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SAC_ASSIGN_OR_RETURN(Value row, Value::Deserialize(&r));
+    if (!row.is_tuple() || row.TupleSize() != 2 || !row.At(1).is_tile()) {
+      return Status::IoError("corrupt tile record in '" + path + "'");
+    }
+    rows.push_back(std::move(row));
+  }
+  m.tiles = eng->Parallelize(std::move(rows),
+                             eng->config().default_parallelism);
+  return m;
+}
+
+}  // namespace sac::storage

@@ -1,0 +1,21 @@
+// Binary persistence for tiled matrices: a simple single-file container
+// (magic, dims, block, tile count, then serialized ((ii,jj),Tile) rows)
+// so pipelines can checkpoint distributed matrices between sessions.
+#ifndef SAC_STORAGE_IO_H_
+#define SAC_STORAGE_IO_H_
+
+#include <string>
+
+#include "src/storage/tiled.h"
+
+namespace sac::storage {
+
+/// Writes all tiles of `m` (collected to the driver) to `path`.
+Status SaveTiled(Engine* eng, const TiledMatrix& m, const std::string& path);
+
+/// Reads a matrix previously written by SaveTiled and redistributes it.
+Result<TiledMatrix> LoadTiled(Engine* eng, const std::string& path);
+
+}  // namespace sac::storage
+
+#endif  // SAC_STORAGE_IO_H_

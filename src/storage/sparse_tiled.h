@@ -1,0 +1,52 @@
+// Sparse-tiled matrices: the Section 8 extension. Same grid layout as
+// TiledMatrix but each tile is CSR-compressed, so shuffling a sparse
+// matrix costs O(nnz) bytes instead of O(n^2). Operations on this storage
+// are black-box library kernels (SpMV / sparse-dense products), following
+// the paper's own recommendation for computations that the comprehension
+// rules do not derive.
+#ifndef SAC_STORAGE_SPARSE_TILED_H_
+#define SAC_STORAGE_SPARSE_TILED_H_
+
+#include "src/la/sparse_tile.h"
+#include "src/storage/tiled.h"
+
+namespace sac::storage {
+
+/// Distributed bag of ((ii,jj), SparseTile).
+struct SparseTiledMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t block = 0;
+  Dataset tiles;
+
+  int64_t grid_rows() const { return CeilDiv(rows, block); }
+  int64_t grid_cols() const { return CeilDiv(cols, block); }
+};
+
+/// Compresses a dense tiled matrix tile by tile (narrow op). Tiles with
+/// no nonzeros are dropped entirely.
+Result<SparseTiledMatrix> Compress(Engine* eng, const TiledMatrix& m);
+
+/// Expands back to dense tiles; missing tiles materialize as zeros.
+Result<TiledMatrix> Decompress(Engine* eng, const SparseTiledMatrix& m);
+
+/// Total number of stored nonzeros.
+Result<int64_t> Nnz(Engine* eng, const SparseTiledMatrix& m);
+
+/// Total serialized payload bytes of all sparse tiles (for the
+/// compression-ratio ablation).
+Result<int64_t> PayloadBytes(Engine* eng, const SparseTiledMatrix& m);
+
+/// y = A x with sparse A: join sparse tiles with vector blocks on the
+/// column-panel coordinate, per-pair SpMV partials, reduceByKey add.
+Result<BlockVector> SpMatVec(Engine* eng, const SparseTiledMatrix& a,
+                             const BlockVector& x);
+
+/// C = A B with sparse A and dense B (SUMMA-shaped: replicate + cogroup,
+/// per-pair CSR x dense gemm accumulated in place).
+Result<TiledMatrix> SpMultiply(Engine* eng, const SparseTiledMatrix& a,
+                               const TiledMatrix& b);
+
+}  // namespace sac::storage
+
+#endif  // SAC_STORAGE_SPARSE_TILED_H_

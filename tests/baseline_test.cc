@@ -1,0 +1,135 @@
+// The MLlib-like baseline must be numerically equivalent to SAC's
+// generated plans (they implement the same mathematics); the paper's
+// performance comparison is meaningful only under that equivalence.
+#include <gtest/gtest.h>
+
+#include "src/api/algorithms.h"
+#include "src/api/sac.h"
+#include "src/baseline/block_matrix.h"
+
+namespace sac {
+namespace {
+
+using baseline::BlockMatrix;
+using storage::TiledMatrix;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : ctx_(runtime::ClusterConfig{2, 2, 4}) {}
+
+  void ExpectSame(const TiledMatrix& a, const TiledMatrix& b, double tol) {
+    auto la_ = ctx_.ToLocal(a).value();
+    auto lb = ctx_.ToLocal(b).value();
+    ASSERT_EQ(la_.rows(), lb.rows());
+    ASSERT_EQ(la_.cols(), lb.cols());
+    for (int64_t i = 0; i < la_.size(); ++i) {
+      ASSERT_NEAR(la_.data()[i], lb.data()[i], tol) << "cell " << i;
+    }
+  }
+
+  Sac ctx_;
+};
+
+TEST_F(BaselineTest, AddMatchesSac) {
+  auto a = ctx_.RandomMatrix(30, 22, 8, 1).value();
+  auto b = ctx_.RandomMatrix(30, 22, 8, 2).value();
+  auto sac = algo::Add(&ctx_, a, b).value();
+  auto ml = BlockMatrix::FromTiled(a)
+                .Add(&ctx_.engine(), BlockMatrix::FromTiled(b))
+                .value();
+  ExpectSame(sac, ml.ToTiled(), 1e-12);
+}
+
+TEST_F(BaselineTest, MultiplyMatchesSac) {
+  auto a = ctx_.RandomMatrix(24, 18, 6, 3).value();
+  auto b = ctx_.RandomMatrix(18, 20, 6, 4).value();
+  auto sac = algo::Multiply(&ctx_, a, b).value();
+  auto ml = BlockMatrix::FromTiled(a)
+                .Multiply(&ctx_.engine(), BlockMatrix::FromTiled(b))
+                .value();
+  ExpectSame(sac, ml.ToTiled(), 1e-8);
+}
+
+TEST_F(BaselineTest, MultiplyNonSquareGrid) {
+  auto a = ctx_.RandomMatrix(25, 13, 8, 5).value();
+  auto b = ctx_.RandomMatrix(13, 31, 8, 6).value();
+  auto sac = algo::Multiply(&ctx_, a, b).value();
+  auto ml = BlockMatrix::FromTiled(a)
+                .Multiply(&ctx_.engine(), BlockMatrix::FromTiled(b))
+                .value();
+  ExpectSame(sac, ml.ToTiled(), 1e-8);
+}
+
+TEST_F(BaselineTest, TransposeMatchesSac) {
+  auto a = ctx_.RandomMatrix(20, 12, 8, 7).value();
+  auto sac = algo::Transpose(&ctx_, a).value();
+  auto ml = BlockMatrix::FromTiled(a).Transpose(&ctx_.engine()).value();
+  ExpectSame(sac, ml.ToTiled(), 0.0);
+}
+
+TEST_F(BaselineTest, AxpbyAndScale) {
+  auto a = ctx_.RandomMatrix(16, 16, 8, 8).value();
+  auto b = ctx_.RandomMatrix(16, 16, 8, 9).value();
+  auto ml = BlockMatrix::FromTiled(a)
+                .Axpby(&ctx_.engine(), 2.0, -0.5, BlockMatrix::FromTiled(b))
+                .value();
+  auto la_ = ctx_.ToLocal(a).value();
+  auto lb = ctx_.ToLocal(b).value();
+  auto lo = ctx_.ToLocal(ml.ToTiled()).value();
+  for (int64_t i = 0; i < lo.size(); ++i) {
+    ASSERT_NEAR(lo.data()[i], 2.0 * la_.data()[i] - 0.5 * lb.data()[i],
+                1e-12);
+  }
+  auto scaled = BlockMatrix::FromTiled(a).Scale(&ctx_.engine(), 3.0).value();
+  auto ls = ctx_.ToLocal(scaled.ToTiled()).value();
+  for (int64_t i = 0; i < ls.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ls.data()[i], 3.0 * la_.data()[i]);
+  }
+}
+
+TEST_F(BaselineTest, ShapeMismatchIsAnError) {
+  auto a = ctx_.RandomMatrix(16, 16, 8, 10).value();
+  auto b = ctx_.RandomMatrix(16, 12, 8, 11).value();
+  auto r = BlockMatrix::FromTiled(a).Add(&ctx_.engine(),
+                                         BlockMatrix::FromTiled(b));
+  EXPECT_FALSE(r.ok());
+  auto m = BlockMatrix::FromTiled(b).Multiply(&ctx_.engine(),
+                                              BlockMatrix::FromTiled(b));
+  EXPECT_FALSE(m.ok());
+}
+
+TEST_F(BaselineTest, FactorizationStepsAgree) {
+  // One gradient-descent step computed by the baseline library and by the
+  // SAC comprehensions must coincide (same math, same data).
+  const int64_t n = 24, k = 8, blk = 8;
+  auto r = ctx_.RandomSparseMatrix(n, n, blk, 12, 0.1, 5).value();
+  auto p0 = ctx_.RandomMatrix(n, k, blk, 13, 0.0, 1.0).value();
+  auto q0 = ctx_.RandomMatrix(n, k, blk, 14, 0.0, 1.0).value();
+  const double gamma = 0.002, lambda = 0.02;
+
+  auto sac = algo::FactorizationStep(&ctx_, r, algo::Factorization{p0, q0},
+                                     gamma, lambda);
+  ASSERT_TRUE(sac.ok()) << sac.status().ToString();
+
+  baseline::FactorizationState st{BlockMatrix::FromTiled(p0),
+                                  BlockMatrix::FromTiled(q0)};
+  auto ml = baseline::FactorizationStep(&ctx_.engine(),
+                                        BlockMatrix::FromTiled(r), st, gamma,
+                                        lambda);
+  ASSERT_TRUE(ml.ok()) << ml.status().ToString();
+
+  ExpectSame(sac.value().p, ml.value().p.ToTiled(), 1e-8);
+  ExpectSame(sac.value().q, ml.value().q.ToTiled(), 1e-8);
+}
+
+TEST_F(BaselineTest, FrobeniusMatchesSacTotalAggregate) {
+  auto a = ctx_.RandomMatrix(20, 20, 8, 15).value();
+  auto ml = BlockMatrix::FromTiled(a).FrobeniusSquared(&ctx_.engine());
+  auto sac = algo::FrobeniusSquared(&ctx_, a);
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(sac.ok());
+  EXPECT_NEAR(ml.value(), sac.value(), 1e-6);
+}
+
+}  // namespace
+}  // namespace sac

@@ -1,0 +1,166 @@
+// Coverage of the array operations the paper's introduction lists as
+// expressible by comprehensions: inner and outer products of vectors,
+// matrix addition/multiplication, rotation and transpose, slicing and
+// concatenation. Whatever strategy the planner chooses, the result must
+// match the reference evaluation -- totality and correctness together.
+#include <gtest/gtest.h>
+
+#include "src/api/sac.h"
+
+namespace sac {
+namespace {
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  CoverageTest() : ctx_(runtime::ClusterConfig{2, 2, 4}) {
+    ctx_.Bind("U", ctx_.RandomVector(12, 4, 1, 0.0, 2.0).value());
+    ctx_.Bind("V", ctx_.RandomVector(12, 4, 2, 0.0, 2.0).value());
+    ctx_.Bind("A", ctx_.RandomMatrix(12, 12, 4, 3).value());
+    ctx_.Bind("B", ctx_.RandomMatrix(12, 12, 4, 4).value());
+    ctx_.BindScalar("n", int64_t{12});
+  }
+
+  /// Runs `src`, converts any result kind to a flat double vector, and
+  /// compares against the reference evaluator.
+  void CheckAgainstReference(const std::string& src) {
+    auto r = ctx_.Eval(src);
+    ASSERT_TRUE(r.ok()) << src << " -> " << r.status().ToString();
+    auto ref = ctx_.ReferenceEval(src);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+    std::vector<double> got, want;
+    switch (r.value().kind) {
+      case planner::QueryResult::Kind::kTiled: {
+        auto t = ctx_.ToLocal(r.value().tiled).value();
+        got.assign(t.data(), t.data() + t.size());
+        const la::Tile& rt = ref.value().AsTile();
+        want.assign(rt.data(), rt.data() + rt.size());
+        break;
+      }
+      case planner::QueryResult::Kind::kBlockVector: {
+        got = ctx_.ToLocal(r.value().vec).value();
+        for (const auto& p : ref.value().AsList()) {
+          want.push_back(p.At(1).AsDouble());
+        }
+        break;
+      }
+      case planner::QueryResult::Kind::kValue: {
+        if (r.value().value.is_numeric()) {
+          got.push_back(r.value().value.AsDouble());
+          want.push_back(ref.value().AsDouble());
+        } else {
+          // Lists: compare sorted element-wise.
+          ASSERT_TRUE(r.value().value.is_list());
+          for (const auto& p : r.value().value.AsList()) {
+            got.push_back(p.At(1).AsDouble());
+          }
+          for (const auto& p : ref.value().AsList()) {
+            want.push_back(p.At(1).AsDouble());
+          }
+          std::sort(got.begin(), got.end());
+          std::sort(want.begin(), want.end());
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(got.size(), want.size()) << src;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-8) << src << " at " << i;
+    }
+  }
+
+  Sac ctx_;
+};
+
+TEST_F(CoverageTest, InnerProduct) {
+  CheckAgainstReference("+/[ u*v | (i,u) <- U, (j,v) <- V, j == i ]");
+}
+
+TEST_F(CoverageTest, OuterProduct) {
+  CheckAgainstReference(
+      "tiled(n,n)[ ((i,j), u*v) | (i,u) <- U, (j,v) <- V ]");
+}
+
+TEST_F(CoverageTest, MatrixAddition) {
+  CheckAgainstReference(
+      "tiled(n,n)[ ((i,j),a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B,"
+      " ii == i, jj == j ]");
+}
+
+TEST_F(CoverageTest, MatrixMultiplication) {
+  CheckAgainstReference(
+      "tiled(n,n)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+      " kk == k, let v = a*b, group by (i,j) ]");
+}
+
+TEST_F(CoverageTest, Transpose) {
+  CheckAgainstReference("tiled(n,n)[ ((j,i),a) | ((i,j),a) <- A ]");
+}
+
+TEST_F(CoverageTest, RowRotation) {
+  CheckAgainstReference(
+      "tiled(n,n)[ (((i+1) % n, j), v) | ((i,j),v) <- A ]");
+}
+
+TEST_F(CoverageTest, ColumnRotation) {
+  CheckAgainstReference(
+      "tiled(n,n)[ ((i, (j+3) % n), v) | ((i,j),v) <- A ]");
+}
+
+TEST_F(CoverageTest, SliceUpperLeftBlock) {
+  ctx_.BindScalar("h", int64_t{6});
+  CheckAgainstReference(
+      "tiled(h,h)[ ((i,j),v) | ((i,j),v) <- A, i < h, j < h ]");
+}
+
+TEST_F(CoverageTest, SliceWithOffsetReindexes) {
+  ctx_.BindScalar("h", int64_t{6});
+  CheckAgainstReference(
+      "tiled(h,h)[ ((i-h, j-h), v) | ((i,j),v) <- A,"
+      " i >= h, j >= h ]");
+}
+
+TEST_F(CoverageTest, VerticalConcatenation) {
+  ctx_.BindScalar("two_n", int64_t{24});
+  // [A; B] stacked: B's rows shift down by n. Expressed as two
+  // comprehension queries whose union is taken by re-running the builder
+  // over a combined generator via indexing shifts.
+  CheckAgainstReference(
+      "tiled(two_n,n)[ ((i,j),v) | ((i,j),v) <- A ]");
+  CheckAgainstReference(
+      "tiled(two_n,n)[ ((i+n,j),v) | ((i,j),v) <- B ]");
+}
+
+TEST_F(CoverageTest, ScalarTimesMatrixPlusDiagonalExtraction) {
+  CheckAgainstReference(
+      "tiled(n)[ (i, 2.0*a) | ((i,j),a) <- A, i == j ]");
+}
+
+TEST_F(CoverageTest, RowAndColumnReductions) {
+  CheckAgainstReference("tiled(n)[ (i, +/a) | ((i,j),a) <- A, group by i ]");
+  CheckAgainstReference("tiled(n)[ (j, +/a) | ((i,j),a) <- A, group by j ]");
+  CheckAgainstReference(
+      "tiled(n)[ (i, max/a) | ((i,j),a) <- A, group by i ]");
+  CheckAgainstReference(
+      "tiled(n)[ (i, min/a) | ((i,j),a) <- A, group by i ]");
+}
+
+TEST_F(CoverageTest, TotalAggregations) {
+  CheckAgainstReference("+/[ a | ((i,j),a) <- A ]");
+  CheckAgainstReference("max/[ a | ((i,j),a) <- A ]");
+  CheckAgainstReference("min/[ a*a | ((i,j),a) <- A ]");
+  CheckAgainstReference("avg/[ a | ((i,j),a) <- A ]");
+  CheckAgainstReference("count/[ a | ((i,j),a) <- A, i < 3 ]");
+}
+
+TEST_F(CoverageTest, HadamardAndScaledSum) {
+  CheckAgainstReference(
+      "tiled(n,n)[ ((i,j), a*b) | ((i,j),a) <- A, ((ii,jj),b) <- B,"
+      " ii == i, jj == j ]");
+  CheckAgainstReference(
+      "tiled(n,n)[ ((i,j), 0.25*a + 0.75*b) | ((i,j),a) <- A,"
+      " ((ii,jj),b) <- B, ii == i, jj == j ]");
+}
+
+}  // namespace
+}  // namespace sac

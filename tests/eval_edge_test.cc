@@ -1,0 +1,157 @@
+// Further evaluator coverage: patterns, mixed arithmetic, builders, and
+// failure modes that must be Status errors rather than crashes.
+#include <gtest/gtest.h>
+
+#include "src/comp/eval.h"
+#include "src/comp/parser.h"
+
+namespace sac::comp {
+namespace {
+
+using runtime::Value;
+using runtime::ValueVec;
+using runtime::VDouble;
+using runtime::VInt;
+using runtime::VPair;
+
+Result<Value> EvalStr(Evaluator* ev, const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(ExprPtr e, Parse(src));
+  return ev->Eval(e);
+}
+
+TEST(EvalEdgeTest, PatternMatchBindsNested) {
+  Env env;
+  auto p = ParsePattern("((i,j),(a,b))").value();
+  Value v = VPair(runtime::VIdx2(1, 2), VPair(VDouble(3), VDouble(4)));
+  ASSERT_TRUE(Evaluator::MatchPattern(p, v, &env).ok());
+  EXPECT_EQ(env.Lookup("i")->AsInt(), 1);
+  EXPECT_EQ(env.Lookup("b")->AsDouble(), 4.0);
+}
+
+TEST(EvalEdgeTest, PatternMismatchIsError) {
+  Env env;
+  auto p = ParsePattern("(a,b,c)").value();
+  EXPECT_FALSE(
+      Evaluator::MatchPattern(p, VPair(VInt(1), VInt(2)), &env).ok());
+  EXPECT_FALSE(Evaluator::MatchPattern(p, VInt(1), &env).ok());
+}
+
+TEST(EvalEdgeTest, ShadowingUsesInnermostBinding) {
+  Evaluator ev;
+  Value v = EvalStr(&ev,
+                    "[ x | x <- 0 until 3, let x = x * 10 ]")
+                .value();
+  EXPECT_EQ(v.AsList()[2].AsInt(), 20);
+}
+
+TEST(EvalEdgeTest, MixedIntDoubleArithmeticWidens) {
+  Evaluator ev;
+  EXPECT_DOUBLE_EQ(EvalStr(&ev, "1 + 2.5").value().AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(EvalStr(&ev, "7 / 2.0").value().AsDouble(), 3.5);
+  EXPECT_TRUE(EvalStr(&ev, "2 == 2.0").value().AsBool());
+  EXPECT_TRUE(EvalStr(&ev, "1 < 1.5").value().AsBool());
+}
+
+TEST(EvalEdgeTest, ShortCircuitPreventsEvaluation) {
+  Evaluator ev;
+  // The right side would be a division by zero.
+  EXPECT_FALSE(EvalStr(&ev, "false && (1/0 == 1)").value().AsBool());
+  EXPECT_TRUE(EvalStr(&ev, "true || (1/0 == 1)").value().AsBool());
+}
+
+TEST(EvalEdgeTest, GuardMustBeBoolean) {
+  Evaluator ev;
+  auto r = EvalStr(&ev, "[ i | i <- 0 until 3, i + 1 ]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("guard"), std::string::npos);
+}
+
+TEST(EvalEdgeTest, ConcatReductionFlattens) {
+  Evaluator ev;
+  Value v = EvalStr(&ev, "++/[ [i, i+1] | i <- 0 until 2 ]").value();
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.AsList().size(), 4u);
+}
+
+TEST(EvalEdgeTest, MatrixBuilderIgnoresOutOfRange) {
+  // The paper's builder guards indices; out-of-range pairs are dropped.
+  Evaluator ev;
+  ev.Bind("n", VInt(2));
+  Value v = EvalStr(&ev,
+                    "matrix(n,n)[ ((i,i), 1.0) | i <- 0 until 5 ]")
+                .value();
+  ASSERT_TRUE(v.is_tile());
+  EXPECT_DOUBLE_EQ(v.AsTile().At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(v.AsTile().At(1, 1), 1.0);
+}
+
+TEST(EvalEdgeTest, BuilderLastWriteWins) {
+  Evaluator ev;
+  Value v = EvalStr(&ev,
+                    "vector(1)[ (0, toDouble(i)) | i <- 0 until 4 ]")
+                .value();
+  EXPECT_DOUBLE_EQ(v.AsList()[0].At(1).AsDouble(), 3.0);
+}
+
+TEST(EvalEdgeTest, UnknownBuilderIsError) {
+  Evaluator ev;
+  auto r = EvalStr(&ev, "frobnicate(3)[ (i,i) | i <- 0 until 3 ]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("frobnicate"), std::string::npos);
+}
+
+TEST(EvalEdgeTest, RangeTooLargeIsError) {
+  Evaluator ev;
+  EXPECT_FALSE(EvalStr(&ev, "[ i | i <- 0 until 100000000 ]").ok());
+}
+
+TEST(EvalEdgeTest, GroupByLiftsMultipleVariables) {
+  Evaluator ev;
+  // Both a (generator value) and c (let) lift; their bags stay aligned.
+  Value v = EvalStr(&ev,
+                    "[ (k, (+/a) - (+/c)) | (k0, a) <- "
+                    "[ (i % 2, toDouble(i)) | i <- 0 until 6 ],"
+                    " let c = a + 1.0, group by k : k0 ]")
+                .value();
+  ASSERT_EQ(v.AsList().size(), 2u);
+  // sum(a) - sum(a+1) = -3 for groups of size 3.
+  EXPECT_DOUBLE_EQ(v.AsList()[0].At(1).AsDouble(), -3.0);
+  EXPECT_DOUBLE_EQ(v.AsList()[1].At(1).AsDouble(), -3.0);
+}
+
+TEST(EvalEdgeTest, EmptyComprehensionYieldsEmptyList) {
+  Evaluator ev;
+  Value v = EvalStr(&ev, "[ i | i <- 0 until 5, i > 99 ]").value();
+  EXPECT_TRUE(v.is_list());
+  EXPECT_TRUE(v.AsList().empty());
+}
+
+TEST(EvalEdgeTest, TupleComparisonInGuards) {
+  Evaluator ev;
+  Value v = EvalStr(&ev,
+                    "[ (i,j) | i <- 0 until 3, j <- 0 until 3,"
+                    " (i,j) < (j,i) ]")
+                .value();
+  EXPECT_EQ(v.AsList().size(), 3u);  // strictly-lower pairs
+}
+
+TEST(EvalEdgeTest, WildcardPatternsSkipBinding) {
+  Evaluator ev;
+  ev.Bind("M", Value::List({VPair(runtime::VIdx2(0, 0), VDouble(5)),
+                            VPair(runtime::VIdx2(0, 1), VDouble(6))}));
+  Value v = EvalStr(&ev, "+/[ v | (_, v) <- M ]").value();
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 11.0);
+}
+
+TEST(EvalEdgeTest, StringEqualityInGroupKeys) {
+  Evaluator ev;
+  ev.Bind("E", Value::List({VPair(Value::Str("x"), VInt(1)),
+                            VPair(Value::Str("y"), VInt(2)),
+                            VPair(Value::Str("x"), VInt(3))}));
+  Value v = EvalStr(&ev, "[ (d, +/n) | (d, n) <- E, group by d ]").value();
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].At(1).AsInt(), 4);
+}
+
+}  // namespace
+}  // namespace sac::comp

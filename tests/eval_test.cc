@@ -1,0 +1,267 @@
+#include "src/comp/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/comp/parser.h"
+
+namespace sac::comp {
+namespace {
+
+using runtime::VDouble;
+using runtime::VInt;
+using runtime::VPair;
+
+Value EvalSrc(Evaluator* ev, const std::string& src) {
+  auto e = Parse(src);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  auto v = ev->Eval(e.value());
+  EXPECT_TRUE(v.ok()) << src << " -> " << v.status().ToString();
+  return v.ok() ? v.value() : Value::Unit();
+}
+
+/// Association list for a small matrix given by rows.
+Value MatrixList(const std::vector<std::vector<double>>& rows) {
+  ValueVec out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      out.push_back(VPair(runtime::VIdx2(i, j), VDouble(rows[i][j])));
+    }
+  }
+  return Value::List(std::move(out));
+}
+
+TEST(EvalTest, Scalars) {
+  Evaluator ev;
+  EXPECT_EQ(EvalSrc(&ev, "1 + 2 * 3").AsInt(), 7);
+  EXPECT_DOUBLE_EQ(EvalSrc(&ev, "1.5 * 4").AsDouble(), 6.0);
+  EXPECT_EQ(EvalSrc(&ev, "7 / 2").AsInt(), 3);      // int division
+  EXPECT_EQ(EvalSrc(&ev, "7 % 3").AsInt(), 1);
+  EXPECT_TRUE(EvalSrc(&ev, "1 < 2 && 2 <= 2").AsBool());
+  EXPECT_TRUE(EvalSrc(&ev, "false || !false").AsBool());
+  EXPECT_EQ(EvalSrc(&ev, "if (2 > 1) 10 else 20").AsInt(), 10);
+  EXPECT_EQ(EvalSrc(&ev, "-(3)").AsInt(), -3);
+  EXPECT_DOUBLE_EQ(EvalSrc(&ev, "pow(2.0, 10)").AsDouble(), 1024.0);
+  EXPECT_EQ(EvalSrc(&ev, "min(3, 5)").AsInt(), 3);
+  EXPECT_EQ(EvalSrc(&ev, "max(3, 5)").AsInt(), 5);
+  EXPECT_EQ(EvalSrc(&ev, "abs(-4)").AsInt(), 4);
+}
+
+TEST(EvalTest, RangesAndComprehensions) {
+  Evaluator ev;
+  Value v = EvalSrc(&ev, "[ i * i | i <- 0 until 5 ]");
+  ASSERT_TRUE(v.is_list());
+  ASSERT_EQ(v.AsList().size(), 5u);
+  EXPECT_EQ(v.AsList()[4].AsInt(), 16);
+  // `to` is inclusive.
+  EXPECT_EQ(EvalSrc(&ev, "[ i | i <- 1 to 3 ]").AsList().size(), 3u);
+  // Guards filter.
+  EXPECT_EQ(EvalSrc(&ev, "[ i | i <- 0 until 10, i % 3 == 0 ]").AsList().size(),
+            4u);
+  // Lets bind.
+  Value w = EvalSrc(&ev, "[ x | i <- 0 until 3, let x = i + 100 ]");
+  EXPECT_EQ(w.AsList()[2].AsInt(), 102);
+}
+
+TEST(EvalTest, NestedGenerators) {
+  Evaluator ev;
+  Value v = EvalSrc(&ev, "[ (i,j) | i <- 0 until 2, j <- 0 until 3 ]");
+  ASSERT_EQ(v.AsList().size(), 6u);
+  EXPECT_TRUE(v.AsList()[5].Equals(runtime::VIdx2(1, 2)));
+}
+
+TEST(EvalTest, Reductions) {
+  Evaluator ev;
+  EXPECT_EQ(EvalSrc(&ev, "+/[ i | i <- 1 to 100 ]").AsInt(), 5050);
+  EXPECT_EQ(EvalSrc(&ev, "*/[ i | i <- 1 to 5 ]").AsInt(), 120);
+  EXPECT_EQ(EvalSrc(&ev, "min/[ i*i - 4*i | i <- 0 to 10 ]").AsInt(), -4);
+  EXPECT_EQ(EvalSrc(&ev, "max/[ i | i <- 3 to 7 ]").AsInt(), 7);
+  EXPECT_TRUE(EvalSrc(&ev, "&&/[ i < 10 | i <- 0 until 10 ]").AsBool());
+  EXPECT_FALSE(EvalSrc(&ev, "&&/[ i < 9 | i <- 0 until 10 ]").AsBool());
+  EXPECT_TRUE(EvalSrc(&ev, "||/[ i == 5 | i <- 0 until 10 ]").AsBool());
+  EXPECT_EQ(EvalSrc(&ev, "count/[ i | i <- 0 until 7 ]").AsInt(), 7);
+  EXPECT_DOUBLE_EQ(EvalSrc(&ev, "avg/[ toDouble(i) | i <- 1 to 3 ]").AsDouble(),
+                   2.0);
+  // Empty sums/products have monoid identities.
+  EXPECT_EQ(EvalSrc(&ev, "+/[ i | i <- 0 until 0 ]").AsInt(), 0);
+  EXPECT_EQ(EvalSrc(&ev, "*/[ i | i <- 0 until 0 ]").AsInt(), 1);
+}
+
+TEST(EvalTest, VectorSortednessCheckFromPaper) {
+  Evaluator ev;
+  ev.Bind("V", Value::List({VPair(VInt(0), VDouble(1)),
+                            VPair(VInt(1), VDouble(2)),
+                            VPair(VInt(2), VDouble(3))}));
+  EXPECT_TRUE(
+      EvalSrc(&ev, "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]")
+          .AsBool());
+  ev.Bind("V", Value::List({VPair(VInt(0), VDouble(5)),
+                            VPair(VInt(1), VDouble(2))}));
+  EXPECT_FALSE(
+      EvalSrc(&ev, "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]")
+          .AsBool());
+}
+
+TEST(EvalTest, GroupByRowSums) {
+  Evaluator ev;
+  ev.Bind("M", MatrixList({{1, 2, 3}, {4, 5, 6}}));
+  Value v = EvalSrc(&ev, "[ (i, +/m) | ((i,j),m) <- M, group by i ]");
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.AsList()[0].At(1).AsDouble(), 6.0);
+  EXPECT_DOUBLE_EQ(v.AsList()[1].At(1).AsDouble(), 15.0);
+}
+
+TEST(EvalTest, GroupByCountsPerKey) {
+  Evaluator ev;
+  // Employees-per-department example from the introduction.
+  ev.Bind("E", Value::List({
+                   VPair(Value::Str("cs"), VInt(1)),
+                   VPair(Value::Str("cs"), VInt(2)),
+                   VPair(Value::Str("ee"), VInt(3)),
+               }));
+  Value v = EvalSrc(&ev, "[ (d, count/e) | (d, e) <- E, group by d ]");
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].At(0).AsString(), "cs");
+  EXPECT_EQ(v.AsList()[0].At(1).AsInt(), 2);
+  EXPECT_EQ(v.AsList()[1].At(1).AsInt(), 1);
+}
+
+TEST(EvalTest, MatrixMultiplicationQuery9) {
+  Evaluator ev;
+  ev.Bind("M", MatrixList({{1, 2}, {3, 4}}));
+  ev.Bind("N", MatrixList({{5, 6}, {7, 8}}));
+  ev.Bind("n", VInt(2));
+  ev.Bind("m", VInt(2));
+  Value v = EvalSrc(&ev,
+                    "matrix(n,m)[ ((i,j),+/v) | ((i,k),a) <- M,"
+                    " ((kk,j),b) <- N, kk == k, let v = a*b,"
+                    " group by (i,j) ]");
+  ASSERT_TRUE(v.is_tile());
+  const la::Tile& t = v.AsTile();
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 1), 50.0);
+}
+
+TEST(EvalTest, MatrixAdditionQuery8) {
+  Evaluator ev;
+  ev.Bind("M", MatrixList({{1, 2}, {3, 4}}));
+  ev.Bind("N", MatrixList({{10, 20}, {30, 40}}));
+  ev.Bind("n", VInt(2));
+  ev.Bind("m", VInt(2));
+  Value v = EvalSrc(&ev,
+                    "matrix(n,m)[ ((i,j),a+b) | ((i,j),a) <- M,"
+                    " ((ii,jj),b) <- N, ii == i, jj == j ]");
+  const la::Tile& t = v.AsTile();
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 33.0);
+}
+
+TEST(EvalTest, ArrayIndexingSugar) {
+  Evaluator ev;
+  ev.Bind("M", Value::TileVal([] {
+            la::Tile t(2, 2);
+            t.Set(0, 0, 1);
+            t.Set(0, 1, 2);
+            t.Set(1, 0, 3);
+            t.Set(1, 1, 4);
+            return t;
+          }()));
+  EXPECT_DOUBLE_EQ(EvalSrc(&ev, "M[1, 0]").AsDouble(), 3.0);
+  // Generator over a Tile sparsifies it.
+  EXPECT_DOUBLE_EQ(EvalSrc(&ev, "+/[ v | ((i,j),v) <- M ]").AsDouble(), 10.0);
+  // Out of bounds is an error, not UB.
+  auto e = Parse("M[9, 9]").value();
+  EXPECT_FALSE(ev.Eval(e).ok());
+}
+
+TEST(EvalTest, MatrixSmoothingHandlesBoundaries) {
+  Evaluator ev;
+  ev.Bind("M", MatrixList({{1, 1}, {1, 1}}));
+  ev.Bind("n", VInt(2));
+  ev.Bind("m", VInt(2));
+  Value v = EvalSrc(&ev,
+                    "matrix(n,m)[ ((ii,jj), (+/a)/a.length) | ((i,j),a) <- M,"
+                    " ii <- (i-1) to (i+1), jj <- (j-1) to (j+1),"
+                    " ii >= 0, ii < n, jj >= 0, jj < m, group by (ii,jj) ]");
+  const la::Tile& t = v.AsTile();
+  // All neighbourhood values are 1, so every average is 1.
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(t.At(i, j), 1.0);
+  }
+}
+
+TEST(EvalTest, GroupByKeyExpressionSugar) {
+  Evaluator ev;
+  Value v = EvalSrc(&ev,
+                    "[ (k, +/i) | i <- 0 until 10, group by k : i % 2 ]");
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].At(0).AsInt(), 0);
+  EXPECT_EQ(v.AsList()[0].At(1).AsInt(), 20);  // 0+2+4+6+8
+  EXPECT_EQ(v.AsList()[1].At(1).AsInt(), 25);  // 1+3+5+7+9
+}
+
+TEST(EvalTest, VectorBuilderDensifies) {
+  Evaluator ev;
+  ev.Bind("n", VInt(4));
+  Value v = EvalSrc(&ev, "vector(n)[ (i, toDouble(i*i)) | i <- 0 until 3 ]");
+  ASSERT_EQ(v.AsList().size(), 4u);  // densified to n entries
+  EXPECT_DOUBLE_EQ(v.AsList()[2].At(1).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(v.AsList()[3].At(1).AsDouble(), 0.0);  // missing -> 0
+}
+
+TEST(EvalTest, SetBuilderDeduplicates) {
+  Evaluator ev;
+  Value v = EvalSrc(&ev, "set[ i % 3 | i <- 0 until 30 ]");
+  EXPECT_EQ(v.AsList().size(), 3u);
+}
+
+TEST(EvalTest, RowRotationExample) {
+  // Section 5.2's rotation: row i moves to row (i+1) % n.
+  Evaluator ev;
+  ev.Bind("X", MatrixList({{1, 2}, {3, 4}, {5, 6}}));
+  ev.Bind("n", VInt(3));
+  ev.Bind("m", VInt(2));
+  Value v = EvalSrc(
+      &ev, "matrix(n,m)[ (((i+1) % n, j), v) | ((i,j),v) <- X ]");
+  const la::Tile& t = v.AsTile();
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 5.0);
+}
+
+TEST(EvalTest, ErrorsAreStatusesNotCrashes) {
+  Evaluator ev;
+  EXPECT_FALSE(ev.Eval(Parse("nope + 1").value()).ok());
+  EXPECT_FALSE(ev.Eval(Parse("1 / 0").value()).ok());
+  EXPECT_FALSE(ev.Eval(Parse("[ x | x <- 42 ]").value()).ok());  // not iterable
+  EXPECT_FALSE(ev.Eval(Parse("min/[ i | i <- 0 until 0 ]").value()).ok());
+  EXPECT_FALSE(ev.Eval(Parse("unknownfn(1)").value()).ok());
+}
+
+TEST(EvalTest, MultipleGroupBysNestLifting) {
+  Evaluator ev;
+  // First group by j sums columns per (i stays free? no: group-by lifts i),
+  // then a second grouping over the resulting pairs.
+  Value v = EvalSrc(&ev,
+                    "[ (p, +/s) | (k, s) <- [ (j, +/x) | i <- 0 until 4,"
+                    " j <- 0 until 2, let x = i, group by j ],"
+                    " group by p : k % 1 ]");
+  // Inner: for j=0 and j=1, sum of i over i=0..3 = 6. Outer: single group
+  // p=0 summing [6,6] = 12.
+  ASSERT_EQ(v.AsList().size(), 1u);
+  EXPECT_EQ(v.AsList()[0].At(1).AsInt(), 12);
+}
+
+TEST(EvalTest, RandomIsDeterministicPerSeed) {
+  Evaluator ev1(123), ev2(123), ev3(456);
+  const double a = EvalSrc(&ev1, "random()").AsDouble();
+  const double b = EvalSrc(&ev2, "random()").AsDouble();
+  const double c = EvalSrc(&ev3, "random()").AsDouble();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+}
+
+}  // namespace
+}  // namespace sac::comp

@@ -1,0 +1,94 @@
+// Robustness: the lexer/parser and evaluator must never crash on
+// malformed input -- every failure is a Status. Deterministic
+// pseudo-random token soup plus systematic truncations of valid programs.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/comp/eval.h"
+#include "src/comp/loops.h"
+#include "src/comp/parser.h"
+#include "src/comp/rewrite.h"
+
+namespace sac::comp {
+namespace {
+
+const char* kFragments[] = {
+    "[", "]", "(", ")", ",", "|", "<-", "group", "by", "let", "=",
+    "+/", "min/", "i", "j", "v", "M", "1", "2.5", "+", "*", "==",
+    "until", "to", "tiled", "matrix", "_", "if", "else", "&&", "%",
+    ":", ";", "{", "}", "\"str\"", "#c\n",
+};
+
+TEST(FuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(2026);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string src;
+    const int len = 1 + static_cast<int>(rng.NextBelow(24));
+    for (int i = 0; i < len; ++i) {
+      src += kFragments[rng.NextBelow(std::size(kFragments))];
+      src += ' ';
+    }
+    auto r = Parse(src);
+    if (r.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must also print, normalize and (attempt to)
+      // evaluate without crashing.
+      const std::string printed = r.value()->ToString();
+      EXPECT_FALSE(printed.empty());
+      auto norm = Normalize(r.value(),
+                            [](const std::string&) { return false; });
+      if (norm.ok()) {
+        Evaluator ev;
+        (void)ev.Eval(norm.value());  // any Status is fine
+      }
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    }
+  }
+  // Sanity: the soup occasionally forms valid expressions.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(FuzzTest, TruncationsOfValidProgramFailCleanly) {
+  const std::string program =
+      "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- M, ((kk,j),b) <- N,"
+      " kk == k, let v = a*b, group by (i,j) ]";
+  ASSERT_TRUE(Parse(program).ok());
+  for (size_t cut = 0; cut < program.size(); ++cut) {
+    auto r = Parse(program.substr(0, cut));
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << cut;
+    }
+  }
+}
+
+TEST(FuzzTest, RandomByteStringsNeverCrashLexer) {
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string src;
+    const int len = static_cast<int>(rng.NextBelow(40));
+    for (int i = 0; i < len; ++i) {
+      src += static_cast<char>(32 + rng.NextBelow(95));  // printable ASCII
+    }
+    (void)Parse(src);  // Status either way; must not crash
+  }
+}
+
+TEST(FuzzTest, LoopProgramTruncations) {
+  const std::string program =
+      "for i = 0, n-1 do for k = 0, n-1 do for j = 0, n-1 do"
+      "  C[i,j] += A[i,k] * B[k,j];";
+  ASSERT_TRUE(ParseLoopProgram(program).ok());
+  for (size_t cut = 0; cut < program.size(); cut += 3) {
+    auto r = ParseLoopProgram(program.substr(0, cut));
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sac::comp

@@ -1,0 +1,62 @@
+#include "src/storage/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace sac::storage {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  IoTest() : eng_(runtime::ClusterConfig{2, 1, 3}) {
+    path_ = ::testing::TempDir() + "/sac_io_test.tiles";
+  }
+  ~IoTest() override { std::remove(path_.c_str()); }
+
+  runtime::Engine eng_;
+  std::string path_;
+};
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  auto m = RandomTiled(&eng_, 25, 13, 8, 77, -1.0, 1.0).value();
+  ASSERT_TRUE(SaveTiled(&eng_, m, path_).ok());
+  auto back = LoadTiled(&eng_, path_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().rows, 25);
+  EXPECT_EQ(back.value().cols, 13);
+  EXPECT_EQ(back.value().block, 8);
+  EXPECT_EQ(MaxAbsDiff(&eng_, m, back.value()).value(), 0.0);
+}
+
+TEST_F(IoTest, MissingFileIsIoError) {
+  auto r = LoadTiled(&eng_, "/nonexistent/dir/foo.tiles");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, GarbageFileRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a tile file", f);
+  std::fclose(f);
+  auto r = LoadTiled(&eng_, path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, TruncatedFileRejected) {
+  auto m = RandomTiled(&eng_, 16, 16, 8, 78, 0.0, 1.0).value();
+  ASSERT_TRUE(SaveTiled(&eng_, m, path_).ok());
+  // Truncate in the middle of the tile payload.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadTiled(&eng_, path_).ok());
+}
+
+}  // namespace
+}  // namespace sac::storage

@@ -1,0 +1,203 @@
+#include "src/la/kernels.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/la/jvmlike.h"
+#include "src/la/tile.h"
+
+namespace sac::la {
+namespace {
+
+Tile RandomTile(int64_t r, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  Tile t(r, c);
+  t.FillRandom(&rng, -1.0, 1.0);
+  return t;
+}
+
+/// Obviously correct reference gemm for oracle comparison.
+Tile NaiveGemm(const Tile& a, const Tile& b) {
+  Tile out(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (int64_t k = 0; k < a.cols(); ++k) s += a.At(i, k) * b.At(k, j);
+      out.Set(i, j, s);
+    }
+  }
+  return out;
+}
+
+TEST(TileTest, ConstructAndAccess) {
+  Tile t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  t.Set(2, 3, 5.5);
+  EXPECT_EQ(t.At(2, 3), 5.5);
+  t.Add(2, 3, 1.5);
+  EXPECT_EQ(t.At(2, 3), 7.0);
+}
+
+TEST(TileTest, EqualityIsElementwise) {
+  Tile a(2, 2), b(2, 2);
+  EXPECT_TRUE(a == b);
+  b.Set(1, 1, 1.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(KernelsTest, AddMatchesElementwise) {
+  Tile a = RandomTile(7, 5, 1), b = RandomTile(7, 5, 2);
+  Tile out;
+  Add(a, b, &out);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(out.At(i, j), a.At(i, j) + b.At(i, j));
+    }
+  }
+}
+
+TEST(KernelsTest, SubMulAxpbyScale) {
+  Tile a = RandomTile(4, 6, 3), b = RandomTile(4, 6, 4);
+  Tile sub, mul, axpby, scale;
+  Sub(a, b, &sub);
+  Mul(a, b, &mul);
+  Axpby(2.0, a, -3.0, b, &axpby);
+  Scale(0.5, a, &scale);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sub.data()[i], a.data()[i] - b.data()[i]);
+    EXPECT_DOUBLE_EQ(mul.data()[i], a.data()[i] * b.data()[i]);
+    EXPECT_DOUBLE_EQ(axpby.data()[i], 2.0 * a.data()[i] - 3.0 * b.data()[i]);
+    EXPECT_DOUBLE_EQ(scale.data()[i], 0.5 * a.data()[i]);
+  }
+}
+
+TEST(KernelsTest, AddInPlaceAccumulates) {
+  Tile acc = RandomTile(3, 3, 5);
+  Tile orig = acc;
+  Tile t = RandomTile(3, 3, 6);
+  AddInPlace(&acc, t);
+  for (int64_t i = 0; i < acc.size(); ++i) {
+    EXPECT_DOUBLE_EQ(acc.data()[i], orig.data()[i] + t.data()[i]);
+  }
+}
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, BlockedGemmMatchesNaive) {
+  const auto [m, l, n] = GetParam();
+  Tile a = RandomTile(m, l, 10 + m), b = RandomTile(l, n, 20 + n);
+  Tile ref = NaiveGemm(a, b);
+  Tile out(m, n);
+  GemmAccum(a, b, &out);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], ref.data()[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 4, 4),
+                      std::make_tuple(17, 9, 23), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 127, 3), std::make_tuple(128, 1, 128),
+                      std::make_tuple(100, 100, 100)));
+
+TEST(KernelsTest, GemmAccumulatesIntoExisting) {
+  Tile a = RandomTile(5, 5, 7), b = RandomTile(5, 5, 8);
+  Tile out(5, 5);
+  out.Set(0, 0, 100.0);
+  Tile ref = NaiveGemm(a, b);
+  GemmAccum(a, b, &out);
+  EXPECT_NEAR(out.At(0, 0), 100.0 + ref.At(0, 0), 1e-9);
+}
+
+TEST(KernelsTest, TransposeTwiceIsIdentity) {
+  Tile a = RandomTile(13, 7, 9);
+  Tile t, tt;
+  Transpose(a, &t);
+  EXPECT_EQ(t.rows(), 7);
+  EXPECT_EQ(t.cols(), 13);
+  Transpose(t, &tt);
+  EXPECT_TRUE(a == tt);
+}
+
+TEST(KernelsTest, TransposeElementMapping) {
+  Tile a = RandomTile(40, 33, 11);
+  Tile t;
+  Transpose(a, &t);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(t.At(j, i), a.At(i, j));
+    }
+  }
+}
+
+TEST(KernelsTest, RowAndColSums) {
+  Tile a = RandomTile(6, 9, 12);
+  std::vector<double> rows(6), cols(9);
+  RowSums(a, rows.data());
+  ColSums(a, cols.data());
+  double total = 0;
+  for (int64_t i = 0; i < 6; ++i) {
+    double s = 0;
+    for (int64_t j = 0; j < 9; ++j) s += a.At(i, j);
+    EXPECT_NEAR(rows[i], s, 1e-12);
+    total += s;
+  }
+  for (int64_t j = 0; j < 9; ++j) {
+    double s = 0;
+    for (int64_t i = 0; i < 6; ++i) s += a.At(i, j);
+    EXPECT_NEAR(cols[j], s, 1e-12);
+  }
+  EXPECT_NEAR(TotalSum(a), total, 1e-12);
+}
+
+TEST(KernelsTest, MapAndZipElements) {
+  Tile a = RandomTile(3, 5, 13), b = RandomTile(3, 5, 14);
+  Tile mapped, zipped;
+  MapElements(a, [](double x) { return x * x; }, &mapped);
+  ZipElements(a, b, [](double x, double y) { return x - 2 * y; }, &zipped);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(mapped.data()[i], a.data()[i] * a.data()[i]);
+    EXPECT_DOUBLE_EQ(zipped.data()[i], a.data()[i] - 2 * b.data()[i]);
+  }
+}
+
+// ---- jvmlike kernels must agree with the fast kernels -------------------
+
+TEST(JvmlikeTest, GenericAddMatchesFast) {
+  Tile a = RandomTile(8, 8, 21), b = RandomTile(8, 8, 22);
+  Tile fast, generic;
+  Add(a, b, &fast);
+  jvmlike::TileAdd(a, b, &generic);
+  EXPECT_TRUE(fast == generic);
+}
+
+TEST(JvmlikeTest, GenericGemmMatchesFast) {
+  Tile a = RandomTile(16, 12, 23), b = RandomTile(12, 9, 24);
+  Tile fast(16, 9), generic(16, 9);
+  GemmAccum(a, b, &fast);
+  jvmlike::TileGemmAccum(a, b, &generic);
+  for (int64_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.data()[i], generic.data()[i], 1e-9);
+  }
+}
+
+TEST(JvmlikeTest, GenericAxpbyAndTranspose) {
+  Tile a = RandomTile(5, 7, 25), b = RandomTile(5, 7, 26);
+  Tile fast, generic;
+  Axpby(1.5, a, 2.5, b, &fast);
+  jvmlike::TileAxpby(1.5, a, 2.5, b, &generic);
+  EXPECT_TRUE(fast == generic);
+  Tile ft, gt;
+  Transpose(a, &ft);
+  jvmlike::TileTranspose(a, &gt);
+  EXPECT_TRUE(ft == gt);
+}
+
+}  // namespace
+}  // namespace sac::la

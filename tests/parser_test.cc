@@ -1,0 +1,266 @@
+#include "src/comp/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/comp/lexer.h"
+
+namespace sac::comp {
+namespace {
+
+ExprPtr MustParse(const std::string& src) {
+  auto r = Parse(src);
+  EXPECT_TRUE(r.ok()) << src << " -> " << r.status().ToString();
+  return r.ok() ? r.value() : nullptr;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Lex("((i,j),m) <- M, group by i").value();
+  EXPECT_EQ(toks[0].kind, TokKind::kLParen);
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(LexerTest, ReductionOperators) {
+  auto toks = Lex("+/ */ &&/ ||/ ++/ min/ max/ avg/ count/").value();
+  ASSERT_EQ(toks.size(), 10u);  // 9 reductions + EOF
+  EXPECT_EQ(toks[0].reduce_op, ReduceOp::kSum);
+  EXPECT_EQ(toks[1].reduce_op, ReduceOp::kProd);
+  EXPECT_EQ(toks[2].reduce_op, ReduceOp::kAnd);
+  EXPECT_EQ(toks[3].reduce_op, ReduceOp::kOr);
+  EXPECT_EQ(toks[4].reduce_op, ReduceOp::kConcat);
+  EXPECT_EQ(toks[5].reduce_op, ReduceOp::kMin);
+  EXPECT_EQ(toks[6].reduce_op, ReduceOp::kMax);
+  EXPECT_EQ(toks[7].reduce_op, ReduceOp::kAvg);
+  EXPECT_EQ(toks[8].reduce_op, ReduceOp::kCount);
+}
+
+TEST(LexerTest, SlashAloneIsDivision) {
+  auto toks = Lex("a / b").value();
+  EXPECT_EQ(toks[1].kind, TokKind::kSlash);
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto toks = Lex("42 3.5 2e3 1e-2").value();
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[1].double_val, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].double_val, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[3].double_val, 0.01);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Lex("a # comment\n b").value();
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto toks = Lex("a\n  b").value();
+  EXPECT_EQ(toks[0].pos.line, 1);
+  EXPECT_EQ(toks[1].pos.line, 2);
+  EXPECT_EQ(toks[1].pos.col, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("a & b").ok());
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  ExprPtr e = MustParse("1 + 2 * 3");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->ToString(), "(1 + (2 * 3))");
+  EXPECT_EQ(MustParse("(1 + 2) * 3")->ToString(), "((1 + 2) * 3)");
+  EXPECT_EQ(MustParse("a && b || c")->ToString(), "((a && b) || c)");
+  EXPECT_EQ(MustParse("i / 2 % 5")->ToString(), "((i / 2) % 5)");
+}
+
+TEST(ParserTest, ComparisonAndRange) {
+  EXPECT_EQ(MustParse("i <= n - 1")->ToString(), "(i <= (n - 1))");
+  ExprPtr r = MustParse("0 until n");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->kind, Expr::Kind::kCall);
+  EXPECT_EQ(r->str_val, "until");
+  EXPECT_EQ(MustParse("(i-1) to (i+1)")->str_val, "to");
+}
+
+TEST(ParserTest, SimpleComprehension) {
+  ExprPtr e = MustParse("[ (i, v) | (i,v) <- V, v > 0 ]");
+  ASSERT_TRUE(e);
+  ASSERT_EQ(e->kind, Expr::Kind::kComprehension);
+  ASSERT_EQ(e->quals.size(), 2u);
+  EXPECT_EQ(e->quals[0].kind, Qualifier::Kind::kGenerator);
+  EXPECT_EQ(e->quals[1].kind, Qualifier::Kind::kGuard);
+}
+
+TEST(ParserTest, RowSumComprehension) {
+  // The paper's running example: V_i = sum_j M_ij.
+  ExprPtr e = MustParse("vector(n)[ (i, +/m) | ((i,j),m) <- M, group by i ]");
+  ASSERT_TRUE(e);
+  ASSERT_EQ(e->kind, Expr::Kind::kBuild);
+  EXPECT_EQ(e->str_val, "vector");
+  ASSERT_EQ(e->children.size(), 2u);  // comp + n
+  const ExprPtr& comp = e->children[0];
+  ASSERT_EQ(comp->quals.size(), 2u);
+  EXPECT_EQ(comp->quals[1].kind, Qualifier::Kind::kGroupBy);
+  EXPECT_EQ(comp->quals[1].pattern->ToString(), "i");
+  const ExprPtr& head = comp->children[0];
+  ASSERT_EQ(head->kind, Expr::Kind::kTuple);
+  EXPECT_EQ(head->children[1]->kind, Expr::Kind::kReduce);
+  EXPECT_EQ(head->children[1]->reduce_op, ReduceOp::kSum);
+}
+
+TEST(ParserTest, MatrixMultiplication) {
+  // Query (9) from the paper.
+  ExprPtr e = MustParse(
+      "matrix(n,m)[ ((i,j), +/v) | ((i,k),a) <- M, ((kk,j),b) <- N,"
+      "  kk == k, let v = a*b, group by (i,j) ]");
+  ASSERT_TRUE(e);
+  ASSERT_EQ(e->kind, Expr::Kind::kBuild);
+  EXPECT_EQ(e->str_val, "matrix");
+  const ExprPtr& comp = e->children[0];
+  ASSERT_EQ(comp->quals.size(), 5u);
+  EXPECT_EQ(comp->quals[2].kind, Qualifier::Kind::kGuard);
+  EXPECT_EQ(comp->quals[3].kind, Qualifier::Kind::kLet);
+  EXPECT_EQ(comp->quals[4].pattern->ToString(), "(i,j)");
+}
+
+TEST(ParserTest, GroupByWithKeyExpression) {
+  ExprPtr e = MustParse(
+      "[ (k, +/c) | ((i,j),a) <- A, let c = a, group by k : (i/10, j/10) ]");
+  ASSERT_TRUE(e);
+  const Qualifier& gb = e->quals.back();
+  EXPECT_EQ(gb.kind, Qualifier::Kind::kGroupBy);
+  ASSERT_TRUE(gb.expr != nullptr);
+  EXPECT_EQ(gb.pattern->ToString(), "k");
+}
+
+TEST(ParserTest, ArrayIndexingVsBuilder) {
+  ExprPtr idx = MustParse("A[i, j] + N[i]");
+  ASSERT_TRUE(idx);
+  EXPECT_EQ(idx->children[0]->kind, Expr::Kind::kIndex);
+  ExprPtr bld = MustParse("rdd[ (i, v) | (i,v) <- V ]");
+  ASSERT_TRUE(bld);
+  EXPECT_EQ(bld->kind, Expr::Kind::kBuild);
+  EXPECT_EQ(bld->str_val, "rdd");
+  EXPECT_TRUE(bld->children.size() == 1u);  // no builder args
+}
+
+TEST(ParserTest, WildcardAndNestedPatterns) {
+  ExprPtr e = MustParse("[ v | ((_, j), v) <- M, j == 0 ]");
+  ASSERT_TRUE(e);
+  const auto vars = e->quals[0].pattern->Vars();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "j");
+  EXPECT_EQ(vars[1], "v");
+}
+
+TEST(ParserTest, DotLengthBecomesCall) {
+  ExprPtr e = MustParse("(+/a)/a.length");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e->children[1]->kind, Expr::Kind::kCall);
+  EXPECT_EQ(e->children[1]->str_val, "length");
+}
+
+TEST(ParserTest, IfElse) {
+  ExprPtr e = MustParse("if (a > 0) a else -a");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->kind, Expr::Kind::kIf);
+}
+
+TEST(ParserTest, ListLiteralAndEmptyList) {
+  ExprPtr e = MustParse("[1, 2, 3]");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->kind, Expr::Kind::kCall);
+  EXPECT_EQ(e->str_val, "list");
+  EXPECT_EQ(e->children.size(), 3u);
+  EXPECT_EQ(MustParse("[]")->children.size(), 0u);
+}
+
+TEST(ParserTest, TotalAggregation) {
+  // Sortedness check from Section 2.
+  ExprPtr e = MustParse(
+      "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->kind, Expr::Kind::kReduce);
+  EXPECT_EQ(e->reduce_op, ReduceOp::kAnd);
+  EXPECT_EQ(e->children[0]->kind, Expr::Kind::kComprehension);
+}
+
+TEST(ParserTest, SmoothingComprehension) {
+  // Section 3 smoothing example with boundary guards.
+  ExprPtr e = MustParse(
+      "matrix(n,m)[ ((ii,jj), (+/a)/a.length) | ((i,j),a) <- M,"
+      "  ii <- (i-1) to (i+1), jj <- (j-1) to (j+1),"
+      "  ii >= 0, ii < n, jj >= 0, jj < m, group by (ii,jj) ]");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->children[0]->quals.size(), 8u);
+}
+
+TEST(ParserTest, ParseErrorsCarryPositions) {
+  auto r = Parse("[ x | y <- ");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("1:"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTrailingInput) {
+  EXPECT_FALSE(Parse("a + b c").ok());
+}
+
+TEST(ParserTest, PatternParsing) {
+  auto p = ParsePattern("((i,j),m)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()->ToString(), "((i,j),m)");
+  EXPECT_FALSE(ParsePattern("(i,").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  // Printing then reparsing yields a structurally equal tree.
+  const char* sources[] = {
+      "matrix(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N,"
+      " ii == i, jj == j ]",
+      "vector(n)[ (i, +/m) | ((i,j),m) <- M, group by i ]",
+      "[ (d, count/e) | e <- E, d <- D, e == d, group by d ]",
+  };
+  for (const char* src : sources) {
+    ExprPtr e1 = MustParse(src);
+    ASSERT_TRUE(e1);
+    ExprPtr e2 = MustParse(e1->ToString());
+    ASSERT_TRUE(e2);
+    EXPECT_TRUE(e1->Equals(*e2)) << e1->ToString();
+  }
+}
+
+TEST(AstTest, FreeVarsRespectBinding) {
+  ExprPtr e = MustParse("[ a + n | (i,a) <- V, i < n ]");
+  auto fv = FreeVars(e);
+  // V and n are free; i and a are bound by the generator.
+  ASSERT_EQ(fv.size(), 2u);
+  EXPECT_EQ(fv[0], "V");
+  EXPECT_EQ(fv[1], "n");
+}
+
+TEST(AstTest, SubstituteRespectsShadowing) {
+  ExprPtr e = MustParse("[ x | x <- xs ]");
+  ExprPtr sub = SubstituteVar(e, "x", Expr::Int(1));
+  // Bound x is untouched.
+  EXPECT_EQ(sub->ToString(), e->ToString());
+  ExprPtr e2 = MustParse("x + [ x | x <- xs ]");
+  ExprPtr sub2 = SubstituteVar(e2, "x", Expr::Int(1));
+  EXPECT_NE(sub2->ToString().find("1 +"), std::string::npos);
+}
+
+TEST(AstTest, FreshenBoundVarsAvoidsCapture) {
+  ExprPtr e = MustParse("[ y | y <- ys ]");
+  int counter = 0;
+  ExprPtr fresh = FreshenBoundVars(e, &counter);
+  EXPECT_NE(fresh->ToString(), e->ToString());
+  EXPECT_NE(fresh->ToString().find("y$0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sac::comp

@@ -1,0 +1,199 @@
+// Property-based tests: algebraic identities that must hold for the
+// compiled distributed plans across a sweep of matrix geometries (square,
+// rectangular, edge tiles, single-tile, many-tile). Each identity
+// exercises a different combination of translation rules.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/api/algorithms.h"
+#include "src/api/sac.h"
+#include "src/la/kernels.h"
+
+namespace sac {
+namespace {
+
+using storage::TiledMatrix;
+
+struct Geometry {
+  int64_t n;
+  int64_t m;
+  int64_t k;
+  int64_t block;
+};
+
+void PrintTo(const Geometry& g, std::ostream* os) {
+  *os << g.n << "x" << g.m << "x" << g.k << "/b" << g.block;
+}
+
+class AlgebraProperty : public ::testing::TestWithParam<Geometry> {
+ protected:
+  AlgebraProperty() : ctx_(runtime::ClusterConfig{2, 2, 4}) {}
+
+  void ExpectSame(const TiledMatrix& a, const TiledMatrix& b, double tol) {
+    auto d = storage::MaxAbsDiff(&ctx_.engine(), a, b);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_LE(d.value(), tol);
+  }
+
+  Sac ctx_;
+};
+
+TEST_P(AlgebraProperty, AdditionCommutes) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.m, g.block, 1).value();
+  auto b = ctx_.RandomMatrix(g.n, g.m, g.block, 2).value();
+  auto ab = algo::Add(&ctx_, a, b).value();
+  auto ba = algo::Add(&ctx_, b, a).value();
+  ExpectSame(ab, ba, 0.0);
+}
+
+TEST_P(AlgebraProperty, AdditionAssociates) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.m, g.block, 3).value();
+  auto b = ctx_.RandomMatrix(g.n, g.m, g.block, 4).value();
+  auto c = ctx_.RandomMatrix(g.n, g.m, g.block, 5).value();
+  auto l = algo::Add(&ctx_, algo::Add(&ctx_, a, b).value(), c).value();
+  auto r = algo::Add(&ctx_, a, algo::Add(&ctx_, b, c).value()).value();
+  ExpectSame(l, r, 1e-12);
+}
+
+TEST_P(AlgebraProperty, SubtractionOfSelfIsZero) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.m, g.block, 6).value();
+  auto z = algo::Sub(&ctx_, a, a).value();
+  auto local = ctx_.ToLocal(z).value();
+  for (int64_t i = 0; i < local.size(); ++i) {
+    ASSERT_EQ(local.data()[i], 0.0);
+  }
+}
+
+TEST_P(AlgebraProperty, TransposeIsInvolution) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.m, g.block, 7).value();
+  auto att =
+      algo::Transpose(&ctx_, algo::Transpose(&ctx_, a).value()).value();
+  ExpectSame(a, att, 0.0);
+}
+
+TEST_P(AlgebraProperty, ProductTransposeReverses) {
+  // (A B)^T == B^T A^T across the 5.4 and 5.1 rules.
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.k, g.block, 8).value();
+  auto b = ctx_.RandomMatrix(g.k, g.m, g.block, 9).value();
+  auto abt =
+      algo::Transpose(&ctx_, algo::Multiply(&ctx_, a, b).value()).value();
+  auto btat = algo::Multiply(&ctx_, algo::Transpose(&ctx_, b).value(),
+                             algo::Transpose(&ctx_, a).value())
+                  .value();
+  ExpectSame(abt, btat, 1e-8);
+}
+
+TEST_P(AlgebraProperty, MultiplicationDistributesOverAddition) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.k, g.block, 10).value();
+  auto b = ctx_.RandomMatrix(g.k, g.m, g.block, 11).value();
+  auto c = ctx_.RandomMatrix(g.k, g.m, g.block, 12).value();
+  auto l = algo::Multiply(&ctx_, a, algo::Add(&ctx_, b, c).value()).value();
+  auto r = algo::Add(&ctx_, algo::Multiply(&ctx_, a, b).value(),
+                     algo::Multiply(&ctx_, a, c).value())
+               .value();
+  ExpectSame(l, r, 1e-7);
+}
+
+TEST_P(AlgebraProperty, MultiplyAgreesWithLocalGemm) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.k, g.block, 13).value();
+  auto b = ctx_.RandomMatrix(g.k, g.m, g.block, 14).value();
+  auto dist = ctx_.ToLocal(algo::Multiply(&ctx_, a, b).value()).value();
+  auto la_ = ctx_.ToLocal(a).value();
+  auto lb = ctx_.ToLocal(b).value();
+  la::Tile ref(g.n, g.m);
+  la::GemmAccum(la_, lb, &ref);
+  ASSERT_EQ(dist.rows(), ref.rows());
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(dist.data()[i], ref.data()[i], 1e-8);
+  }
+}
+
+TEST_P(AlgebraProperty, MultiplyBtMatchesExplicitTranspose) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.k, g.block, 15).value();
+  auto b = ctx_.RandomMatrix(g.m, g.k, g.block, 16).value();
+  auto fused = algo::MultiplyBt(&ctx_, a, b).value();
+  auto explicit_t =
+      algo::Multiply(&ctx_, a, algo::Transpose(&ctx_, b).value()).value();
+  ExpectSame(fused, explicit_t, 1e-8);
+}
+
+TEST_P(AlgebraProperty, MultiplyAtMatchesExplicitTranspose) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.k, g.n, g.block, 17).value();
+  auto b = ctx_.RandomMatrix(g.k, g.m, g.block, 18).value();
+  auto fused = algo::MultiplyAt(&ctx_, a, b).value();
+  auto explicit_t =
+      algo::Multiply(&ctx_, algo::Transpose(&ctx_, a).value(), b).value();
+  ExpectSame(fused, explicit_t, 1e-8);
+}
+
+TEST_P(AlgebraProperty, RowSumsMatchMatVecWithOnes) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.m, g.block, 19).value();
+  auto sums = ctx_.ToLocal(algo::RowSums(&ctx_, a).value()).value();
+  auto ones = storage::VectorFromLocal(
+                  &ctx_.engine(), std::vector<double>(g.m, 1.0), g.block)
+                  .value();
+  auto mv = ctx_.ToLocal(algo::MatVec(&ctx_, a, ones).value()).value();
+  ASSERT_EQ(sums.size(), mv.size());
+  for (size_t i = 0; i < sums.size(); ++i) {
+    ASSERT_NEAR(sums[i], mv[i], 1e-9);
+  }
+}
+
+TEST_P(AlgebraProperty, FrobeniusMatchesLocal) {
+  const Geometry g = GetParam();
+  auto a = ctx_.RandomMatrix(g.n, g.m, g.block, 20, -3.0, 3.0).value();
+  auto dist = algo::FrobeniusSquared(&ctx_, a).value();
+  auto local = ctx_.ToLocal(a).value();
+  double ref = 0;
+  for (int64_t i = 0; i < local.size(); ++i) {
+    ref += local.data()[i] * local.data()[i];
+  }
+  EXPECT_NEAR(dist, ref, std::fabs(ref) * 1e-12 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AlgebraProperty,
+    ::testing::Values(Geometry{8, 8, 8, 8},          // single tile
+                      Geometry{16, 16, 16, 8},       // 2x2 grid
+                      Geometry{24, 16, 20, 8},       // rectangular
+                      Geometry{25, 13, 9, 8},        // edge tiles everywhere
+                      Geometry{7, 5, 3, 8},          // smaller than one tile
+                      Geometry{32, 32, 32, 4},       // many small tiles
+                      Geometry{17, 33, 19, 16}));    // mixed
+
+// ---- factorization convergence (the paper's Section 6 workload) -----------
+
+TEST(FactorizationProperty, ErrorDecreasesOverIterations) {
+  Sac ctx(runtime::ClusterConfig{2, 2, 4});
+  const int64_t n = 48, k = 8, blk = 16;
+  auto r = ctx.RandomSparseMatrix(n, n, blk, 31, 0.1, 5).value();
+  algo::Factorization st{
+      ctx.RandomMatrix(n, k, blk, 32, 0.0, 1.0).value(),
+      ctx.RandomMatrix(n, k, blk, 33, 0.0, 1.0).value()};
+  auto error = [&](const algo::Factorization& s) {
+    auto pqt = algo::MultiplyBt(&ctx, s.p, s.q).value();
+    auto e = algo::Sub(&ctx, r, pqt).value();
+    return algo::FrobeniusSquared(&ctx, e).value();
+  };
+  double prev = error(st);
+  for (int it = 0; it < 4; ++it) {
+    st = algo::FactorizationStep(&ctx, r, st, 0.002, 0.02).value();
+    const double cur = error(st);
+    EXPECT_LT(cur, prev) << "iteration " << it;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace sac

@@ -1,0 +1,241 @@
+// Tests for the paper's source-to-source rules (Sections 2-3), including
+// the meaning-preservation property: a normalized program evaluates to
+// the same value as the original.
+#include "src/comp/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "src/comp/eval.h"
+#include "src/comp/parser.h"
+
+namespace sac::comp {
+namespace {
+
+using runtime::Value;
+using runtime::ValueVec;
+using runtime::VDouble;
+using runtime::VInt;
+using runtime::VPair;
+
+ExprPtr MustParse(const std::string& src) {
+  auto r = Parse(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+bool NoArrays(const std::string&) { return false; }
+bool AllArrays(const std::string& s) {
+  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+TEST(RewriteTest, GroupByKeySugarDesugars) {
+  ExprPtr e = MustParse("[ (k, +/i) | i <- 0 until 9, group by k : i % 3 ]");
+  ExprPtr d = DesugarGroupByKeys(e);
+  ASSERT_EQ(d->quals.size(), 3u);
+  EXPECT_EQ(d->quals[1].kind, Qualifier::Kind::kLet);
+  EXPECT_EQ(d->quals[2].kind, Qualifier::Kind::kGroupBy);
+  EXPECT_EQ(d->quals[2].expr, nullptr);
+  // Desugaring is idempotent.
+  EXPECT_TRUE(DesugarGroupByKeys(d)->Equals(*d));
+}
+
+TEST(RewriteTest, IndexingBecomesGeneratorAndGuards) {
+  // Section 2: a + N[i,j] adds ((k1,k2),k0) <- N, k1==i, k2==j.
+  ExprPtr e = MustParse("[ ((i,j), a + N[i,j]) | ((i,j),a) <- M ]");
+  int counter = 0;
+  auto d = DesugarIndexing(e, AllArrays, &counter);
+  ASSERT_TRUE(d.ok());
+  const ExprPtr& out = d.value();
+  ASSERT_EQ(out->quals.size(), 4u);  // gen M, gen N, 2 guards
+  EXPECT_EQ(out->quals[1].kind, Qualifier::Kind::kGenerator);
+  EXPECT_EQ(out->quals[1].expr->str_val, "N");
+  EXPECT_EQ(out->quals[2].kind, Qualifier::Kind::kGuard);
+  // The head no longer contains an Index node.
+  EXPECT_EQ(out->children[0]->ToString().find('['), std::string::npos);
+}
+
+TEST(RewriteTest, IndexingOnNonArraysUntouched) {
+  ExprPtr e = MustParse("[ (i, V[i]) | i <- 0 until 4 ]");
+  int counter = 0;
+  auto d = DesugarIndexing(e, NoArrays, &counter);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value()->Equals(*e));
+}
+
+TEST(RewriteTest, IndexingDesugarPreservesMeaning) {
+  // Evaluate with V bound to an association list: indexing and the
+  // generator+guard form must agree.
+  Evaluator ev;
+  ev.Bind("V", Value::List({VPair(VInt(0), VDouble(10)),
+                            VPair(VInt(1), VDouble(20)),
+                            VPair(VInt(2), VDouble(30))}));
+  ExprPtr e = MustParse("[ (i, V[i] + 1.0) | i <- 0 until 3 ]");
+  int counter = 0;
+  ExprPtr d = DesugarIndexing(e, AllArrays, &counter).value();
+  Value v1 = ev.Eval(e).value();
+  Value v2 = ev.Eval(d).value();
+  EXPECT_TRUE(v1.Equals(v2)) << v1.ToString() << " vs " << v2.ToString();
+}
+
+TEST(RewriteTest, FlattenNestedSplicesQualifiers) {
+  // Rule (3).
+  ExprPtr e = MustParse("[ y | x <- [ i * 2 | i <- 0 until 3 ], let y = x ]");
+  int counter = 0;
+  ExprPtr flat = FlattenNested(e, &counter);
+  // No generator over a comprehension remains.
+  for (const Qualifier& q : flat->quals) {
+    if (q.kind == Qualifier::Kind::kGenerator) {
+      EXPECT_NE(q.expr->kind, Expr::Kind::kComprehension);
+    }
+  }
+  Evaluator ev;
+  EXPECT_TRUE(ev.Eval(e).value().Equals(ev.Eval(flat).value()));
+}
+
+TEST(RewriteTest, FlattenAvoidsVariableCapture) {
+  // The inner comprehension binds `i`, which also exists outside.
+  ExprPtr e = MustParse(
+      "[ (i, x) | i <- 0 until 2, x <- [ i * 10 | i <- 0 until 2 ] ]");
+  int counter = 0;
+  ExprPtr flat = FlattenNested(e, &counter);
+  Evaluator ev;
+  Value v1 = ev.Eval(e).value();
+  Value v2 = ev.Eval(flat).value();
+  EXPECT_TRUE(v1.Equals(v2)) << v1.ToString() << " vs " << v2.ToString();
+}
+
+TEST(RewriteTest, FlattenLeavesGroupByComprehensionsAlone) {
+  ExprPtr e = MustParse(
+      "[ s | s <- [ (k, +/i) | i <- 0 until 4, group by k : i % 2 ] ]");
+  int counter = 0;
+  ExprPtr flat = FlattenNested(e, &counter);
+  // The inner group-by comprehension must not be spliced.
+  ASSERT_EQ(flat->quals.size(), 1u);
+  EXPECT_EQ(flat->quals[0].expr->kind, Expr::Kind::kComprehension);
+}
+
+TEST(RewriteTest, MergeEqualRangesFusesGenerators) {
+  // Section 2: kk <- 0 until n with kk == k becomes a let plus bounds.
+  ExprPtr e = MustParse(
+      "[ (k, kk) | k <- 0 until 5, kk <- 0 until 5, kk == k ]");
+  ExprPtr merged = MergeEqualRanges(e);
+  int gens = 0;
+  for (const Qualifier& q : merged->quals) {
+    if (q.kind == Qualifier::Kind::kGenerator) ++gens;
+  }
+  EXPECT_EQ(gens, 1);
+  Evaluator ev;
+  EXPECT_TRUE(ev.Eval(e).value().Equals(ev.Eval(merged).value()));
+}
+
+TEST(RewriteTest, MergeKeepsBoundsGuards) {
+  // The merged variable must still respect the original range bounds.
+  ExprPtr e = MustParse(
+      "[ j | i <- 0 until 10, j <- 0 until 3, j == i ]");
+  ExprPtr merged = MergeEqualRanges(e);
+  Evaluator ev;
+  Value v1 = ev.Eval(e).value();
+  Value v2 = ev.Eval(merged).value();
+  ASSERT_TRUE(v1.Equals(v2)) << v2.ToString();
+  EXPECT_EQ(v1.AsList().size(), 3u);
+}
+
+TEST(RewriteTest, MergeSkipsWhenGuardUsesLaterBinding) {
+  // i == y where y is bound after the range: must not merge.
+  ExprPtr e = MustParse(
+      "[ i | i <- 0 until 5, let y = 2, i == y ]");
+  ExprPtr merged = MergeEqualRanges(e);
+  Evaluator ev;
+  EXPECT_TRUE(ev.Eval(e).value().Equals(ev.Eval(merged).value()));
+}
+
+TEST(RewriteTest, MergeAtGuardPositionWhenVarBoundLater) {
+  // `other` (x) is bound by a generator AFTER the range, so the let must
+  // land at the guard's position -- sound because k is unused in between.
+  ExprPtr e = MustParse(
+      "[ (k, x) | k <- 0 until 10, (i, x) <- V, i == k ]");
+  ExprPtr merged = MergeEqualRanges(e);
+  int gens = 0;
+  for (const Qualifier& q : merged->quals) {
+    if (q.kind == Qualifier::Kind::kGenerator) ++gens;
+  }
+  EXPECT_EQ(gens, 1);  // the range generator is gone
+  Evaluator ev;
+  ev.Bind("V", Value::List({VPair(VInt(2), VDouble(20)),
+                            VPair(VInt(15), VDouble(150))}));
+  Value v1 = ev.Eval(e).value();
+  Value v2 = ev.Eval(merged).value();
+  EXPECT_TRUE(v1.Equals(v2)) << v2.ToString();
+  // Only i=2 is inside [0,10).
+  EXPECT_EQ(v1.AsList().size(), 1u);
+}
+
+TEST(RewriteTest, CopyPropagationRemovesAliases) {
+  ExprPtr e = MustParse(
+      "[ (v, w) | (i, x) <- V, let v = i, let w = x, w > 1.0 ]");
+  ExprPtr out = CopyPropagateLets(e);
+  for (const Qualifier& q : out->quals) {
+    EXPECT_NE(q.kind, Qualifier::Kind::kLet);
+  }
+  Evaluator ev;
+  ev.Bind("V", Value::List({VPair(VInt(0), VDouble(2)),
+                            VPair(VInt(1), VDouble(0.5))}));
+  EXPECT_TRUE(ev.Eval(e).value().Equals(ev.Eval(out).value()));
+}
+
+TEST(RewriteTest, CopyPropagationRenamesGroupByPatterns) {
+  ExprPtr e = MustParse(
+      "[ (v, +/x) | (i, x) <- V, let v = i, group by v ]");
+  ExprPtr out = CopyPropagateLets(e);
+  // The group-by key variable is now the generator index.
+  const Qualifier& gb = out->quals.back();
+  ASSERT_EQ(gb.kind, Qualifier::Kind::kGroupBy);
+  EXPECT_EQ(gb.pattern->ToString(), "i");
+  Evaluator ev;
+  ev.Bind("V", Value::List({VPair(VInt(0), VDouble(2)),
+                            VPair(VInt(0), VDouble(3)),
+                            VPair(VInt(1), VDouble(4))}));
+  EXPECT_TRUE(ev.Eval(e).value().Equals(ev.Eval(out).value()));
+}
+
+TEST(RewriteTest, CopyPropagationSkipsNonVariableLets) {
+  ExprPtr e = MustParse("[ v | (i, x) <- V, let v = x * 2.0 ]");
+  EXPECT_TRUE(CopyPropagateLets(e)->Equals(*e));
+}
+
+class NormalizePreservesMeaning
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NormalizePreservesMeaning, Property) {
+  // Normalization (desugar + flatten to fixpoint) must not change the
+  // value of any program.
+  Evaluator ev;
+  ev.Bind("V", Value::List({VPair(VInt(0), VDouble(5)),
+                            VPair(VInt(1), VDouble(7)),
+                            VPair(VInt(2), VDouble(2))}));
+  ExprPtr e = MustParse(GetParam());
+  auto norm = Normalize(e, NoArrays);
+  ASSERT_TRUE(norm.ok()) << norm.status().ToString();
+  auto v1 = ev.Eval(e);
+  auto v2 = ev.Eval(norm.value());
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_TRUE(v1.value().Equals(v2.value()))
+      << GetParam() << ": " << v1.value().ToString() << " vs "
+      << v2.value().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, NormalizePreservesMeaning,
+    ::testing::Values(
+        "[ i + j | i <- 0 until 4, j <- 0 until 3, i < j ]",
+        "[ (k, +/i) | i <- 0 until 10, group by k : i % 4 ]",
+        "[ y | x <- [ i * i | i <- 0 until 5 ], let y = x + 1 ]",
+        "+/[ v | (i,v) <- V ]",
+        "[ (i, v) | (i,v) <- V, v > 3.0 ]",
+        "max/[ x | x <- [ v * 2.0 | (i,v) <- V ] ]",
+        "[ (d, count/v) | (d,v) <- V, group by d ]",
+        "&&/[ v < 100.0 | (i,v) <- V ]"));
+
+}  // namespace
+}  // namespace sac::comp

@@ -1,0 +1,106 @@
+// Tests for rule (15): group-by elimination when the key is an injective
+// array index, plus the singleton-reduction cleanup -- and the planner
+// consequence: such queries take the shuffle-free 5.1 path.
+#include <gtest/gtest.h>
+
+#include "src/api/sac.h"
+#include "src/comp/eval.h"
+#include "src/comp/parser.h"
+#include "src/comp/rewrite.h"
+
+namespace sac::comp {
+namespace {
+
+using runtime::Value;
+using runtime::VDouble;
+using runtime::VInt;
+using runtime::VPair;
+
+ExprPtr MustParse(const std::string& src) {
+  auto r = Parse(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+bool HasGroupBy(const ExprPtr& e) {
+  if (e->kind == Expr::Kind::kComprehension) {
+    for (const Qualifier& q : e->quals) {
+      if (q.kind == Qualifier::Kind::kGroupBy) return true;
+      if (q.expr && HasGroupBy(q.expr)) return true;
+    }
+  }
+  for (const auto& c : e->children) {
+    if (HasGroupBy(c)) return true;
+  }
+  return false;
+}
+
+TEST(Rule15Test, EliminatesInjectiveKey) {
+  // Key (i,j) = the generator's full index pattern: unique.
+  ExprPtr e = MustParse(
+      "[ ((i,j), +/v) | ((i,j),v) <- M, group by (i,j) ]");
+  ExprPtr out = EliminateInjectiveGroupBy(e);
+  EXPECT_FALSE(HasGroupBy(out));
+}
+
+TEST(Rule15Test, KeepsNonInjectiveKeys) {
+  // Key i only: groups whole rows; must stay.
+  ExprPtr e = MustParse("[ (i, +/v) | ((i,j),v) <- M, group by i ]");
+  EXPECT_TRUE(HasGroupBy(EliminateInjectiveGroupBy(e)));
+  // Two generators: joins can duplicate keys; must stay.
+  ExprPtr e2 = MustParse(
+      "[ ((i,j), +/v) | ((i,k),a) <- M, ((kk,j),b) <- N, kk == k,"
+      " let v = a*b, group by (i,j) ]");
+  EXPECT_TRUE(HasGroupBy(EliminateInjectiveGroupBy(e2)));
+}
+
+TEST(Rule15Test, PreservesMeaning) {
+  Evaluator ev;
+  ValueVec m;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      m.push_back(VPair(runtime::VIdx2(i, j), VDouble(i * 3 + j)));
+    }
+  }
+  ev.Bind("M", Value::List(std::move(m)));
+  ExprPtr e = MustParse(
+      "[ ((i,j), +/v) | ((i,j),v) <- M, v > 2.0, group by (i,j) ]");
+  ExprPtr out = SimplifySingletonReductions(EliminateInjectiveGroupBy(e));
+  Value v1 = ev.Eval(e).value();
+  Value v2 = ev.Eval(out).value();
+  EXPECT_TRUE(v1.Equals(v2)) << v1.ToString() << " vs " << v2.ToString();
+}
+
+TEST(Rule15Test, SingletonReductionsCollapse) {
+  ExprPtr sum = SimplifySingletonReductions(MustParse("+/[x]"));
+  // [x] parses to list(x); the reduction collapses to x.
+  EXPECT_EQ(sum->ToString(), "x");
+  EXPECT_EQ(SimplifySingletonReductions(MustParse("count/[x]"))->ToString(),
+            "1");
+  EXPECT_EQ(SimplifySingletonReductions(MustParse("min/[x]"))->ToString(),
+            "x");
+  // Non-singleton lists are untouched.
+  ExprPtr two = SimplifySingletonReductions(MustParse("+/[x, y]"));
+  EXPECT_EQ(two->kind, Expr::Kind::kReduce);
+}
+
+TEST(Rule15Test, PlannerTakesShuffleFreePath) {
+  // With the redundant group-by eliminated, the planner compiles this to
+  // the 5.1 tiling-preserving map instead of a 5.3 shuffle.
+  Sac ctx(runtime::ClusterConfig{2, 2, 4});
+  ctx.Bind("A", ctx.RandomMatrix(16, 16, 8, 1).value());
+  ctx.BindScalar("n", int64_t{16});
+  const std::string src =
+      "tiled(n,n)[ ((i,j), +/v) | ((i,j),v) <- A, group by (i,j) ]";
+  auto q = ctx.Compile(src);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().strategy, planner::Strategy::kTilingPreserving)
+      << q.value().explanation;
+  // And it still computes the identity map.
+  auto out = ctx.ToLocal(ctx.EvalTiled(src).value()).value();
+  auto in = ctx.ToLocal(ctx.bindings().at("A").tiled).value();
+  EXPECT_TRUE(out == in);
+}
+
+}  // namespace
+}  // namespace sac::comp

@@ -1,0 +1,123 @@
+// Tests for the expression-to-closure compiler (the generated-code layer).
+#include "src/exec/scalar_fn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/comp/parser.h"
+
+namespace sac::exec {
+namespace {
+
+comp::ExprPtr P(const std::string& src) {
+  auto r = comp::Parse(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+TEST(ScalarFnTest, ArithmeticAndConstants) {
+  ConstEnv consts{{"gamma", 0.5}};
+  auto f = CompileScalarFn(P("a + gamma * (2.0*b - a)"), {"a", "b"}, consts);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  const double args[2] = {4.0, 10.0};
+  EXPECT_DOUBLE_EQ(f.value()(args), 4.0 + 0.5 * (20.0 - 4.0));
+}
+
+TEST(ScalarFnTest, MathBuiltins) {
+  ConstEnv consts;
+  const double args[1] = {4.0};
+  EXPECT_DOUBLE_EQ(CompileScalarFn(P("sqrt(x)"), {"x"}, consts).value()(args),
+                   2.0);
+  EXPECT_DOUBLE_EQ(CompileScalarFn(P("abs(-x)"), {"x"}, consts).value()(args),
+                   4.0);
+  EXPECT_DOUBLE_EQ(
+      CompileScalarFn(P("pow(x, 2.0)"), {"x"}, consts).value()(args), 16.0);
+  EXPECT_DOUBLE_EQ(
+      CompileScalarFn(P("min(x, 1.5)"), {"x"}, consts).value()(args), 1.5);
+  EXPECT_DOUBLE_EQ(
+      CompileScalarFn(P("max(x, 7.0)"), {"x"}, consts).value()(args), 7.0);
+  EXPECT_NEAR(CompileScalarFn(P("exp(log(x))"), {"x"}, consts).value()(args),
+              4.0, 1e-12);
+}
+
+TEST(ScalarFnTest, ConditionalExpression) {
+  ConstEnv consts;
+  auto f = CompileScalarFn(P("if (a > 0.0 && a < 10.0) a else 0.0 - a"),
+                           {"a"}, consts);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  double args[1] = {3.0};
+  EXPECT_DOUBLE_EQ(f.value()(args), 3.0);
+  args[0] = -3.0;
+  EXPECT_DOUBLE_EQ(f.value()(args), 3.0);
+  args[0] = 30.0;
+  EXPECT_DOUBLE_EQ(f.value()(args), -30.0);
+}
+
+TEST(ScalarFnTest, FmodForDoubles) {
+  ConstEnv consts;
+  auto f = CompileScalarFn(P("a % 3.0"), {"a"}, consts);
+  ASSERT_TRUE(f.ok());
+  const double args[1] = {7.5};
+  EXPECT_DOUBLE_EQ(f.value()(args), std::fmod(7.5, 3.0));
+}
+
+TEST(ScalarFnTest, RejectsUnboundAndUnsupported) {
+  ConstEnv consts;
+  EXPECT_FALSE(CompileScalarFn(P("a + nope"), {"a"}, consts).ok());
+  EXPECT_FALSE(CompileScalarFn(P("+/a"), {"a"}, consts).ok());
+  EXPECT_FALSE(CompileScalarFn(P("[ x | x <- a ]"), {"a"}, consts).ok());
+  EXPECT_FALSE(CompileScalarFn(P("unknown(a)"), {"a"}, consts).ok());
+  // Errors carry PlanError so planners can fall back.
+  EXPECT_EQ(CompileScalarFn(P("a + nope"), {"a"}, consts).status().code(),
+            StatusCode::kPlanError);
+}
+
+TEST(IntFnTest, TrueIntegerSemantics) {
+  ConstEnv consts{{"n", 10.0}};
+  const int64_t args[2] = {7, 3};
+  EXPECT_EQ(CompileIntFn(P("(i+1) % n"), {"i", "j"}, consts).value()(args), 8);
+  EXPECT_EQ(CompileIntFn(P("i / 2"), {"i", "j"}, consts).value()(args), 3);
+  EXPECT_EQ(CompileIntFn(P("i * n + j"), {"i", "j"}, consts).value()(args),
+            73);
+  EXPECT_EQ(CompileIntFn(P("-j"), {"i", "j"}, consts).value()(args), -3);
+  EXPECT_EQ(CompileIntFn(P("min(i, j)"), {"i", "j"}, consts).value()(args),
+            3);
+}
+
+TEST(IntFnTest, DivisionByZeroYieldsZeroNotCrash) {
+  ConstEnv consts;
+  const int64_t args[1] = {5};
+  EXPECT_EQ(CompileIntFn(P("i / 0"), {"i"}, consts).value()(args), 0);
+  EXPECT_EQ(CompileIntFn(P("i % 0"), {"i"}, consts).value()(args), 0);
+}
+
+TEST(IntFnTest, RejectsNonIntegralConstants) {
+  ConstEnv consts{{"x", 2.5}};
+  EXPECT_FALSE(CompileIntFn(P("i + x"), {"i"}, consts).ok());
+}
+
+TEST(IntPredTest, ComparisonsAndLogic) {
+  ConstEnv consts{{"n", 8.0}};
+  auto p = CompileIntPred(P("i >= 0 && i < n || i == 100"), {"i"}, consts);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  int64_t args[1] = {5};
+  EXPECT_TRUE(p.value()(args));
+  args[0] = 8;
+  EXPECT_FALSE(p.value()(args));
+  args[0] = 100;
+  EXPECT_TRUE(p.value()(args));
+  args[0] = -1;
+  EXPECT_FALSE(p.value()(args));
+}
+
+TEST(IntPredTest, NegationAndLiterals) {
+  ConstEnv consts;
+  int64_t args[1] = {1};
+  EXPECT_TRUE(CompileIntPred(P("!(i == 0)"), {"i"}, consts).value()(args));
+  EXPECT_TRUE(CompileIntPred(P("true"), {"i"}, consts).value()(args));
+  EXPECT_FALSE(CompileIntPred(P("false"), {"i"}, consts).value()(args));
+}
+
+}  // namespace
+}  // namespace sac::exec

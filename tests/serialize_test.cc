@@ -1,0 +1,62 @@
+#include "src/common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace sac {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutI64(-12345678901234LL);
+  w.PutU32(99);
+  w.PutF64(3.25);
+  w.PutBool(true);
+  w.PutString("hello");
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 7);
+  EXPECT_EQ(r.GetI64().value(), -12345678901234LL);
+  EXPECT_EQ(r.GetU32().value(), 99u);
+  EXPECT_EQ(r.GetF64().value(), 3.25);
+  EXPECT_EQ(r.GetBool().value(), true);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripDoubleArray) {
+  ByteWriter w;
+  std::vector<double> data = {1.0, -2.5, 3.75, 0.0};
+  w.PutF64Array(data.data(), data.size());
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetF64Array().value(), data);
+}
+
+TEST(SerializeTest, ReadPastEndFails) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_FALSE(r.GetI64().ok());
+  EXPECT_EQ(r.GetI64().status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, CorruptArrayLengthRejected) {
+  ByteWriter w;
+  w.PutU64(1'000'000'000ULL);  // claims a billion doubles
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(r.GetF64Array().ok());
+}
+
+TEST(SerializeTest, EmptyStringAndArray) {
+  ByteWriter w;
+  w.PutString("");
+  w.PutF64Array(nullptr, 0);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_TRUE(r.GetF64Array().value().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace sac

@@ -1,0 +1,86 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sac {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status st = Status::PlanError("no rule").WithContext("matrix multiply");
+  EXPECT_EQ(st.message(), "matrix multiply: no rule");
+  EXPECT_EQ(st.code(), StatusCode::kPlanError);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status st = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SAC_ASSIGN_OR_RETURN(int h, Half(x));
+  SAC_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+Status FailIf(bool fail) {
+  if (fail) return Status::RuntimeError("boom");
+  return Status::OK();
+}
+
+Status Chained(bool fail) {
+  SAC_RETURN_NOT_OK(FailIf(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chained(false).ok());
+  EXPECT_FALSE(Chained(true).ok());
+}
+
+}  // namespace
+}  // namespace sac

@@ -1,0 +1,156 @@
+// Tests for the block-array storages and their sparsifier/builder pair
+// (the type-mapping machinery of Section 1.1).
+#include "src/storage/tiled.h"
+
+#include <gtest/gtest.h>
+
+namespace sac::storage {
+namespace {
+
+using runtime::ClusterConfig;
+using runtime::Engine;
+using runtime::Value;
+using runtime::ValueVec;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest() : eng_(ClusterConfig{2, 2, 4}) {}
+  Engine eng_;
+};
+
+TEST_F(StorageTest, RandomTiledIsDeterministicPerSeed) {
+  auto a = RandomTiled(&eng_, 20, 20, 8, 99, 0.0, 1.0).value();
+  auto b = RandomTiled(&eng_, 20, 20, 8, 99, 0.0, 1.0).value();
+  auto c = RandomTiled(&eng_, 20, 20, 8, 100, 0.0, 1.0).value();
+  EXPECT_EQ(MaxAbsDiff(&eng_, a, b).value(), 0.0);
+  EXPECT_GT(MaxAbsDiff(&eng_, a, c).value(), 0.0);
+}
+
+TEST_F(StorageTest, GridGeometryWithEdgeTiles) {
+  TiledMatrix m{25, 13, 8, nullptr};
+  EXPECT_EQ(m.grid_rows(), 4);
+  EXPECT_EQ(m.grid_cols(), 2);
+  EXPECT_EQ(m.tile_rows(0), 8);
+  EXPECT_EQ(m.tile_rows(3), 1);   // 25 = 3*8 + 1
+  EXPECT_EQ(m.tile_cols(1), 5);   // 13 = 8 + 5
+}
+
+TEST_F(StorageTest, LocalRoundTrip) {
+  Rng rng(1);
+  la::Tile local(19, 11);
+  local.FillRandom(&rng, -5.0, 5.0);
+  auto tiled = FromLocal(&eng_, local, 4).value();
+  EXPECT_EQ(eng_.Count(tiled.tiles).value(), 5 * 3);
+  auto back = ToLocal(&eng_, tiled).value();
+  EXPECT_TRUE(local == back);
+}
+
+TEST_F(StorageTest, CooRoundTrip) {
+  auto tiled = RandomTiled(&eng_, 17, 9, 4, 7, 0.0, 2.0).value();
+  auto coo = ToCoo(&eng_, tiled).value();
+  EXPECT_EQ(eng_.Count(coo.entries).value(), 17 * 9);
+  auto back = TiledFromCoo(&eng_, coo, 4).value();
+  EXPECT_EQ(MaxAbsDiff(&eng_, tiled, back).value(), 0.0);
+}
+
+TEST_F(StorageTest, CooRoundTripWithDifferentBlockSize) {
+  // Re-tiling through the element representation changes the partitioning
+  // but not the matrix.
+  auto tiled = RandomTiled(&eng_, 16, 16, 8, 8, 0.0, 1.0).value();
+  auto coo = ToCoo(&eng_, tiled).value();
+  auto retiled = TiledFromCoo(&eng_, coo, 4).value();
+  EXPECT_EQ(retiled.block, 4);
+  auto a = ToLocal(&eng_, tiled).value();
+  auto b = ToLocal(&eng_, retiled).value();
+  EXPECT_TRUE(a == b);
+}
+
+TEST_F(StorageTest, SparseRandomHasRequestedDensity) {
+  auto m = RandomSparseTiled(&eng_, 64, 64, 16, 5, 0.1, 5).value();
+  auto local = ToLocal(&eng_, m).value();
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < local.size(); ++i) {
+    const double v = local.data()[i];
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 5.0);
+    EXPECT_EQ(v, static_cast<int64_t>(v));  // integer ratings
+    if (v != 0.0) ++nonzero;
+  }
+  const double density = static_cast<double>(nonzero) / (64.0 * 64.0);
+  EXPECT_NEAR(density, 0.1, 0.03);
+}
+
+TEST_F(StorageTest, BlockVectorRoundTrip) {
+  std::vector<double> data(23);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = 0.5 * i;
+  auto v = VectorFromLocal(&eng_, data, 8).value();
+  EXPECT_EQ(v.grid(), 3);
+  EXPECT_EQ(v.block_len(2), 7);
+  auto back = ToLocalVector(&eng_, v).value();
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(StorageTest, RandomBlockVectorDeterministic) {
+  auto a = RandomBlockVector(&eng_, 30, 8, 11, 0.0, 1.0).value();
+  auto b = RandomBlockVector(&eng_, 30, 8, 11, 0.0, 1.0).value();
+  EXPECT_EQ(ToLocalVector(&eng_, a).value(), ToLocalVector(&eng_, b).value());
+}
+
+TEST_F(StorageTest, SparsifyLocalProducesAllElements) {
+  auto tiled = RandomTiled(&eng_, 6, 5, 4, 3, 1.0, 2.0).value();
+  auto rows = SparsifyLocal(&eng_, tiled).value();
+  EXPECT_EQ(rows.size(), 30u);
+  auto local = ToLocal(&eng_, tiled).value();
+  for (const Value& row : rows) {
+    const int64_t i = row.At(0).At(0).AsInt();
+    const int64_t j = row.At(0).At(1).AsInt();
+    EXPECT_DOUBLE_EQ(row.At(1).AsDouble(), local.At(i, j));
+  }
+}
+
+TEST_F(StorageTest, InvalidDimensionsRejected) {
+  EXPECT_FALSE(RandomTiled(&eng_, 0, 5, 4, 1, 0, 1).ok());
+  EXPECT_FALSE(RandomTiled(&eng_, 5, 5, 0, 1, 0, 1).ok());
+  EXPECT_FALSE(RandomTiled(&eng_, 5, -1, 4, 1, 0, 1).ok());
+  la::Tile t(4, 4);
+  EXPECT_FALSE(FromLocal(&eng_, t, -2).ok());
+}
+
+TEST_F(StorageTest, MaxAbsDiffShapeMismatch) {
+  auto a = RandomTiled(&eng_, 8, 8, 4, 1, 0, 1).value();
+  auto b = RandomTiled(&eng_, 8, 9, 4, 1, 0, 1).value();
+  EXPECT_FALSE(MaxAbsDiff(&eng_, a, b).ok());
+}
+
+TEST_F(StorageTest, RandomCooMatchesCount) {
+  auto coo = RandomCoo(&eng_, 9, 7, 21, 0.0, 1.0).value();
+  EXPECT_EQ(eng_.Count(coo.entries).value(), 63);
+}
+
+class TileGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TileGeometrySweep, RoundTripAnyGeometry) {
+  const auto [rows, cols, block] = GetParam();
+  Engine eng(ClusterConfig{2, 1, 3});
+  Rng rng(rows * 100 + cols);
+  la::Tile local(rows, cols);
+  local.FillRandom(&rng, -1.0, 1.0);
+  auto tiled = FromLocal(&eng, local, block).value();
+  auto back = ToLocal(&eng, tiled).value();
+  ASSERT_TRUE(local == back);
+  // And via the element representation.
+  auto coo = ToCoo(&eng, tiled).value();
+  auto again = TiledFromCoo(&eng, coo, block).value();
+  EXPECT_EQ(MaxAbsDiff(&eng, tiled, again).value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TileGeometrySweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(8, 8, 8),
+                      std::make_tuple(9, 7, 4), std::make_tuple(16, 4, 8),
+                      std::make_tuple(5, 17, 3), std::make_tuple(31, 33, 16),
+                      std::make_tuple(2, 64, 8)));
+
+}  // namespace
+}  // namespace sac::storage

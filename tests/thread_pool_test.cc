@@ -1,0 +1,74 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sac {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(2);
+  int v = 0;
+  pool.ParallelFor(1, [&](size_t i) { v = static_cast<int>(i) + 7; });
+  EXPECT_EQ(v, 7);
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlockWait) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      pool.Submit([&] { count.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForSumsCorrectly) {
+  ThreadPool pool(4);
+  std::vector<int64_t> parts(257, 0);
+  pool.ParallelFor(parts.size(),
+                   [&](size_t i) { parts[i] = static_cast<int64_t>(i); });
+  const int64_t total = std::accumulate(parts.begin(), parts.end(), int64_t{0});
+  EXPECT_EQ(total, 256 * 257 / 2);
+}
+
+}  // namespace
+}  // namespace sac
