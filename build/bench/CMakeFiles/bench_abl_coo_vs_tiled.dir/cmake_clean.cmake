@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_coo_vs_tiled.dir/bench_abl_coo_vs_tiled.cc.o"
+  "CMakeFiles/bench_abl_coo_vs_tiled.dir/bench_abl_coo_vs_tiled.cc.o.d"
+  "bench_abl_coo_vs_tiled"
+  "bench_abl_coo_vs_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_coo_vs_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_coo_vs_tiled.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_kernels.dir/bench_abl_kernels.cc.o"
+  "CMakeFiles/bench_abl_kernels.dir/bench_abl_kernels.cc.o.d"
+  "bench_abl_kernels"
+  "bench_abl_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

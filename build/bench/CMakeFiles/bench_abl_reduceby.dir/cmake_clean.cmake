@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_reduceby.dir/bench_abl_reduceby.cc.o"
+  "CMakeFiles/bench_abl_reduceby.dir/bench_abl_reduceby.cc.o.d"
+  "bench_abl_reduceby"
+  "bench_abl_reduceby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_reduceby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sparse.dir/bench_abl_sparse.cc.o"
+  "CMakeFiles/bench_abl_sparse.dir/bench_abl_sparse.cc.o.d"
+  "bench_abl_sparse"
+  "bench_abl_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

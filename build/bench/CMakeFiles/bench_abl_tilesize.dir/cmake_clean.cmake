@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_tilesize.dir/bench_abl_tilesize.cc.o"
+  "CMakeFiles/bench_abl_tilesize.dir/bench_abl_tilesize.cc.o.d"
+  "bench_abl_tilesize"
+  "bench_abl_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_addition.dir/bench_fig4a_addition.cc.o"
+  "CMakeFiles/bench_fig4a_addition.dir/bench_fig4a_addition.cc.o.d"
+  "bench_fig4a_addition"
+  "bench_fig4a_addition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_addition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_multiply.dir/bench_fig4b_multiply.cc.o"
+  "CMakeFiles/bench_fig4b_multiply.dir/bench_fig4b_multiply.cc.o.d"
+  "bench_fig4b_multiply"
+  "bench_fig4b_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

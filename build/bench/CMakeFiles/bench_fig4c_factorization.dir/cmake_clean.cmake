@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_factorization.dir/bench_fig4c_factorization.cc.o"
+  "CMakeFiles/bench_fig4c_factorization.dir/bench_fig4c_factorization.cc.o.d"
+  "bench_fig4c_factorization"
+  "bench_fig4c_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_loops.dir/diablo_loops.cpp.o"
+  "CMakeFiles/diablo_loops.dir/diablo_loops.cpp.o.d"
+  "diablo_loops"
+  "diablo_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diablo_loops.
+# This may be replaced when dependencies are built.

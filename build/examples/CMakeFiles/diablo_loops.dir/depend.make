@@ -1,0 +1,2 @@
+# Empty dependencies file for diablo_loops.
+# This may be replaced when dependencies are built.

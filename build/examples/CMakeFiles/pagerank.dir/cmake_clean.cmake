@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank.dir/pagerank.cpp.o"
+  "CMakeFiles/pagerank.dir/pagerank.cpp.o.d"
+  "pagerank"
+  "pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

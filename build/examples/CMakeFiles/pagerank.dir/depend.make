@@ -1,0 +1,2 @@
+# Empty dependencies file for pagerank.
+# This may be replaced when dependencies are built.

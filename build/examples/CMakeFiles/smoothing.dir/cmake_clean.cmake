@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing.dir/smoothing.cpp.o"
+  "CMakeFiles/smoothing.dir/smoothing.cpp.o.d"
+  "smoothing"
+  "smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

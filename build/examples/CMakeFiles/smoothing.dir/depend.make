@@ -1,0 +1,2 @@
+# Empty dependencies file for smoothing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/algorithms.cc" "src/CMakeFiles/sac.dir/api/algorithms.cc.o" "gcc" "src/CMakeFiles/sac.dir/api/algorithms.cc.o.d"
+  "/root/repo/src/api/sac.cc" "src/CMakeFiles/sac.dir/api/sac.cc.o" "gcc" "src/CMakeFiles/sac.dir/api/sac.cc.o.d"
+  "/root/repo/src/baseline/block_matrix.cc" "src/CMakeFiles/sac.dir/baseline/block_matrix.cc.o" "gcc" "src/CMakeFiles/sac.dir/baseline/block_matrix.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sac.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/sac.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sac.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/sac.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/comp/ast.cc" "src/CMakeFiles/sac.dir/comp/ast.cc.o" "gcc" "src/CMakeFiles/sac.dir/comp/ast.cc.o.d"
+  "/root/repo/src/comp/eval.cc" "src/CMakeFiles/sac.dir/comp/eval.cc.o" "gcc" "src/CMakeFiles/sac.dir/comp/eval.cc.o.d"
+  "/root/repo/src/comp/lexer.cc" "src/CMakeFiles/sac.dir/comp/lexer.cc.o" "gcc" "src/CMakeFiles/sac.dir/comp/lexer.cc.o.d"
+  "/root/repo/src/comp/loops.cc" "src/CMakeFiles/sac.dir/comp/loops.cc.o" "gcc" "src/CMakeFiles/sac.dir/comp/loops.cc.o.d"
+  "/root/repo/src/comp/parser.cc" "src/CMakeFiles/sac.dir/comp/parser.cc.o" "gcc" "src/CMakeFiles/sac.dir/comp/parser.cc.o.d"
+  "/root/repo/src/comp/rewrite.cc" "src/CMakeFiles/sac.dir/comp/rewrite.cc.o" "gcc" "src/CMakeFiles/sac.dir/comp/rewrite.cc.o.d"
+  "/root/repo/src/exec/scalar_fn.cc" "src/CMakeFiles/sac.dir/exec/scalar_fn.cc.o" "gcc" "src/CMakeFiles/sac.dir/exec/scalar_fn.cc.o.d"
+  "/root/repo/src/la/jvmlike.cc" "src/CMakeFiles/sac.dir/la/jvmlike.cc.o" "gcc" "src/CMakeFiles/sac.dir/la/jvmlike.cc.o.d"
+  "/root/repo/src/la/kernels.cc" "src/CMakeFiles/sac.dir/la/kernels.cc.o" "gcc" "src/CMakeFiles/sac.dir/la/kernels.cc.o.d"
+  "/root/repo/src/la/sparse_tile.cc" "src/CMakeFiles/sac.dir/la/sparse_tile.cc.o" "gcc" "src/CMakeFiles/sac.dir/la/sparse_tile.cc.o.d"
+  "/root/repo/src/la/tile.cc" "src/CMakeFiles/sac.dir/la/tile.cc.o" "gcc" "src/CMakeFiles/sac.dir/la/tile.cc.o.d"
+  "/root/repo/src/planner/planner.cc" "src/CMakeFiles/sac.dir/planner/planner.cc.o" "gcc" "src/CMakeFiles/sac.dir/planner/planner.cc.o.d"
+  "/root/repo/src/planner/planner_general.cc" "src/CMakeFiles/sac.dir/planner/planner_general.cc.o" "gcc" "src/CMakeFiles/sac.dir/planner/planner_general.cc.o.d"
+  "/root/repo/src/planner/planner_groupby.cc" "src/CMakeFiles/sac.dir/planner/planner_groupby.cc.o" "gcc" "src/CMakeFiles/sac.dir/planner/planner_groupby.cc.o.d"
+  "/root/repo/src/planner/shape.cc" "src/CMakeFiles/sac.dir/planner/shape.cc.o" "gcc" "src/CMakeFiles/sac.dir/planner/shape.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/sac.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/sac.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/value.cc" "src/CMakeFiles/sac.dir/runtime/value.cc.o" "gcc" "src/CMakeFiles/sac.dir/runtime/value.cc.o.d"
+  "/root/repo/src/storage/io.cc" "src/CMakeFiles/sac.dir/storage/io.cc.o" "gcc" "src/CMakeFiles/sac.dir/storage/io.cc.o.d"
+  "/root/repo/src/storage/sparse_tiled.cc" "src/CMakeFiles/sac.dir/storage/sparse_tiled.cc.o" "gcc" "src/CMakeFiles/sac.dir/storage/sparse_tiled.cc.o.d"
+  "/root/repo/src/storage/tiled.cc" "src/CMakeFiles/sac.dir/storage/tiled.cc.o" "gcc" "src/CMakeFiles/sac.dir/storage/tiled.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api_test.cc" "tests/CMakeFiles/sac_tests.dir/api_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/api_test.cc.o.d"
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/sac_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/sac_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/engine_edge_test.cc" "tests/CMakeFiles/sac_tests.dir/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/engine_edge_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/sac_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/eval_edge_test.cc" "tests/CMakeFiles/sac_tests.dir/eval_edge_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/eval_edge_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/sac_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/sac_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sac_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/sac_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kernels_test.cc" "tests/CMakeFiles/sac_tests.dir/kernels_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/kernels_test.cc.o.d"
+  "/root/repo/tests/loops_test.cc" "tests/CMakeFiles/sac_tests.dir/loops_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/loops_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/sac_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/sac_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/sac_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sac_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rewrite_test.cc" "tests/CMakeFiles/sac_tests.dir/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/rewrite_test.cc.o.d"
+  "/root/repo/tests/rule15_test.cc" "tests/CMakeFiles/sac_tests.dir/rule15_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/rule15_test.cc.o.d"
+  "/root/repo/tests/scalar_fn_test.cc" "tests/CMakeFiles/sac_tests.dir/scalar_fn_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/scalar_fn_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/sac_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/sac_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/sparse_test.cc" "tests/CMakeFiles/sac_tests.dir/sparse_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/sparse_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/sac_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/sac_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/sac_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/thread_pool_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/sac_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/sac_tests.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

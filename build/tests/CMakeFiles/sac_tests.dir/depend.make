@@ -1,0 +1,2 @@
+# Empty dependencies file for sac_tests.
+# This may be replaced when dependencies are built.
