@@ -7,16 +7,26 @@
 // elements, y = total time). SAC_BENCH_REPS (default 2) controls how many
 // timed repetitions are averaged; SAC_BENCH_SCALE in {tiny,small,full}
 // controls the size sweep so `ctest`-adjacent runs stay fast.
+//
+// Besides the stdout table, every bench writes a machine-readable
+// BENCH_<name>.json (override path with --out <file>) carrying wall time
+// plus the per-stage metrics snapshot (shuffle bytes/records per
+// operator), so the perf trajectory is auditable across PRs. Pass
+// `--trace <file>` to also dump a Chrome trace-event JSON of every
+// timed run (open in chrome://tracing or https://ui.perfetto.dev).
 #ifndef SAC_BENCH_BENCH_COMMON_H_
 #define SAC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/api/sac.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace sac::bench {
 
@@ -43,10 +53,14 @@ inline runtime::ClusterConfig BenchCluster() {
 struct Row {
   std::string figure;
   std::string series;
-  int64_t n;
-  int64_t elements;
-  double time_ms;
-  double shuffle_mb;
+  int64_t n = 0;
+  int64_t elements = 0;
+  double time_ms = 0;
+  double shuffle_mb = 0;
+  // Filled by TimeQuery: engine-wide totals and the per-stage breakdown
+  // of the last timed repetition.
+  MetricsSnapshot totals;
+  std::vector<StageStatsSnapshot> stages;
 };
 
 inline void PrintHeader(const char* title) {
@@ -62,25 +76,154 @@ inline void PrintRow(const Row& r) {
   std::fflush(stdout);
 }
 
-/// Times `fn` Reps() times (after metrics reset), returning mean wall
-/// milliseconds and the last run's shuffle megabytes.
+/// Times `fn` Reps() times (after a full stats reset), returning mean
+/// wall milliseconds plus the last run's totals and per-stage snapshot.
 template <typename Fn>
 Row TimeQuery(sac::Sac* ctx, const std::string& figure,
               const std::string& series, int64_t n, int64_t elements,
               Fn&& fn) {
   double total_ms = 0;
-  double mb = 0;
   const int reps = Reps();
+  Row row{};
+  row.figure = figure;
+  row.series = series;
+  row.n = n;
+  row.elements = elements;
   for (int rep = 0; rep < reps; ++rep) {
-    ctx->metrics().Reset();
+    // Keep the trace of the last rep only: earlier reps are warmup noise.
+    ctx->ResetStats();
     Stopwatch sw;
     fn();
     total_ms += sw.ElapsedMillis();
-    mb = static_cast<double>(ctx->metrics().shuffle_bytes()) /
-         (1024.0 * 1024.0);
   }
-  return Row{figure, series, n, elements, total_ms / reps, mb};
+  row.time_ms = total_ms / reps;
+  row.totals = ctx->metrics().Snapshot();
+  row.stages = ctx->stages().Snapshot();
+  row.shuffle_mb =
+      static_cast<double>(row.totals.shuffle_bytes) / (1024.0 * 1024.0);
+  return row;
 }
+
+/// Accumulates rows and trace spans, prints the stdout table rows, and on
+/// destruction writes BENCH_<name>.json (plus the Chrome trace if
+/// --trace was given).
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)), out_path_("BENCH_" + name_ + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* flag) -> const char* {
+        const size_t len = std::strlen(flag);
+        if (arg.compare(0, len, flag) == 0 && arg.size() > len &&
+            arg[len] == '=') {
+          return argv[i] + len + 1;
+        }
+        if (arg == flag && i + 1 < argc) return argv[++i];
+        return nullptr;
+      };
+      if (const char* v = value("--trace")) {
+        trace_path_ = v;
+      } else if (const char* v = value("--out")) {
+        out_path_ = v;
+      }
+    }
+  }
+
+  ~BenchReporter() { Write(); }
+
+  bool tracing() const { return !trace_path_.empty(); }
+
+  /// Prints the stdout row and records it for the JSON report.
+  void Report(const Row& row) {
+    PrintRow(row);
+    rows_.push_back(row);
+  }
+
+  /// Moves the spans traced so far out of `ctx` into the bench trace
+  /// (call once per context, after its timed queries). Cheap no-op when
+  /// --trace was not given.
+  void CaptureTrace(sac::Sac* ctx) {
+    if (!tracing()) return;
+    std::vector<trace::SpanRecord> spans = ctx->tracer().Drain();
+    spans_.insert(spans_.end(), std::make_move_iterator(spans.begin()),
+                  std::make_move_iterator(spans.end()));
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    WriteJsonReport();
+    if (tracing()) {
+      std::ofstream out(trace_path_, std::ios::binary | std::ios::trunc);
+      out << trace::Tracer::ToChromeJson(spans_);
+      std::fprintf(stderr, "trace written to %s (%zu spans)\n",
+                   trace_path_.c_str(), spans_.size());
+    }
+  }
+
+ private:
+  static void AppendCounters(std::string* out, const MetricsSnapshot& c) {
+    *out += "\"shuffle_bytes\":" + std::to_string(c.shuffle_bytes) +
+            ",\"shuffle_records\":" + std::to_string(c.shuffle_records) +
+            ",\"cross_executor_bytes\":" +
+            std::to_string(c.cross_executor_bytes) +
+            ",\"tasks\":" + std::to_string(c.tasks_run) +
+            ",\"recomputed\":" + std::to_string(c.tasks_recomputed) +
+            ",\"records_in\":" + std::to_string(c.records_processed);
+  }
+
+  void WriteJsonReport() const {
+    std::string j = "{\n";
+    j += "\"bench\":\"" + trace::JsonEscape(name_) + "\",";
+    j += "\"scale\":\"" + trace::JsonEscape(Scale()) + "\",";
+    j += "\"reps\":" + std::to_string(Reps()) + ",\n";
+    j += "\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      j += (i ? ",\n" : "\n");
+      j += "{\"figure\":\"" + trace::JsonEscape(r.figure) + "\",";
+      j += "\"series\":\"" + trace::JsonEscape(r.series) + "\",";
+      j += "\"n\":" + std::to_string(r.n) + ",";
+      j += "\"elements\":" + std::to_string(r.elements) + ",";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", r.time_ms);
+      j += std::string("\"time_ms\":") + buf + ",";
+      j += "\"totals\":{";
+      AppendCounters(&j, r.totals);
+      j += "},\"stages\":[";
+      for (size_t s = 0; s < r.stages.size(); ++s) {
+        const StageStatsSnapshot& st = r.stages[s];
+        j += (s ? "," : "");
+        j += "{\"id\":" + std::to_string(st.id) + ",\"label\":\"" +
+             trace::JsonEscape(st.label) + "\",\"kind\":\"" +
+             trace::JsonEscape(st.kind) + "\",";
+        AppendCounters(&j, st.counters);
+        std::snprintf(buf, sizeof(buf), "%.3f", st.wall_ms);
+        j += std::string(",\"wall_ms\":") + buf;
+        j += ",\"task_us\":{\"count\":" + std::to_string(st.task_us.count) +
+             ",\"mean\":" + std::to_string(static_cast<uint64_t>(
+                                st.task_us.Mean())) +
+             ",\"p50\":" + std::to_string(st.task_us.Percentile(0.5)) +
+             ",\"p95\":" + std::to_string(st.task_us.Percentile(0.95)) +
+             ",\"max\":" + std::to_string(st.task_us.max) + "}}";
+      }
+      j += "]}";
+    }
+    j += "\n]}\n";
+    std::ofstream out(out_path_, std::ios::binary | std::ios::trunc);
+    out << j;
+    std::fprintf(stderr, "report written to %s (%zu rows)\n",
+                 out_path_.c_str(), rows_.size());
+  }
+
+  std::string name_;
+  std::string out_path_;
+  std::string trace_path_;
+  std::vector<Row> rows_;
+  std::vector<trace::SpanRecord> spans_;
+  bool written_ = false;
+};
 
 #define SAC_BENCH_CHECK(expr)                                           \
   do {                                                                  \

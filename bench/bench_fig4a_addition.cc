@@ -9,7 +9,7 @@
 #include "src/api/algorithms.h"
 #include "src/baseline/block_matrix.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sac;           // NOLINT
   using namespace sac::bench;    // NOLINT
 
@@ -27,6 +27,7 @@ int main() {
 
   PrintHeader(
       "Figure 4.A: matrix addition, MLlib baseline vs SAC (5.1 plan)");
+  BenchReporter reporter("fig4a", argc, argv);
   Sac ctx(BenchCluster());
   for (int64_t n : sizes) {
     auto a = ctx.RandomMatrix(n, n, block, 101, 0.0, 10.0).value();
@@ -35,14 +36,16 @@ int main() {
     // MLlib baseline.
     auto ml_a = baseline::BlockMatrix::FromTiled(a);
     auto ml_b = baseline::BlockMatrix::FromTiled(b);
-    PrintRow(TimeQuery(&ctx, "fig4a", "MLlib", n, n * n, [&] {
+    reporter.Report(TimeQuery(&ctx, "fig4a", "MLlib", n, n * n, [&] {
       SAC_BENCH_CHECK(ml_a.Add(&ctx.engine(), ml_b));
     }));
+    reporter.CaptureTrace(&ctx);
 
     // SAC generated plan.
-    PrintRow(TimeQuery(&ctx, "fig4a", "SAC", n, n * n, [&] {
+    reporter.Report(TimeQuery(&ctx, "fig4a", "SAC", n, n * n, [&] {
       SAC_BENCH_CHECK(algo::Add(&ctx, a, b));
     }));
+    reporter.CaptureTrace(&ctx);
   }
   return 0;
 }

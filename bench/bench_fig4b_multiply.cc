@@ -15,7 +15,7 @@
 #include "src/api/algorithms.h"
 #include "src/baseline/block_matrix.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sac;           // NOLINT
   using namespace sac::bench;    // NOLINT
 
@@ -33,6 +33,7 @@ int main() {
   PrintHeader(
       "Figure 4.B: matrix multiplication, MLlib vs SAC (join+group-by) vs "
       "SAC GBJ (5.4)");
+  BenchReporter reporter("fig4b", argc, argv);
 
   planner::PlannerOptions with_gbj;
   planner::PlannerOptions no_gbj;
@@ -46,27 +47,30 @@ int main() {
       auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
       auto ml_a = baseline::BlockMatrix::FromTiled(a);
       auto ml_b = baseline::BlockMatrix::FromTiled(b);
-      PrintRow(TimeQuery(&ctx, "fig4b", "MLlib", n, n * n, [&] {
+      reporter.Report(TimeQuery(&ctx, "fig4b", "MLlib", n, n * n, [&] {
         SAC_BENCH_CHECK(ml_a.Multiply(&ctx.engine(), ml_b));
       }));
+      reporter.CaptureTrace(&ctx);
     }
     // SAC without the group-by-join rule: join + group-by (5.3).
     {
       Sac ctx(BenchCluster(), no_gbj);
       auto a = ctx.RandomMatrix(n, n, block, 201, 0.0, 10.0).value();
       auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
-      PrintRow(TimeQuery(&ctx, "fig4b", "SAC", n, n * n, [&] {
+      reporter.Report(TimeQuery(&ctx, "fig4b", "SAC", n, n * n, [&] {
         SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
       }));
+      reporter.CaptureTrace(&ctx);
     }
     // SAC with the group-by-join (SUMMA).
     {
       Sac ctx(BenchCluster(), with_gbj);
       auto a = ctx.RandomMatrix(n, n, block, 201, 0.0, 10.0).value();
       auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
-      PrintRow(TimeQuery(&ctx, "fig4b", "SAC GBJ", n, n * n, [&] {
+      reporter.Report(TimeQuery(&ctx, "fig4b", "SAC GBJ", n, n * n, [&] {
         SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
       }));
+      reporter.CaptureTrace(&ctx);
     }
   }
   return 0;

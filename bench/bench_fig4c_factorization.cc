@@ -14,7 +14,7 @@
 #include "src/api/algorithms.h"
 #include "src/baseline/block_matrix.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sac;           // NOLINT
   using namespace sac::bench;    // NOLINT
 
@@ -33,6 +33,7 @@ int main() {
 
   PrintHeader(
       "Figure 4.C: matrix factorization (1 GD iteration), MLlib vs SAC GBJ");
+  BenchReporter reporter("fig4c", argc, argv);
 
   for (int64_t n : sizes) {
     {
@@ -43,11 +44,12 @@ int main() {
       baseline::FactorizationState st{baseline::BlockMatrix::FromTiled(p),
                                       baseline::BlockMatrix::FromTiled(q)};
       auto ml_r = baseline::BlockMatrix::FromTiled(r);
-      PrintRow(TimeQuery(&ctx, "fig4c", "MLlib", n, n * n, [&] {
+      reporter.Report(TimeQuery(&ctx, "fig4c", "MLlib", n, n * n, [&] {
         SAC_BENCH_CHECK(
             baseline::FactorizationStep(&ctx.engine(), ml_r, st, gamma,
                                         lambda));
       }));
+      reporter.CaptureTrace(&ctx);
     }
     {
       Sac ctx(BenchCluster());
@@ -55,10 +57,11 @@ int main() {
       auto p = ctx.RandomMatrix(n, k, block, 302, 0.0, 1.0).value();
       auto q = ctx.RandomMatrix(n, k, block, 303, 0.0, 1.0).value();
       algo::Factorization st{p, q};
-      PrintRow(TimeQuery(&ctx, "fig4c", "SAC GBJ", n, n * n, [&] {
+      reporter.Report(TimeQuery(&ctx, "fig4c", "SAC GBJ", n, n * n, [&] {
         SAC_BENCH_CHECK(
             algo::FactorizationStep(&ctx, r, st, gamma, lambda));
       }));
+      reporter.CaptureTrace(&ctx);
     }
   }
   return 0;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI-style check: the tier-1 verify line, then a ThreadSanitizer build of
+# the concurrency-sensitive tests (engine, trace, thread pool), since the
+# trace/metrics buffers are written from pool threads.
+#
+# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "$mode" != "--tsan-only" ]]; then
+  echo "==> tier-1: configure + build + ctest"
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "$mode" != "--tier1-only" ]]; then
+  echo "==> tsan: engine / trace / observability / thread-pool tests"
+  cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$jobs" --target sac_tests
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*'
+fi
+
+echo "==> all checks passed"

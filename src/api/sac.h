@@ -34,6 +34,19 @@ class Sac {
   runtime::Engine& engine() { return *engine_; }
   planner::PlannerOptions& options() { return options_; }
   Metrics& metrics() { return engine_->metrics(); }
+  StageRegistry& stages() { return engine_->stages(); }
+  trace::Tracer& tracer() { return engine_->tracer(); }
+
+  // ---- observability -------------------------------------------------------
+  /// Clears totals, per-stage stats and trace buffers between measured runs.
+  void ResetStats() { engine_->ResetStats(); }
+  /// Per-stage metrics table (see Engine::ReportString).
+  std::string ReportString() const { return engine_->ReportString(); }
+  /// Chrome trace-event JSON of everything traced so far.
+  std::string ChromeTraceJson() const { return engine_->ChromeTraceJson(); }
+  Status WriteChromeTrace(const std::string& path) const {
+    return engine_->WriteChromeTrace(path);
+  }
 
   // ---- data ---------------------------------------------------------------
   /// Dense random tiled matrix, uniform in [lo, hi), deterministic per seed.

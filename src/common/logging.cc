@@ -1,7 +1,10 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace sac {
 
@@ -32,6 +35,25 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevelFromEnv() {
+  const char* env = std::getenv("SAC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "debug" || v == "0") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (v == "info" || v == "1") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (v == "warn" || v == "warning" || v == "2") {
+    SetLogLevel(LogLevel::kWarn);
+  } else if (v == "error" || v == "3") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    SAC_LOG(Warn) << "unrecognized SAC_LOG_LEVEL '" << env
+                  << "' (want debug|info|warn|error); keeping current level";
+  }
 }
 
 namespace internal {

@@ -18,6 +18,12 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Applies the SAC_LOG_LEVEL environment variable (debug|info|warn|error,
+/// case-insensitive, or a numeric level) so benches and tests can turn on
+/// debug logs without recompiling. Unset or unparsable values leave the
+/// current level untouched. Called automatically at engine startup.
+void SetLogLevelFromEnv();
+
 namespace internal {
 
 class LogMessage {

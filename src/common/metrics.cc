@@ -1,15 +1,114 @@
 #include "src/common/metrics.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace sac {
 
-std::string Metrics::ToString() const {
+std::string MetricsSnapshot::ToString() const {
   std::ostringstream os;
-  os << "shuffle=" << shuffle_bytes() / (1024.0 * 1024.0) << "MB"
-     << " records=" << shuffle_records()
-     << " cross_exec=" << cross_executor_bytes() / (1024.0 * 1024.0) << "MB"
-     << " tasks=" << tasks_run() << " recomputed=" << tasks_recomputed();
+  os << "shuffle=" << shuffle_bytes / (1024.0 * 1024.0) << "MB"
+     << " records=" << shuffle_records
+     << " cross_exec=" << cross_executor_bytes / (1024.0 * 1024.0) << "MB"
+     << " tasks=" << tasks_run << " recomputed=" << tasks_recomputed;
+  return os.str();
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.shuffle_bytes = shuffle_bytes_.load(std::memory_order_relaxed);
+  s.shuffle_records = shuffle_records_.load(std::memory_order_relaxed);
+  s.cross_executor_bytes =
+      cross_executor_bytes_.load(std::memory_order_relaxed);
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.tasks_recomputed = tasks_recomputed_.load(std::memory_order_relaxed);
+  s.records_processed = records_processed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Metrics::ToString() const { return Snapshot().ToString(); }
+
+std::string StageStatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "#" << id << " " << label << " [" << kind << "]"
+     << " tasks=" << counters.tasks_run
+     << " records_in=" << counters.records_processed
+     << " shuffle=" << counters.shuffle_bytes / (1024.0 * 1024.0) << "MB"
+     << " cross=" << counters.cross_executor_bytes / (1024.0 * 1024.0)
+     << "MB recomputed=" << counters.tasks_recomputed;
+  return os.str();
+}
+
+StageStatsSnapshot StageStats::Snapshot() const {
+  StageStatsSnapshot s;
+  s.id = id_;
+  s.label = label_;
+  s.kind = kind_;
+  s.counters = local_.Snapshot();
+  s.wall_ms = wall_us_.load(std::memory_order_relaxed) / 1000.0;
+  s.task_us = task_us_.Snapshot();
+  return s;
+}
+
+StageRef StageRegistry::NewStage(const std::string& label,
+                                 const std::string& kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = static_cast<int>(stages_.size());
+  stages_.emplace_back(id, label, kind, totals_);
+  return StageRef{gen_, id};
+}
+
+StageStats* StageRegistry::Get(const StageRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ref.gen != gen_ || ref.id < 0 ||
+      ref.id >= static_cast<int>(stages_.size())) {
+    return nullptr;
+  }
+  return &stages_[ref.id];
+}
+
+std::vector<StageStatsSnapshot> StageRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StageStatsSnapshot> out;
+  out.reserve(stages_.size());
+  for (const StageStats& s : stages_) out.push_back(s.Snapshot());
+  return out;
+}
+
+void StageRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+  ++gen_;
+}
+
+size_t StageRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_.size();
+}
+
+std::string StageRegistry::ReportString() const {
+  const std::vector<StageStatsSnapshot> stages = Snapshot();
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-5s %-24s %-9s %6s %12s %12s %10s %7s %9s %12s\n",
+                "stage", "label", "kind", "tasks", "records_in",
+                "shuffle_KB", "cross_KB", "recomp", "wall_ms", "task_p95_us");
+  os << line;
+  for (const StageStatsSnapshot& s : stages) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %7llu %9.2f %12llu\n",
+        s.id, s.label.substr(0, 24).c_str(), s.kind.c_str(),
+        static_cast<unsigned long long>(s.counters.tasks_run),
+        static_cast<unsigned long long>(s.counters.records_processed),
+        s.counters.shuffle_bytes / 1024.0,
+        s.counters.cross_executor_bytes / 1024.0,
+        static_cast<unsigned long long>(s.counters.tasks_recomputed),
+        s.wall_ms,
+        static_cast<unsigned long long>(s.task_us.Percentile(0.95)));
+    os << line;
+  }
   return os.str();
 }
 

@@ -1,18 +1,44 @@
 // Runtime metrics: shuffle traffic, record counts, and stage timings.
 // Benchmarks report these next to wall time so the causal story behind a
 // speedup (e.g. "SUMMA shuffles 8x fewer bytes") is auditable.
+//
+// Two layers:
+//  * Metrics       -- engine-wide cumulative totals (atomics).
+//  * StageRegistry -- one StageStats per plan stage (= per DISC operator
+//    invocation, keyed by the dataset node's label). Every stage-level
+//    increment forwards to the totals, so the registry is a strict
+//    refinement of Metrics: summing any counter over all stages
+//    reproduces the engine-wide value.
 #ifndef SAC_COMMON_METRICS_H_
 #define SAC_COMMON_METRICS_H_
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <vector>
+
+#include "src/common/trace.h"
 
 namespace sac {
 
+/// Plain, copyable view of the counters, read once each -- use this
+/// instead of reading the six atomics non-atomically mid-run.
+struct MetricsSnapshot {
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_records = 0;
+  uint64_t cross_executor_bytes = 0;
+  uint64_t tasks_run = 0;
+  uint64_t tasks_recomputed = 0;
+  uint64_t records_processed = 0;
+
+  std::string ToString() const;
+};
+
 /// Counters for one engine/session. All counters are cumulative;
-/// call Reset() between measured runs.
+/// call Reset() between measured runs (never concurrently with a query).
 class Metrics {
  public:
   void Reset() {
@@ -40,6 +66,7 @@ class Metrics {
   uint64_t tasks_recomputed() const { return tasks_recomputed_; }
   uint64_t records_processed() const { return records_processed_; }
 
+  MetricsSnapshot Snapshot() const;
   std::string ToString() const;
 
  private:
@@ -51,6 +78,106 @@ class Metrics {
   std::atomic<uint64_t> records_processed_{0};
 };
 
+/// Copyable per-stage view (see StageStats).
+struct StageStatsSnapshot {
+  int id = -1;
+  std::string label;
+  std::string kind;  // "source" | "narrow" | "shuffle" | "coshuffle" | ...
+  MetricsSnapshot counters;
+  double wall_ms = 0;
+  trace::HistogramSnapshot task_us;  // per-task duration histogram
+
+  std::string ToString() const;
+};
+
+/// Counters for one plan stage. Every Add* forwards to the engine-wide
+/// totals so the global Metrics stays the roll-up of all stages.
+class StageStats {
+ public:
+  StageStats(int id, std::string label, std::string kind, Metrics* totals)
+      : id_(id), label_(std::move(label)), kind_(std::move(kind)),
+        totals_(totals) {}
+
+  StageStats(const StageStats&) = delete;
+  StageStats& operator=(const StageStats&) = delete;
+
+  int id() const { return id_; }
+  const std::string& label() const { return label_; }
+  const std::string& kind() const { return kind_; }
+  const Metrics& counters() const { return local_; }
+
+  void AddShuffle(uint64_t bytes, uint64_t records, bool cross_executor) {
+    local_.AddShuffle(bytes, records, cross_executor);
+    if (totals_) totals_->AddShuffle(bytes, records, cross_executor);
+  }
+  void AddTask() {
+    local_.AddTask();
+    if (totals_) totals_->AddTask();
+  }
+  void AddRecompute() {
+    local_.AddRecompute();
+    if (totals_) totals_->AddRecompute();
+  }
+  void AddRecords(uint64_t n) {
+    local_.AddRecords(n);
+    if (totals_) totals_->AddRecords(n);
+  }
+  void RecordTaskMicros(uint64_t us) { task_us_.Record(us); }
+  void AddWallMicros(uint64_t us) {
+    wall_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  StageStatsSnapshot Snapshot() const;
+
+ private:
+  const int id_;
+  const std::string label_;
+  const std::string kind_;
+  Metrics local_;
+  Metrics* totals_;
+  trace::Histogram task_us_;
+  std::atomic<uint64_t> wall_us_{0};
+};
+
+/// Reference to a stage that stays valid across StageRegistry::Reset():
+/// the generation tag makes stale references resolve to nullptr instead
+/// of aliasing a new stage.
+struct StageRef {
+  uint64_t gen = 0;
+  int id = -1;
+};
+
+/// Owns the per-stage stats of one engine. Stage objects have stable
+/// addresses until Reset(); Reset() must not race with query execution
+/// (same contract as Metrics::Reset()).
+class StageRegistry {
+ public:
+  explicit StageRegistry(Metrics* totals) : totals_(totals) {}
+
+  /// Creates a stage and returns a generation-tagged reference to it.
+  StageRef NewStage(const std::string& label, const std::string& kind);
+
+  /// Resolves a reference; nullptr when the ref predates the last
+  /// Reset() (or was never assigned).
+  StageStats* Get(const StageRef& ref);
+
+  std::vector<StageStatsSnapshot> Snapshot() const;
+
+  /// Drops all stages (totals are reset separately).
+  void Reset();
+
+  size_t size() const;
+
+  /// Human-readable table, one row per stage.
+  std::string ReportString() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t gen_ = 1;
+  std::deque<StageStats> stages_;  // deque: stable addresses on growth
+  Metrics* totals_;
+};
+
 /// Wall-clock stopwatch in milliseconds.
 class Stopwatch {
  public:
@@ -59,6 +186,12 @@ class Stopwatch {
   double ElapsedMillis() const {
     return std::chrono::duration<double, std::milli>(Clock::now() - start_)
         .count();
+  }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
   }
 
  private:

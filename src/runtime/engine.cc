@@ -1,8 +1,11 @@
 #include "src/runtime/engine.h"
 
 #include <algorithm>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/common/serialize.h"
@@ -10,6 +13,22 @@
 namespace sac::runtime {
 
 namespace {
+
+const char* KindName(DatasetImpl::OpKind kind) {
+  switch (kind) {
+    case DatasetImpl::OpKind::kSource:
+      return "source";
+    case DatasetImpl::OpKind::kNarrow:
+      return "narrow";
+    case DatasetImpl::OpKind::kShuffle:
+      return "shuffle";
+    case DatasetImpl::OpKind::kCoShuffle:
+      return "coshuffle";
+    case DatasetImpl::OpKind::kUnion:
+      return "union";
+  }
+  return "?";
+}
 
 /// Insertion-ordered key index: maps keys to dense slots so reduce-side
 /// folds produce rows in first-seen order (deterministic output).
@@ -46,6 +65,57 @@ Engine::Engine(ClusterConfig config)
   SAC_CHECK_GE(config_.num_executors, 1);
   SAC_CHECK_GE(config_.cores_per_executor, 1);
   SAC_CHECK_GE(config_.default_parallelism, 1);
+  SetLogLevelFromEnv();
+}
+
+void Engine::ResetStats() {
+  metrics_.Reset();
+  stages_.Reset();
+  tracer_.Reset();
+}
+
+Status Engine::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::RuntimeError("cannot open trace output file '" + path +
+                                "'");
+  }
+  out << ChromeTraceJson();
+  out.close();
+  if (!out) {
+    return Status::RuntimeError("failed writing trace to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::string Engine::ExplainWithStats(const Dataset& ds) {
+  std::ostringstream os;
+  std::unordered_set<const DatasetImpl*> visited;
+  const std::function<void(const DatasetImpl*, int)> walk =
+      [&](const DatasetImpl* d, int depth) {
+        os << std::string(static_cast<size_t>(depth) * 2, ' ') << "#"
+           << d->stage_.id << " " << d->label_ << " [" << KindName(d->kind_)
+           << "] parts=" << d->num_partitions();
+        if (!visited.insert(d).second) {
+          os << " (shown above)\n";
+          return;
+        }
+        if (StageStats* s = stages_.Get(d->stage_)) {
+          const StageStatsSnapshot snap = s->Snapshot();
+          os << " tasks=" << snap.counters.tasks_run
+             << " records_in=" << snap.counters.records_processed
+             << " shuffle_bytes=" << snap.counters.shuffle_bytes
+             << " cross_bytes=" << snap.counters.cross_executor_bytes
+             << " recomputed=" << snap.counters.tasks_recomputed;
+          if (snap.task_us.count > 0) {
+            os << " task_us{" << snap.task_us.ToString() << "}";
+          }
+        }
+        os << "\n";
+        for (const auto& p : d->parents_) walk(p.get(), depth + 1);
+      };
+  walk(ds.get(), 0);
+  return os.str();
 }
 
 Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
@@ -56,15 +126,27 @@ Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
   ds->parents_ = std::move(parents);
   ds->parts_.resize(num_partitions);
   ds->available_.assign(num_partitions, false);
+  ds->stage_ = stages_.NewStage(ds->label_, KindName(kind));
   return ds;
 }
 
-Status Engine::ParallelParts(int n, const std::function<Status(int)>& fn) {
+Status Engine::ParallelParts(const TaskContext& ctx, int n,
+                             const std::function<Status(int)>& fn) {
   std::mutex mu;
   Status first_error;
   pool_.ParallelFor(static_cast<size_t>(n), [&](size_t i) {
-    metrics_.AddTask();
+    trace::ScopedSpan span(&tracer_,
+                           ctx.label + ":" + ctx.phase + "[" +
+                               std::to_string(i) + "]",
+                           "task", ctx.parent_span);
+    Stopwatch sw;
+    if (ctx.stats) {
+      ctx.stats->AddTask();
+    } else {
+      metrics_.AddTask();
+    }
     Status st = fn(static_cast<int>(i));
+    if (ctx.stats) ctx.stats->RecordTaskMicros(sw.ElapsedMicros());
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(mu);
       if (first_error.ok()) first_error = st;
@@ -77,10 +159,15 @@ Dataset Engine::Parallelize(ValueVec rows, int num_partitions) {
   if (num_partitions <= 0) num_partitions = config_.default_parallelism;
   Dataset ds = NewDataset(DatasetImpl::OpKind::kSource, "parallelize", {},
                           num_partitions);
+  trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  Stopwatch sw;
   for (size_t i = 0; i < rows.size(); ++i) {
     ds->parts_[i % num_partitions].push_back(std::move(rows[i]));
   }
   ds->available_.assign(num_partitions, true);
+  if (StageStats* stats = StatsFor(ds.get())) {
+    stats->AddWallMicros(sw.ElapsedMicros());
+  }
   return ds;
 }
 
@@ -97,11 +184,18 @@ Result<Dataset> Engine::GeneratePartitions(
     self->available_[out_part] = true;
     return Status::OK();
   };
-  SAC_RETURN_NOT_OK(ParallelParts(num_partitions, [&](int i) {
-    SAC_RETURN_NOT_OK(gen(i, &ds->parts_[i]));
-    ds->available_[i] = true;
-    return Status::OK();
-  }));
+  trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  Stopwatch sw;
+  SAC_RETURN_NOT_OK(
+      ParallelParts(ContextFor(ds.get(), span.id()), num_partitions,
+                    [&](int i) {
+                      SAC_RETURN_NOT_OK(gen(i, &ds->parts_[i]));
+                      ds->available_[i] = true;
+                      return Status::OK();
+                    }));
+  if (StageStats* stats = StatsFor(ds.get())) {
+    stats->AddWallMicros(sw.ElapsedMicros());
+  }
   return ds;
 }
 
@@ -147,12 +241,21 @@ Result<Dataset> Engine::MapPartitions(const Dataset& in, PartitionFn fn,
   Dataset ds = NewDataset(DatasetImpl::OpKind::kNarrow, label, {in},
                           in->num_partitions());
   ds->narrow_fn_ = fn;
-  SAC_RETURN_NOT_OK(ParallelParts(ds->num_partitions(), [&](int i) {
-    metrics_.AddRecords(in->parts_[i].size());
-    SAC_RETURN_NOT_OK(fn(in->parts_[i], &ds->parts_[i]));
-    ds->available_[i] = true;
-    return Status::OK();
-  }));
+  StageStats* stats = StatsFor(ds.get());
+  trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  Stopwatch sw;
+  SAC_RETURN_NOT_OK(ParallelParts(
+      ContextFor(ds.get(), span.id()), ds->num_partitions(), [&](int i) {
+        AddRecordsTo(stats, in->parts_[i].size());
+        SAC_RETURN_NOT_OK(fn(in->parts_[i], &ds->parts_[i]));
+        ds->available_[i] = true;
+        return Status::OK();
+      }));
+  if (stats) {
+    stats->AddWallMicros(sw.ElapsedMicros());
+    span.AddArg("records_in",
+                static_cast<int64_t>(stats->counters().records_processed()));
+  }
   return ds;
 }
 
@@ -161,6 +264,7 @@ Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
   SAC_RETURN_NOT_OK(Recover(b));
   const int n = a->num_partitions() + b->num_partitions();
   Dataset ds = NewDataset(DatasetImpl::OpKind::kUnion, "union", {a, b}, n);
+  trace::ScopedSpan span(&tracer_, ds->label_, "stage");
   for (int i = 0; i < a->num_partitions(); ++i) ds->parts_[i] = a->parts_[i];
   for (int i = 0; i < b->num_partitions(); ++i) {
     ds->parts_[a->num_partitions() + i] = b->parts_[i];
@@ -181,7 +285,8 @@ Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
   return ds;
 }
 
-Result<Engine::ShuffleBuckets> Engine::BucketRows(const Partition& rows,
+Result<Engine::ShuffleBuckets> Engine::BucketRows(StageStats* stats,
+                                                  const Partition& rows,
                                                   int src_part,
                                                   int num_dest) {
   ShuffleBuckets buckets;
@@ -194,12 +299,18 @@ Result<Engine::ShuffleBuckets> Engine::BucketRows(const Partition& rows,
     ++buckets.records;
   }
   buckets.by_dest.resize(num_dest);
+  auto add_shuffle = [&](uint64_t bytes, uint64_t records, bool cross) {
+    if (stats) {
+      stats->AddShuffle(bytes, records, cross);
+    } else {
+      metrics_.AddShuffle(bytes, records, cross);
+    }
+  };
   for (int d = 0; d < num_dest; ++d) {
-    metrics_.AddShuffle(writers[d].size(), 0,
-                        ExecutorOf(src_part) != ExecutorOf(d));
+    add_shuffle(writers[d].size(), 0, ExecutorOf(src_part) != ExecutorOf(d));
     buckets.by_dest[d] = writers[d].TakeBuffer();
   }
-  metrics_.AddShuffle(0, buckets.records, false);
+  add_shuffle(0, buckets.records, false);
   return buckets;
 }
 
@@ -223,6 +334,11 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
                               int only_dest) {
   const int num_dest = ds->num_partitions();
   const int num_parents = static_cast<int>(ds->parents_.size());
+  StageStats* stats = StatsFor(ds);
+  trace::ScopedSpan stage_span(
+      &tracer_, only_dest < 0 ? ds->label_ : ds->label_ + ":recover",
+      "stage");
+  Stopwatch stage_sw;
 
   // Map side: bucket every parent partition (parallel across partitions).
   // buckets[parent][src][dest] = serialized rows.
@@ -233,14 +349,17 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
     DatasetImpl* parent = ds->parents_[p].get();
     const int num_src = parent->num_partitions();
     buckets[p].resize(num_src);
-    SAC_RETURN_NOT_OK(ParallelParts(num_src, [&](int s) -> Status {
-      SAC_ASSIGN_OR_RETURN(Partition combined,
-                           map_side(parent->parts_[s], p));
-      SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
-                           BucketRows(combined, s, num_dest));
-      buckets[p][s] = std::move(bs.by_dest);
-      return Status::OK();
-    }));
+    SAC_RETURN_NOT_OK(ParallelParts(
+        ContextFor(ds, stage_span.id(), "shuffle-write"), num_src,
+        [&](int s) -> Status {
+          AddRecordsTo(stats, parent->parts_[s].size());
+          SAC_ASSIGN_OR_RETURN(Partition combined,
+                               map_side(parent->parts_[s], p));
+          SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
+                               BucketRows(stats, combined, s, num_dest));
+          buckets[p][s] = std::move(bs.by_dest);
+          return Status::OK();
+        }));
   }
 
   // Reduce side: deserialize this destination's buckets in deterministic
@@ -264,8 +383,29 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
     return Status::OK();
   };
 
-  if (only_dest >= 0) return reduce_one(only_dest);
-  return ParallelParts(num_dest, reduce_one);
+  Status st;
+  if (only_dest >= 0) {
+    st = reduce_one(only_dest);
+  } else {
+    st = ParallelParts(ContextFor(ds, stage_span.id(), "reduce"), num_dest,
+                       reduce_one);
+  }
+  if (stats) {
+    stats->AddWallMicros(stage_sw.ElapsedMicros());
+    const MetricsSnapshot c = stats->counters().Snapshot();
+    stage_span.AddArg("shuffle_bytes",
+                      static_cast<int64_t>(c.shuffle_bytes));
+    stage_span.AddArg("shuffle_records",
+                      static_cast<int64_t>(c.shuffle_records));
+    stage_span.AddArg("cross_executor_bytes",
+                      static_cast<int64_t>(c.cross_executor_bytes));
+    SAC_LOG(Debug) << "stage #" << ds->stage_.id << " " << ds->label()
+                   << (only_dest >= 0 ? " (recover)" : "") << ": "
+                   << c.shuffle_records << " records, " << c.shuffle_bytes
+                   << " shuffle bytes in " << stage_sw.ElapsedMicros() / 1000.0
+                   << " ms";
+  }
+  return st;
 }
 
 Result<Dataset> Engine::ReduceByKey(const Dataset& in, CombineFn combine,
@@ -411,6 +551,7 @@ Result<Dataset> Engine::CoGroup(const Dataset& a, const Dataset& b,
 }
 
 Result<ValueVec> Engine::Collect(const Dataset& in) {
+  trace::ScopedSpan span(&tracer_, "collect:" + in->label_, "action");
   SAC_RETURN_NOT_OK(Recover(in));
   ValueVec out;
   size_t total = 0;
@@ -439,7 +580,13 @@ Status Engine::Recover(const Dataset& ds) {
 }
 
 Status Engine::RecomputePartition(DatasetImpl* ds, int i) {
-  metrics_.AddRecompute();
+  if (StageStats* stats = StatsFor(ds)) {
+    stats->AddRecompute();
+  } else {
+    metrics_.AddRecompute();
+  }
+  tracer_.Instant("recompute:" + ds->label_, "recompute", 0,
+                  {{"partition", i}, {"stage", ds->stage_.id}});
   switch (ds->kind_) {
     case DatasetImpl::OpKind::kSource:
       if (ds->wide_fn_) return ds->wide_fn_(this, ds, i);

@@ -27,6 +27,7 @@
 #include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 #include "src/runtime/value.h"
 
 namespace sac::runtime {
@@ -59,18 +60,23 @@ class DatasetImpl {
 
   int num_partitions() const { return static_cast<int>(parts_.size()); }
   const std::string& label() const { return label_; }
+  /// Index of this node's stage in Engine::stages() (see StageRegistry).
+  int stage_id() const { return stage_.id; }
 
   /// Fault injection: drop the materialized data of one partition.
-  void InvalidatePartition(int i) { available_[i] = false; }
-  bool IsAvailable(int i) const { return available_[i]; }
+  void InvalidatePartition(int i) { available_[i] = 0; }
+  bool IsAvailable(int i) const { return available_[i] != 0; }
 
  private:
   friend class Engine;
   OpKind kind_ = OpKind::kSource;
   std::string label_;
+  StageRef stage_;  // per-stage metrics attribution (generation-tagged)
   std::vector<std::shared_ptr<DatasetImpl>> parents_;
   std::vector<Partition> parts_;
-  std::vector<bool> available_;
+  // uint8_t, not bool: reduce tasks mark distinct partitions available from
+  // pool threads in parallel, and vector<bool> packs bits into shared words.
+  std::vector<uint8_t> available_;
 
   // Recompute closures (captured at operator creation) by kind:
   // narrow: output partition i from parent partition i.
@@ -96,7 +102,29 @@ class Engine {
 
   const ClusterConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
+  StageRegistry& stages() { return stages_; }
+  trace::Tracer& tracer() { return tracer_; }
   ThreadPool& pool() { return pool_; }
+
+  // ---- Observability --------------------------------------------------
+  /// Clears totals, per-stage stats and the trace buffer in one step
+  /// (call between measured runs; never concurrently with a query).
+  void ResetStats();
+
+  /// Human-readable per-stage metrics table (one row per operator run).
+  std::string ReportString() const { return stages_.ReportString(); }
+
+  /// Prints the lineage DAG of `ds` with the observed per-node metrics
+  /// (shuffle bytes, records, tasks, recomputes) inline.
+  std::string ExplainWithStats(const Dataset& ds);
+
+  /// Chrome trace-event JSON of everything traced so far (load in
+  /// chrome://tracing or Perfetto). Does not clear the buffer.
+  std::string ChromeTraceJson() const {
+    return trace::Tracer::ToChromeJson(tracer_.Snapshot());
+  }
+  /// Writes ChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
 
   // ---- Sources ------------------------------------------------------
   /// Distributes `rows` round-robin over `num_partitions` partitions
@@ -166,6 +194,32 @@ class Engine {
   Dataset NewDataset(DatasetImpl::OpKind kind, std::string label,
                      std::vector<Dataset> parents, int num_partitions);
 
+  /// Per-stage attribution of `ds`'s tasks/bytes; nullptr after a
+  /// StageRegistry::Reset() that predates the dataset (totals still
+  /// accumulate via Metrics directly in that case).
+  StageStats* StatsFor(DatasetImpl* ds) { return stages_.Get(ds->stage_); }
+
+  /// Context threaded through ParallelParts so each partition task is
+  /// attributed (metrics) and traced (span) against the right stage.
+  struct TaskContext {
+    StageStats* stats = nullptr;    // stage to charge tasks/durations to
+    uint64_t parent_span = 0;       // stage span enclosing the tasks
+    std::string label;              // stage label, prefixes task names
+    const char* phase = "task";     // "task" | "shuffle-write" | ...
+  };
+  TaskContext ContextFor(DatasetImpl* ds, uint64_t parent_span,
+                         const char* phase = "task") {
+    return TaskContext{StatsFor(ds), parent_span, ds->label_, phase};
+  }
+
+  void AddRecordsTo(StageStats* stats, uint64_t n) {
+    if (stats) {
+      stats->AddRecords(n);
+    } else {
+      metrics_.AddRecords(n);
+    }
+  }
+
   /// Creates, executes and wires up a wide (shuffling) operator.
   Result<Dataset> ShuffleOp(DatasetImpl::OpKind kind, const std::string& label,
                             std::vector<Dataset> parents, int num_partitions,
@@ -177,7 +231,10 @@ class Engine {
                         const ReduceSideFn& reduce_side, int only_dest);
 
   /// Runs fn over partitions in parallel; collects the first error.
-  Status ParallelParts(int n, const std::function<Status(int)>& fn);
+  /// Each task gets a span (parented to ctx.parent_span) and charges its
+  /// duration to ctx.stats.
+  Status ParallelParts(const TaskContext& ctx, int n,
+                       const std::function<Status(int)>& fn);
 
   Status RecomputePartition(DatasetImpl* ds, int i);
 
@@ -188,8 +245,8 @@ class Engine {
     std::vector<std::vector<uint8_t>> by_dest;
     uint64_t records = 0;
   };
-  Result<ShuffleBuckets> BucketRows(const Partition& rows, int src_part,
-                                    int num_dest);
+  Result<ShuffleBuckets> BucketRows(StageStats* stats, const Partition& rows,
+                                    int src_part, int num_dest);
 
   int ExecutorOf(int partition) const {
     return partition % config_.num_executors;
@@ -198,6 +255,8 @@ class Engine {
   ClusterConfig config_;
   ThreadPool pool_;
   Metrics metrics_;
+  StageRegistry stages_{&metrics_};
+  trace::Tracer tracer_;
 };
 
 }  // namespace sac::runtime

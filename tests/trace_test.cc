@@ -1,0 +1,242 @@
+// Unit tests for the sac::trace layer: histograms, per-thread span
+// buffers and their merge, Chrome trace-event JSON export, plus the
+// Metrics::Snapshot and SAC_LOG_LEVEL satellites.
+#include "src/common/trace.h"
+
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "tests/test_json.h"
+
+namespace sac::trace {
+namespace {
+
+TEST(HistogramTest, CountsSumsAndPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  // Bucket upper bounds are powers of two minus one.
+  EXPECT_GE(s.Percentile(0.5), 50u);
+  EXPECT_LE(s.Percentile(0.5), 63u);
+  EXPECT_GE(s.Percentile(1.0), 100u);
+  EXPECT_EQ(s.Percentile(0.0), 1u);
+
+  h.Reset();
+  s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, ZeroGoesToBucketZero) {
+  Histogram h;
+  h.Record(0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.Percentile(0.99), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Snapshot().count, 8000u);
+  EXPECT_EQ(h.Snapshot().sum, 56000u);
+}
+
+TEST(TracerTest, ScopedSpanRecordsOnDestruction) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "outer", "stage");
+    EXPECT_NE(span.id(), 0u);
+    EXPECT_EQ(tracer.size(), 0u);  // not recorded until close
+  }
+  EXPECT_EQ(tracer.size(), 1u);
+  std::vector<SpanRecord> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].category, "stage");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(tracer.size(), 0u);  // drained
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  {
+    ScopedSpan span(&tracer, "ignored", "stage");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  tracer.Instant("also-ignored", "recompute", 0);
+  EXPECT_EQ(tracer.size(), 0u);
+  // Null tracer is a no-op too.
+  ScopedSpan null_span(nullptr, "x", "y");
+  EXPECT_EQ(null_span.id(), 0u);
+}
+
+TEST(TracerTest, ParentLinkAndNesting) {
+  Tracer tracer;
+  uint64_t outer_id = 0;
+  {
+    ScopedSpan outer(&tracer, "outer", "stage");
+    outer_id = outer.id();
+    { ScopedSpan inner(&tracer, "inner", "task", outer.id()); }
+    { ScopedSpan inner2(&tracer, "inner2", "task", outer.id()); }
+  }
+  std::vector<SpanRecord> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  std::map<uint64_t, SpanRecord> by_id;
+  for (const SpanRecord& s : spans) by_id[s.id] = s;
+  for (const SpanRecord& s : spans) {
+    if (s.parent == 0) continue;
+    ASSERT_TRUE(by_id.count(s.parent)) << "dangling parent of " << s.name;
+    const SpanRecord& p = by_id[s.parent];
+    EXPECT_EQ(p.id, outer_id);
+    // Child interval inside parent interval.
+    EXPECT_GE(s.start_us, p.start_us);
+    EXPECT_LE(s.start_us + s.dur_us, p.start_us + p.dur_us);
+  }
+}
+
+TEST(TracerTest, MergesPerThreadBuffersAcrossThreads) {
+  Tracer tracer;
+  constexpr int kThreads = 6;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(&tracer, "t" + std::to_string(t), "task");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<SpanRecord> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  // Ids are unique across threads; tids distinguish the writers.
+  std::map<uint64_t, int> id_count;
+  std::map<uint32_t, int> per_tid;
+  for (const SpanRecord& s : spans) {
+    ++id_count[s.id];
+    ++per_tid[s.tid];
+  }
+  EXPECT_EQ(id_count.size(), spans.size());
+  EXPECT_EQ(per_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, n] : per_tid) EXPECT_EQ(n, kSpansPerThread);
+  // Drain sorted by start time.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_us, spans[i].start_us);
+  }
+}
+
+TEST(TracerTest, InstantEventsCarryArgs) {
+  Tracer tracer;
+  tracer.Instant("recompute:join", "recompute", 0,
+                 {{"partition", 3}, {"stage", 7}});
+  std::vector<SpanRecord> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].instant);
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[0].key, "partition");
+  EXPECT_EQ(spans[0].args[0].value, 3);
+}
+
+TEST(TracerTest, ChromeJsonParsesAndRoundTripsSpans) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "stage \"quoted\\name\"\n", "stage");
+    outer.AddArg("shuffle_bytes", 12345);
+    ScopedSpan inner(&tracer, "task", "task", outer.id());
+  }
+  tracer.Instant("recompute:x", "recompute", 0, {{"partition", 1}});
+  const std::string json = Tracer::ToChromeJson(tracer.Drain());
+
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::ParseJson(json, &doc)) << json;
+  ASSERT_TRUE(doc.Has("traceEvents"));
+  const auto& events = doc.At("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 3u);
+  bool saw_escaped = false, saw_instant = false, saw_arg = false;
+  for (const auto& e : events.array) {
+    ASSERT_TRUE(e.Has("name"));
+    ASSERT_TRUE(e.Has("ph"));
+    ASSERT_TRUE(e.Has("ts"));
+    ASSERT_TRUE(e.Has("pid"));
+    ASSERT_TRUE(e.Has("tid"));
+    ASSERT_TRUE(e.Has("args"));
+    const std::string ph = e.At("ph").str;
+    ASSERT_TRUE(ph == "X" || ph == "i");
+    if (ph == "X") ASSERT_TRUE(e.Has("dur"));
+    if (ph == "i") saw_instant = true;
+    if (e.At("name").str == "stage \"quoted\\name\"\n") saw_escaped = true;
+    if (e.At("args").Has("shuffle_bytes")) {
+      EXPECT_EQ(e.At("args").At("shuffle_bytes").Int(), 12345);
+      saw_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_escaped);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_arg);
+}
+
+TEST(MetricsSnapshotTest, PlainCopyMatchesAtomics) {
+  Metrics m;
+  m.AddShuffle(1024, 10, /*cross_executor=*/true);
+  m.AddShuffle(512, 5, /*cross_executor=*/false);
+  m.AddTask();
+  m.AddTask();
+  m.AddRecompute();
+  m.AddRecords(42);
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.shuffle_bytes, 1536u);
+  EXPECT_EQ(s.shuffle_records, 15u);
+  EXPECT_EQ(s.cross_executor_bytes, 1024u);
+  EXPECT_EQ(s.tasks_run, 2u);
+  EXPECT_EQ(s.tasks_recomputed, 1u);
+  EXPECT_EQ(s.records_processed, 42u);
+  // Copyable plain struct; ToString goes through the snapshot.
+  MetricsSnapshot copy = s;
+  EXPECT_EQ(copy.ToString(), m.ToString());
+}
+
+TEST(LoggingTest, SetLogLevelFromEnvParsesNamesAndNumbers) {
+  const LogLevel original = GetLogLevel();
+  setenv("SAC_LOG_LEVEL", "debug", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  setenv("SAC_LOG_LEVEL", "ERROR", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  setenv("SAC_LOG_LEVEL", "1", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  // Unparsable and unset values keep the current level.
+  setenv("SAC_LOG_LEVEL", "shout", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  unsetenv("SAC_LOG_LEVEL");
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace sac::trace
