@@ -1,23 +1,52 @@
 #!/usr/bin/env bash
-# CI-style check: the tier-1 verify line, then a ThreadSanitizer build of
-# the concurrency-sensitive tests (engine, trace, thread pool), since the
-# trace/metrics buffers are written from pool threads.
+# CI-style check:
+#   1. tier-1: build (warnings-as-errors) + full ctest
+#   2. sac_lint gate: the analyzer accepts every examples/lint/*_ok.sac
+#      and rejects every *_err.sac with located diagnostics
+#   3. clang-tidy via scripts/lint.sh (skips when not installed)
+#   4. asan: AddressSanitizer+UBSan build, full test suite
+#   5. tsan: ThreadSanitizer build of the concurrency-sensitive tests
+#      (engine, trace, thread pool), since the trace/metrics buffers are
+#      written from pool threads
 #
-# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-if [[ "$mode" != "--tsan-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
   echo "==> tier-1: configure + build + ctest"
-  cmake -B build -S .
+  cmake -B build -S . -DSAC_WERROR=ON
   cmake --build build -j "$jobs"
   (cd build && ctest --output-on-failure -j "$jobs")
+
+  echo "==> sac_lint: examples/lint gate"
+  for f in examples/lint/*_ok.sac; do
+    ./build/tools/sac_lint --Werror "$f" || {
+      echo "sac_lint rejected clean file $f"; exit 1;
+    }
+  done
+  for f in examples/lint/*_err.sac; do
+    if ./build/tools/sac_lint "$f"; then
+      echo "sac_lint accepted erroneous file $f"; exit 1
+    fi
+  done
+
+  scripts/lint.sh
 fi
 
-if [[ "$mode" != "--tier1-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--asan-only" ]]; then
+  echo "==> asan+ubsan: full test suite"
+  cmake -B build-asan -S . -DSAC_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$jobs" --target sac_tests
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/sac_tests
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   echo "==> tsan: engine / trace / observability / thread-pool tests"
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" --target sac_tests

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Static lint pass: clang-tidy (checks from .clang-tidy) over src/ and
+# tools/, using a CMake compile database. Skips cleanly -- exit 0 with a
+# notice -- when clang-tidy is not installed, so check.sh works on minimal
+# containers.
+#
+# Usage: scripts/lint.sh [extra clang-tidy args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tidy=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "lint.sh: clang-tidy not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+echo "==> lint: $tidy over src/ and tools/"
+cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+files="$(find src tools -name '*.cc' | sort)"
+# xargs -P parallelizes across translation units; clang-tidy itself is
+# single-threaded per file.
+echo "$files" | xargs -P "$jobs" -n 4 "$tidy" -p build-lint --quiet "$@"
+echo "==> lint clean"

@@ -1,0 +1,126 @@
+#include "src/analysis/analysis.h"
+
+#include <cctype>
+#include <utility>
+
+#include "src/comp/parser.h"
+#include "src/comp/rewrite.h"
+
+namespace sac::analysis {
+
+namespace {
+
+/// Parser/lexer statuses embed the position as a trailing "... at L:C";
+/// recover it so parse errors render like every other diagnostic.
+comp::Span SpanFromMessage(const std::string& msg) {
+  const size_t at = msg.rfind(" at ");
+  if (at == std::string::npos) return {};
+  int line = 0, col = 0;
+  const char* p = msg.c_str() + at + 4;
+  while (std::isdigit(static_cast<unsigned char>(*p))) {
+    line = line * 10 + (*p++ - '0');
+  }
+  if (*p != ':') return {};
+  ++p;
+  while (std::isdigit(static_cast<unsigned char>(*p))) {
+    col = col * 10 + (*p++ - '0');
+  }
+  if (line <= 0 || col <= 0) return {};
+  const comp::Pos pos{line, col};
+  return comp::Span{pos, pos};
+}
+
+comp::Span SpanOf(const comp::ExprPtr& e) {
+  if (e == nullptr) return {};
+  if (e->span.IsSet()) return e->span;
+  return comp::Span{e->pos, e->pos};
+}
+
+}  // namespace
+
+std::string AnalysisReport::Render(const std::string& file) const {
+  std::string out = RenderAll(diagnostics, file);
+  if (!strategy.empty()) {
+    out += "strategy: " + strategy + "\n";
+    if (!explanation.empty()) out += "  " + explanation + "\n";
+  }
+  if (!plan_tree.empty()) {
+    out += "plan:\n";
+    // Indent the tree two spaces per line.
+    size_t start = 0;
+    while (start < plan_tree.size()) {
+      size_t end = plan_tree.find('\n', start);
+      if (end == std::string::npos) end = plan_tree.size();
+      out += "  " + plan_tree.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+Result<AnalysisReport> AnalyzeQuery(const std::string& src,
+                                    const planner::Bindings& binds,
+                                    const planner::PlannerOptions& opts) {
+  AnalysisReport report;
+
+  // Phase 1: parse.
+  Result<comp::ExprPtr> parsed = comp::Parse(src);
+  if (!parsed.ok()) {
+    report.diagnostics.push_back(
+        Error("SAC-E000", parsed.status().message(),
+              SpanFromMessage(parsed.status().message())));
+    return report;
+  }
+  const comp::ExprPtr& query = parsed.value();
+
+  // Phase 2: comprehension checks on the parsed tree (spans intact).
+  const SymbolTable syms = SymbolsFromBindings(binds);
+  CheckComprehension(query, syms, &report.diagnostics);
+  if (HasErrors(report.diagnostics)) {
+    SortDiagnostics(&report.diagnostics);
+    return report;
+  }
+
+  // Phase 3: normalize and plan.
+  Result<comp::ExprPtr> norm =
+      comp::Normalize(query, [&binds](const std::string& name) {
+        auto it = binds.find(name);
+        return it != binds.end() &&
+               it->second.kind != planner::Binding::Kind::kScalar;
+      });
+  if (!norm.ok()) {
+    report.diagnostics.push_back(Error("SAC-E006", norm.status().message(),
+                                       SpanOf(query)));
+    SortDiagnostics(&report.diagnostics);
+    return report;
+  }
+  Result<planner::CompiledQuery> compiled =
+      planner::CompileQuery(norm.value(), binds, opts);
+  if (!compiled.ok()) {
+    report.diagnostics.push_back(
+        Error("SAC-E006",
+              "no translation strategy applies: " +
+                  compiled.status().message(),
+              SpanOf(query)));
+    SortDiagnostics(&report.diagnostics);
+    return report;
+  }
+  const planner::CompiledQuery& q = compiled.value();
+  report.strategy = planner::StrategyName(q.strategy);
+  report.explanation = q.explanation;
+  if (q.plan != nullptr) report.plan_tree = planner::PlanToString(q.plan);
+
+  // Phases 4 + 5: DAG invariants, then the lint rules.
+  const PlanGraph graph = PlanGraph::FromQuery(q);
+  Status verified = VerifyPlan(graph);
+  if (!verified.ok()) {
+    report.diagnostics.push_back(
+        Error("SAC-E007", verified.message(), SpanOf(query)));
+  }
+  LintPlan(graph, &report.diagnostics);
+
+  SortDiagnostics(&report.diagnostics);
+  return report;
+}
+
+}  // namespace sac::analysis

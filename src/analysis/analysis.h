@@ -1,0 +1,52 @@
+// The pass framework: AnalyzeQuery runs the whole static front half of
+// the pipeline -- parse, comprehension check, normalize, plan, DAG
+// verification, plan lint -- without executing anything, and returns every
+// diagnostic plus the chosen strategy and a rendering of the symbolic
+// plan. Both the `sac_lint` CLI and Sac::Analyze/Explain are thin
+// wrappers over this.
+#ifndef SAC_ANALYSIS_ANALYSIS_H_
+#define SAC_ANALYSIS_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/check.h"
+#include "src/analysis/diagnostic.h"
+#include "src/analysis/lint.h"
+#include "src/analysis/verify.h"
+#include "src/common/status.h"
+#include "src/planner/plan.h"
+#include "src/planner/planner.h"
+
+namespace sac::analysis {
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;  // sorted by position
+  std::string strategy;     // StrategyName, "" when planning was skipped
+  std::string explanation;  // the planner's one-line rationale
+  std::string plan_tree;    // PlanToString of the symbolic DAG ("" if none)
+
+  bool has_errors() const { return HasErrors(diagnostics); }
+
+  /// Diagnostics (one per line, `file:line:col: ...`) followed by an
+  /// EXPLAIN block when a plan was produced.
+  std::string Render(const std::string& file) const;
+};
+
+/// Statically analyzes `src` against `binds`. Phases:
+///   1. parse       -- failures become SAC-E000 diagnostics
+///   2. check       -- comprehension checker (SAC-E001..E005) on the
+///                     parsed tree, where spans are still intact
+///   3. normalize + plan -- skipped when phase 2 errored; planner
+///                     rejection becomes SAC-E006
+///   4. verify      -- DAG invariants (violations become SAC-E007)
+///   5. lint        -- registered plan rules (SAC-W..)
+/// The Result is only an error Status for internal failures; user-level
+/// problems always land in the report's diagnostics.
+Result<AnalysisReport> AnalyzeQuery(
+    const std::string& src, const planner::Bindings& binds,
+    const planner::PlannerOptions& opts = planner::PlannerOptions());
+
+}  // namespace sac::analysis
+
+#endif  // SAC_ANALYSIS_ANALYSIS_H_

@@ -1,0 +1,440 @@
+#include "src/analysis/check.h"
+
+#include <deque>
+#include <memory>
+#include <utility>
+
+namespace sac::analysis {
+
+using comp::Expr;
+using comp::ExprPtr;
+using comp::Pattern;
+using comp::PatternPtr;
+using comp::Qualifier;
+
+namespace {
+
+comp::Span SpanOf(const ExprPtr& e) {
+  if (e->span.IsSet()) return e->span;
+  return comp::Span{e->pos, e->pos};
+}
+
+comp::Span SpanOf(const PatternPtr& p) {
+  if (p->span.IsSet()) return p->span;
+  return comp::Span{p->pos, p->pos};
+}
+
+const char* KindNoun(SymbolInfo::Kind k) {
+  switch (k) {
+    case SymbolInfo::Kind::kScalar: return "scalar";
+    case SymbolInfo::Kind::kLocal: return "local value";
+    case SymbolInfo::Kind::kMatrix: return "matrix";
+    case SymbolInfo::Kind::kVector: return "vector";
+    case SymbolInfo::Kind::kCoo: return "sparse matrix";
+  }
+  return "value";
+}
+
+/// One generator over a named array, as seen while walking a
+/// comprehension; index variables point back here so dimension-conformance
+/// checks (SAC-E004) can compare extents.
+struct GenRec {
+  std::string source;
+  SymbolInfo info;
+  std::vector<std::string> idx;  // index variable per slot ("" = none)
+
+  /// Extent of index slot `s` (-1 unknown).
+  int64_t Extent(size_t s) const {
+    if (info.kind == SymbolInfo::Kind::kVector) return info.rows;
+    return s == 0 ? info.rows : info.cols;
+  }
+  /// "the 200 columns of A"-style description of slot `s`.
+  std::string DimDesc(size_t s) const {
+    const int64_t n = Extent(s);
+    std::string count = n >= 0 ? std::to_string(n) : "unknown number of";
+    std::string dim = info.kind == SymbolInfo::Kind::kVector
+                          ? "elements"
+                          : (s == 0 ? "rows" : "columns");
+    return "the " + count + " " + dim + " of '" + source + "'";
+  }
+};
+
+class Checker {
+ public:
+  Checker(const SymbolTable& syms, std::vector<Diagnostic>* out)
+      : syms_(syms), out_(out) {}
+
+  void Check(const ExprPtr& e) { CheckExpr(e); }
+
+ private:
+  struct LocalVar {
+    const GenRec* gen = nullptr;  // set for generator index variables
+    int slot = -1;
+  };
+  using Scope = std::unordered_map<std::string, LocalVar>;
+
+  // ---- scope helpers -------------------------------------------------------
+
+  const LocalVar* FindLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  /// The symbol `name` refers to, unless shadowed by a local binding.
+  const SymbolInfo* FindSymbol(const std::string& name) const {
+    if (FindLocal(name) != nullptr) return nullptr;
+    auto it = syms_.find(name);
+    return it != syms_.end() ? &it->second : nullptr;
+  }
+
+  bool IsBound(const std::string& name) const {
+    return FindLocal(name) != nullptr || syms_.count(name) > 0;
+  }
+
+  void BindPattern(const PatternPtr& p, const GenRec* gen = nullptr,
+                   int slot = -1) {
+    switch (p->kind) {
+      case Pattern::Kind::kVar:
+        scopes_.back()[p->var] = LocalVar{gen, slot};
+        break;
+      case Pattern::Kind::kWildcard:
+        break;
+      case Pattern::Kind::kTuple:
+        for (const PatternPtr& c : p->elems) BindPattern(c);
+        break;
+    }
+  }
+
+  // ---- diagnostics ---------------------------------------------------------
+
+  void Report(Diagnostic d) { out_->push_back(std::move(d)); }
+
+  /// SAC-E005 when `e` is a variable that (unshadowed) names an array.
+  void CheckScalarOperand(const ExprPtr& e) {
+    if (e->kind != Expr::Kind::kVar) return;
+    const SymbolInfo* s = FindSymbol(e->str_val);
+    if (s == nullptr || !s->is_array()) return;
+    const std::string& n = e->str_val;
+    std::string hint =
+        s->kind == SymbolInfo::Kind::kVector
+            ? "index it (" + n + "[i]) or iterate over it ((i,v) <- " + n + ")"
+            : "index it (" + n + "[i,j]) or iterate over it (((i,j),v) <- " +
+                  n + ")";
+    Report(Error("SAC-E005",
+                 std::string(KindNoun(s->kind)) + " '" + n +
+                     "' used as a scalar; " + hint,
+                 SpanOf(e)));
+  }
+
+  // ---- expression walk -----------------------------------------------------
+
+  void CheckExpr(const ExprPtr& e) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case Expr::Kind::kIntLit:
+      case Expr::Kind::kDoubleLit:
+      case Expr::Kind::kBoolLit:
+      case Expr::Kind::kStringLit:
+        return;
+      case Expr::Kind::kVar:
+        if (!IsBound(e->str_val)) {
+          Report(Error("SAC-E001",
+                       "unbound variable '" + e->str_val + "'", SpanOf(e)));
+        }
+        return;
+      case Expr::Kind::kBinary:
+        CheckScalarOperand(e->children[0]);
+        CheckScalarOperand(e->children[1]);
+        CheckExpr(e->children[0]);
+        CheckExpr(e->children[1]);
+        return;
+      case Expr::Kind::kUnary:
+        CheckScalarOperand(e->children[0]);
+        CheckExpr(e->children[0]);
+        return;
+      case Expr::Kind::kReduce:
+        CheckExpr(e->children[0]);
+        return;
+      case Expr::Kind::kCall:
+        for (const ExprPtr& c : e->children) CheckExpr(c);
+        return;
+      case Expr::Kind::kIndex:
+        CheckIndex(e);
+        return;
+      case Expr::Kind::kTuple:
+      case Expr::Kind::kIf:
+        for (const ExprPtr& c : e->children) CheckExpr(c);
+        return;
+      case Expr::Kind::kBuild:
+        // children[0] is the comprehension; the rest are dimension args,
+        // which are scalar expressions.
+        CheckExpr(e->children[0]);
+        for (size_t i = 1; i < e->children.size(); ++i) {
+          CheckScalarOperand(e->children[i]);
+          CheckExpr(e->children[i]);
+        }
+        return;
+      case Expr::Kind::kComprehension:
+        CheckComp(*e);
+        return;
+    }
+  }
+
+  void CheckIndex(const ExprPtr& e) {
+    const ExprPtr& arr = e->children[0];
+    const size_t nsub = e->children.size() - 1;
+    if (arr->kind == Expr::Kind::kVar) {
+      const SymbolInfo* s = FindSymbol(arr->str_val);
+      if (s != nullptr) {
+        if (!s->is_array() && s->kind != SymbolInfo::Kind::kLocal) {
+          Report(Error("SAC-E005",
+                       "scalar '" + arr->str_val + "' indexed as an array",
+                       SpanOf(e)));
+        } else if (s->is_array() &&
+                   nsub != static_cast<size_t>(s->index_arity())) {
+          Report(Error(
+              "SAC-E003",
+              std::string(KindNoun(s->kind)) + " '" + arr->str_val +
+                  "' takes " + std::to_string(s->index_arity()) +
+                  (s->index_arity() == 1 ? " subscript" : " subscripts") +
+                  ", got " + std::to_string(nsub),
+              SpanOf(e)));
+        }
+      }
+    }
+    CheckExpr(arr);
+    for (size_t i = 1; i < e->children.size(); ++i) {
+      CheckScalarOperand(e->children[i]);
+      CheckExpr(e->children[i]);
+    }
+  }
+
+  // ---- comprehension walk --------------------------------------------------
+
+  void CheckComp(const Expr& comp) {
+    scopes_.emplace_back();
+    std::vector<const GenRec*> gens;
+    for (const Qualifier& q : comp.quals) {
+      switch (q.kind) {
+        case Qualifier::Kind::kGenerator: {
+          CheckExpr(q.expr);
+          const GenRec* rec = ClassifyGenerator(q);
+          if (rec != nullptr) {
+            gens.push_back(rec);
+            BindGeneratorPattern(q.pattern, rec);
+          } else {
+            BindPattern(q.pattern);
+          }
+          break;
+        }
+        case Qualifier::Kind::kLet:
+          CheckExpr(q.expr);
+          BindPattern(q.pattern);
+          break;
+        case Qualifier::Kind::kGuard:
+          CheckGuard(q);
+          break;
+        case Qualifier::Kind::kGroupBy:
+          if (q.expr != nullptr) {
+            CheckExpr(q.expr);
+          } else {
+            // `group by p` groups by already-bound variables.
+            for (const std::string& v : q.pattern->Vars()) {
+              if (!IsBound(v)) {
+                Report(Error("SAC-E001",
+                             "unbound variable '" + v + "' in group-by key",
+                             SpanOf(q.pattern)));
+              }
+            }
+          }
+          BindPattern(q.pattern);
+          break;
+      }
+    }
+    CheckExpr(comp.head());
+    scopes_.pop_back();
+  }
+
+  /// Builds a GenRec when the generator draws from a named array binding;
+  /// reports SAC-E002/E003 for scalar sources and bad patterns.
+  const GenRec* ClassifyGenerator(const Qualifier& q) {
+    const ExprPtr& src = q.expr;
+    if (src->kind == Expr::Kind::kIntLit ||
+        src->kind == Expr::Kind::kDoubleLit ||
+        src->kind == Expr::Kind::kBoolLit) {
+      Report(Error("SAC-E002",
+                   "generator iterates over a literal; expected an array or "
+                   "range",
+                   SpanOf(src)));
+      return nullptr;
+    }
+    if (src->kind != Expr::Kind::kVar) return nullptr;
+    const SymbolInfo* s = FindSymbol(src->str_val);
+    if (s == nullptr) return nullptr;  // unbound already reported
+    if (s->kind == SymbolInfo::Kind::kScalar) {
+      Report(Error("SAC-E002",
+                   "generator iterates over scalar '" + src->str_val +
+                       "'; generators need an array or range",
+                   SpanOf(src)));
+      return nullptr;
+    }
+    if (!s->is_array()) return nullptr;  // local lists are fine, untracked
+
+    gen_store_.push_back(std::make_unique<GenRec>());
+    GenRec* rec = gen_store_.back().get();
+    rec->source = src->str_val;
+    rec->info = *s;
+    CheckGeneratorPattern(q.pattern, rec);
+    return rec;
+  }
+
+  /// Validates the element pattern against the source's row shape:
+  /// matrices yield ((i,j),v) rows, vectors (i,v) rows. Fills rec->idx.
+  void CheckGeneratorPattern(const PatternPtr& p, GenRec* rec) {
+    const bool is_vector = rec->info.kind == SymbolInfo::Kind::kVector;
+    rec->idx.assign(is_vector ? 1 : 2, "");
+    if (p->kind != Pattern::Kind::kTuple) return;  // binds the whole row
+    if (p->elems.size() != 2) {
+      Report(Error("SAC-E003",
+                   std::string(KindNoun(rec->info.kind)) + " '" +
+                       rec->source + "' yields (index, value) pairs; " +
+                       "pattern has " + std::to_string(p->elems.size()) +
+                       " components",
+                   SpanOf(p)));
+      return;
+    }
+    const PatternPtr& key = p->elems[0];
+    if (is_vector) {
+      if (key->kind == Pattern::Kind::kTuple) {
+        Report(Error("SAC-E003",
+                     "vector '" + rec->source +
+                         "' is indexed by a single integer; pattern "
+                         "destructures it into " +
+                         std::to_string(key->elems.size()) + " components",
+                     SpanOf(key)));
+        return;
+      }
+      if (key->kind == Pattern::Kind::kVar) rec->idx[0] = key->var;
+      return;
+    }
+    if (key->kind == Pattern::Kind::kTuple) {
+      if (key->elems.size() != 2) {
+        Report(Error("SAC-E003",
+                     std::string(KindNoun(rec->info.kind)) + " '" +
+                         rec->source +
+                         "' is indexed by (row, column) pairs; pattern "
+                         "destructures the index into " +
+                         std::to_string(key->elems.size()) + " components",
+                     SpanOf(key)));
+        return;
+      }
+      for (size_t s = 0; s < 2; ++s) {
+        if (key->elems[s]->kind == Pattern::Kind::kVar) {
+          rec->idx[s] = key->elems[s]->var;
+        }
+      }
+    }
+  }
+
+  /// Binds pattern vars, tagging index variables with their generator.
+  void BindGeneratorPattern(const PatternPtr& p, const GenRec* rec) {
+    if (p->kind != Pattern::Kind::kTuple || p->elems.size() != 2) {
+      BindPattern(p);
+      return;
+    }
+    const PatternPtr& key = p->elems[0];
+    if (key->kind == Pattern::Kind::kVar && rec->idx.size() == 1) {
+      scopes_.back()[key->var] = LocalVar{rec, 0};
+    } else if (key->kind == Pattern::Kind::kTuple &&
+               key->elems.size() == rec->idx.size()) {
+      for (size_t s = 0; s < key->elems.size(); ++s) {
+        if (key->elems[s]->kind == Pattern::Kind::kVar) {
+          scopes_.back()[key->elems[s]->var] =
+              LocalVar{rec, static_cast<int>(s)};
+        }
+      }
+    } else {
+      BindPattern(key);
+    }
+    BindPattern(p->elems[1]);
+  }
+
+  /// Guards: the usual expression checks plus SAC-E004 for index
+  /// equalities that join two generator dimensions of different extents.
+  void CheckGuard(const Qualifier& q) {
+    CheckExpr(q.expr);
+    const ExprPtr& g = q.expr;
+    if (g->kind != Expr::Kind::kBinary || g->bin_op != comp::BinOp::kEq) {
+      return;
+    }
+    const ExprPtr& l = g->children[0];
+    const ExprPtr& r = g->children[1];
+    if (l->kind != Expr::Kind::kVar || r->kind != Expr::Kind::kVar) return;
+    const LocalVar* lv = FindLocal(l->str_val);
+    const LocalVar* rv = FindLocal(r->str_val);
+    if (lv == nullptr || rv == nullptr) return;
+    if (lv->gen == nullptr || rv->gen == nullptr) return;
+    if (lv->gen == rv->gen) return;  // diagonal-style guard, not a join
+    const int64_t le = lv->gen->Extent(static_cast<size_t>(lv->slot));
+    const int64_t re = rv->gen->Extent(static_cast<size_t>(rv->slot));
+    if (le < 0 || re < 0 || le == re) return;
+    const comp::Span span = g->span.IsSet() ? g->span
+                                            : comp::Span{g->pos, g->pos};
+    Report(Error("SAC-E004",
+                 "dimension mismatch: '" + l->str_val + "' ranges over " +
+                     lv->gen->DimDesc(static_cast<size_t>(lv->slot)) +
+                     " but '" + r->str_val + "' ranges over " +
+                     rv->gen->DimDesc(static_cast<size_t>(rv->slot)),
+                 span));
+  }
+
+  const SymbolTable& syms_;
+  std::vector<Diagnostic>* out_;
+  std::vector<Scope> scopes_;
+  std::deque<std::unique_ptr<GenRec>> gen_store_;  // stable addresses
+};
+
+}  // namespace
+
+SymbolTable SymbolsFromBindings(const planner::Bindings& binds) {
+  SymbolTable out;
+  for (const auto& [name, b] : binds) {
+    SymbolInfo s;
+    switch (b.kind) {
+      case planner::Binding::Kind::kScalar:
+        s.kind = SymbolInfo::Kind::kScalar;
+        break;
+      case planner::Binding::Kind::kLocal:
+        s.kind = SymbolInfo::Kind::kLocal;
+        break;
+      case planner::Binding::Kind::kTiled:
+        s.kind = SymbolInfo::Kind::kMatrix;
+        s.rows = b.tiled.rows;
+        s.cols = b.tiled.cols;
+        break;
+      case planner::Binding::Kind::kBlockVector:
+        s.kind = SymbolInfo::Kind::kVector;
+        s.rows = b.vec.size;
+        break;
+      case planner::Binding::Kind::kCoo:
+        s.kind = SymbolInfo::Kind::kCoo;
+        s.rows = b.coo.rows;
+        s.cols = b.coo.cols;
+        break;
+    }
+    out.emplace(name, s);
+  }
+  return out;
+}
+
+void CheckComprehension(const comp::ExprPtr& query, const SymbolTable& syms,
+                        std::vector<Diagnostic>* out) {
+  if (query == nullptr) return;
+  Checker c(syms, out);
+  c.Check(query);
+}
+
+}  // namespace sac::analysis

@@ -1,0 +1,54 @@
+// The comprehension checker: semantic validation of a *parsed* (not yet
+// normalized) query against the session's bindings. Runs before planning,
+// so its diagnostics carry the spans the parser recorded -- normalization
+// rewrites would destroy them.
+//
+// Rule catalog (errors):
+//   SAC-E001  unbound variable
+//   SAC-E002  generator iterates over a scalar
+//   SAC-E003  index arity mismatch (pattern or A[i,...] subscripts)
+//   SAC-E004  dimension conformance: an index equality joins two
+//             generator dimensions of different extents (the matmul
+//             inner-dimension error)
+//   SAC-E005  scalar/tile confusion: a distributed array used as a scalar
+#ifndef SAC_ANALYSIS_CHECK_H_
+#define SAC_ANALYSIS_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/comp/ast.h"
+#include "src/planner/plan.h"
+
+namespace sac::analysis {
+
+/// What a top-level name denotes, with dimensions when known (-1 unknown).
+struct SymbolInfo {
+  enum class Kind { kScalar, kLocal, kMatrix, kVector, kCoo };
+  Kind kind = Kind::kScalar;
+  int64_t rows = -1;  // kVector: the size
+  int64_t cols = -1;
+
+  bool is_array() const {
+    return kind == Kind::kMatrix || kind == Kind::kVector ||
+           kind == Kind::kCoo;
+  }
+  /// How many integer subscripts an A[...] on this symbol takes.
+  int index_arity() const { return kind == Kind::kVector ? 1 : 2; }
+};
+
+using SymbolTable = std::unordered_map<std::string, SymbolInfo>;
+
+SymbolTable SymbolsFromBindings(const planner::Bindings& binds);
+
+/// Appends diagnostics for `query` (a parsed expression) to `out`.
+/// Never fails: malformed constructs produce diagnostics, not statuses.
+void CheckComprehension(const comp::ExprPtr& query, const SymbolTable& syms,
+                        std::vector<Diagnostic>* out);
+
+}  // namespace sac::analysis
+
+#endif  // SAC_ANALYSIS_CHECK_H_

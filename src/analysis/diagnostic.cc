@@ -1,0 +1,89 @@
+#include "src/analysis/diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace sac::analysis {
+
+const char* SeverityName(Diagnostic::Severity s) {
+  switch (s) {
+    case Diagnostic::Severity::kNote: return "note";
+    case Diagnostic::Severity::kWarning: return "warning";
+    case Diagnostic::Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::Render(const std::string& file) const {
+  std::ostringstream os;
+  os << file << ":";
+  if (span.IsSet()) {
+    os << span.begin.line << ":" << span.begin.col << ":";
+  }
+  os << " " << SeverityName(severity) << " [" << code << "] " << message;
+  return os.str();
+}
+
+namespace {
+
+Diagnostic Make(Diagnostic::Severity sev, std::string code,
+                std::string message, comp::Span span) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.span = span;
+  return d;
+}
+
+}  // namespace
+
+Diagnostic Error(std::string code, std::string message, comp::Span span) {
+  return Make(Diagnostic::Severity::kError, std::move(code),
+              std::move(message), span);
+}
+
+Diagnostic Warning(std::string code, std::string message, comp::Span span) {
+  return Make(Diagnostic::Severity::kWarning, std::move(code),
+              std::move(message), span);
+}
+
+Diagnostic Note(std::string code, std::string message, comp::Span span) {
+  return Make(Diagnostic::Severity::kNote, std::move(code),
+              std::move(message), span);
+}
+
+bool HasErrors(const std::vector<Diagnostic>& ds) {
+  return std::any_of(ds.begin(), ds.end(), [](const Diagnostic& d) {
+    return d.severity == Diagnostic::Severity::kError;
+  });
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* ds) {
+  auto rank = [](const Diagnostic& d) {
+    // Unknown positions sort last; errors first within a position.
+    const int line = d.span.IsSet() ? d.span.begin.line : 1 << 30;
+    const int col = d.span.IsSet() ? d.span.begin.col : 1 << 30;
+    const int sev = d.severity == Diagnostic::Severity::kError ? 0
+                    : d.severity == Diagnostic::Severity::kWarning ? 1
+                                                                   : 2;
+    return std::make_tuple(line, col, sev);
+  };
+  std::stable_sort(ds->begin(), ds->end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return rank(a) < rank(b);
+                   });
+}
+
+std::string RenderAll(const std::vector<Diagnostic>& ds,
+                      const std::string& file) {
+  std::string out;
+  for (const Diagnostic& d : ds) {
+    out += d.Render(file);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sac::analysis

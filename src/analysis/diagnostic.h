@@ -1,0 +1,47 @@
+// Structured diagnostics for the static analyzer (src/analysis/): every
+// checker/linter finding carries a severity, a stable rule code (SAC-Exxx
+// for errors, SAC-Wxx for plan warnings), a human message, and the source
+// span of the construct that triggered it. Rendering follows the familiar
+// compiler format `file:line:col: severity [CODE] message`.
+#ifndef SAC_ANALYSIS_DIAGNOSTIC_H_
+#define SAC_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/comp/ast.h"
+
+namespace sac::analysis {
+
+struct Diagnostic {
+  enum class Severity { kNote, kWarning, kError };
+
+  Severity severity = Severity::kWarning;
+  std::string code;     // "SAC-E004", "SAC-W03", ...
+  std::string message;  // one line, no trailing period needed
+  comp::Span span;      // begin drives the file:line:col prefix
+
+  /// "file:line:col: error [SAC-E004] message" (or "file: ..." when the
+  /// span is unknown).
+  std::string Render(const std::string& file) const;
+};
+
+const char* SeverityName(Diagnostic::Severity s);
+
+Diagnostic Error(std::string code, std::string message, comp::Span span);
+Diagnostic Warning(std::string code, std::string message, comp::Span span);
+Diagnostic Note(std::string code, std::string message, comp::Span span);
+
+bool HasErrors(const std::vector<Diagnostic>& ds);
+
+/// Stable-sorts by source position (diagnostics without a position go
+/// last), errors before warnings at the same position.
+void SortDiagnostics(std::vector<Diagnostic>* ds);
+
+/// One rendered line per diagnostic, each newline-terminated.
+std::string RenderAll(const std::vector<Diagnostic>& ds,
+                      const std::string& file);
+
+}  // namespace sac::analysis
+
+#endif  // SAC_ANALYSIS_DIAGNOSTIC_H_

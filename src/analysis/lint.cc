@@ -1,0 +1,198 @@
+#include "src/analysis/lint.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sac::analysis {
+
+using planner::PlanNode;
+using planner::PlanNodePtr;
+
+const std::vector<const LintRule*>& LintRules() {
+  return *internal::LintRuleRegistrar::registry();
+}
+
+namespace internal {
+
+std::vector<const LintRule*>* LintRuleRegistrar::registry() {
+  static std::vector<const LintRule*> rules;
+  return &rules;
+}
+
+LintRuleRegistrar::LintRuleRegistrar(const LintRule* rule) {
+  registry()->push_back(rule);
+}
+
+}  // namespace internal
+
+void LintPlan(const PlanGraph& g, std::vector<Diagnostic>* out) {
+  for (const LintRule* rule : LintRules()) {
+    rule->Run(g, out);
+  }
+}
+
+namespace {
+
+comp::Span SpanOf(const PlanNode& n) { return comp::Span{n.pos, n.pos}; }
+
+std::string NodeDesc(const PlanNode& n) {
+  std::string s = planner::PlanOpName(n.op);
+  if (n.op == PlanNode::Op::kSource) return s + "[" + n.source + "]";
+  if (!n.label.empty()) return s + "[" + n.label + "]";
+  return s;
+}
+
+/// node -> nodes that read it (edges drawn from the creation record).
+std::unordered_map<const PlanNode*, std::vector<const PlanNode*>>
+Consumers(const PlanGraph& g) {
+  std::unordered_map<const PlanNode*, std::vector<const PlanNode*>> out;
+  for (const PlanNodePtr& n : g.nodes) {
+    for (const PlanNodePtr& in : n->inputs) {
+      out[in.get()].push_back(n.get());
+    }
+  }
+  return out;
+}
+
+std::unordered_set<const PlanNode*> Reachable(const PlanNodePtr& root) {
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<const PlanNode*> stack;
+  if (root != nullptr) stack.push_back(root.get());
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    for (const PlanNodePtr& in : n->inputs) {
+      if (in != nullptr) stack.push_back(in.get());
+    }
+  }
+  return seen;
+}
+
+// ---------------------------------------------------------------------------
+// SAC-W01: groupByKey where reduceByKey suffices
+// ---------------------------------------------------------------------------
+
+class GroupByKeyFoldRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W01"; }
+  const char* summary() const override {
+    return "groupByKey whose groups are folded associatively; reduceByKey "
+           "would combine map-side and shuffle less data";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    const auto consumers = Consumers(g);
+    for (const PlanNodePtr& n : g.nodes) {
+      if (n->op != PlanNode::Op::kGroupByKey) continue;
+      auto it = consumers.find(n.get());
+      if (it == consumers.end()) continue;
+      for (const PlanNode* c : it->second) {
+        if (!c->folds_group) continue;
+        out->push_back(Warning(
+            code(),
+            NodeDesc(*n) + " gathers whole groups that " + NodeDesc(*c) +
+                " folds with an associative combine; use reduceByKey to "
+                "combine on the map side",
+            SpanOf(*n)));
+      }
+    }
+  }
+};
+SAC_REGISTER_LINT_RULE(GroupByKeyFoldRule);
+
+// ---------------------------------------------------------------------------
+// SAC-W02: uncached dataset re-read inside an iterative loop
+// ---------------------------------------------------------------------------
+
+class UncachedLoopReuseRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W02"; }
+  const char* summary() const override {
+    return "dataset with several consumers inside an iterative loop is not "
+           "cached; every iteration recomputes it";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    const auto consumers = Consumers(g);
+    for (const PlanNodePtr& n : g.nodes) {
+      if (!n->in_loop || n->cached) continue;
+      auto it = consumers.find(n.get());
+      if (it == consumers.end() || it->second.size() < 2) continue;
+      out->push_back(Warning(
+          code(),
+          NodeDesc(*n) + " is read by " +
+              std::to_string(it->second.size()) +
+              " operators inside an iterative loop but is not cached; "
+              "each iteration recomputes it",
+          SpanOf(*n)));
+    }
+  }
+};
+SAC_REGISTER_LINT_RULE(UncachedLoopReuseRule);
+
+// ---------------------------------------------------------------------------
+// SAC-W03: shuffle whose partitioning already matches the producer
+// ---------------------------------------------------------------------------
+
+class RedundantShuffleRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W03"; }
+  const char* summary() const override {
+    return "shuffle whose target partitioning matches the producer's "
+           "partitioning and key; the repartition moves no row";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    for (const PlanNodePtr& n : g.nodes) {
+      if (!n->is_shuffle() || n->inputs.empty()) continue;
+      bool all_match = true;
+      for (const PlanNodePtr& in : n->inputs) {
+        if (in == nullptr || !in->partitioning.Matches(n->partitioning) ||
+            in->key_arity != n->key_arity) {
+          all_match = false;
+          break;
+        }
+      }
+      if (!all_match) continue;
+      out->push_back(Warning(
+          code(),
+          NodeDesc(*n) + " re-shuffles data already hash-partitioned on "
+                         "the same key (" +
+              n->partitioning.ToString() +
+              "); the producer's partitioning is preserved",
+          SpanOf(*n)));
+    }
+  }
+};
+SAC_REGISTER_LINT_RULE(RedundantShuffleRule);
+
+// ---------------------------------------------------------------------------
+// SAC-W04: dataset computed but never used
+// ---------------------------------------------------------------------------
+
+class DeadDatasetRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W04"; }
+  const char* summary() const override {
+    return "plan node unreachable from the query result; the dataset is "
+           "computed and discarded";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    if (g.root == nullptr) return;
+    const auto live = Reachable(g.root);
+    for (const PlanNodePtr& n : g.nodes) {
+      if (n->op == PlanNode::Op::kSource) continue;  // inputs, not computed
+      if (live.count(n.get()) > 0) continue;
+      out->push_back(Warning(
+          code(),
+          NodeDesc(*n) +
+              " is computed but never reaches the query result; remove it "
+              "or use its output",
+          SpanOf(*n)));
+    }
+  }
+};
+SAC_REGISTER_LINT_RULE(DeadDatasetRule);
+
+}  // namespace
+
+}  // namespace sac::analysis

@@ -1,0 +1,68 @@
+// The plan linter: pattern-based warnings over the symbolic physical plan
+// (planner::PlanNode DAG) that every translation strategy emits next to
+// its executable closure. Rules self-register at static-init time via
+// SAC_REGISTER_LINT_RULE, so adding a rule is a single .cc edit.
+//
+// Rule catalog (warnings):
+//   SAC-W01  groupByKey whose groups are folded with an associative
+//            combine -- reduceByKey would combine map-side
+//   SAC-W02  dataset re-read by several consumers inside an iterative
+//            loop without caching
+//   SAC-W03  shuffle whose target partitioning already matches its
+//            producer's (redundant repartition)
+//   SAC-W04  dataset computed but never used (dead plan node)
+#ifndef SAC_ANALYSIS_LINT_H_
+#define SAC_ANALYSIS_LINT_H_
+
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/planner/plan.h"
+
+namespace sac::analysis {
+
+/// A plan DAG plus the full creation record (plan_nodes may contain nodes
+/// unreachable from root -- exactly what SAC-W04 looks for).
+struct PlanGraph {
+  planner::PlanNodePtr root;
+  std::vector<planner::PlanNodePtr> nodes;
+
+  static PlanGraph FromQuery(const planner::CompiledQuery& q) {
+    return PlanGraph{q.plan, q.plan_nodes};
+  }
+};
+
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+  virtual const char* code() const = 0;     // "SAC-W01"
+  virtual const char* summary() const = 0;  // one line for --list-rules
+  virtual void Run(const PlanGraph& g,
+                   std::vector<Diagnostic>* out) const = 0;
+};
+
+/// All linked-in rules, in registration order.
+const std::vector<const LintRule*>& LintRules();
+
+namespace internal {
+struct LintRuleRegistrar {
+  explicit LintRuleRegistrar(const LintRule* rule);
+  /// The mutable registry behind LintRules() (function-local static, so
+  /// registration order is safe across translation units).
+  static std::vector<const LintRule*>* registry();
+};
+}  // namespace internal
+
+/// Defines a static instance of `RuleClass` and registers it. Use at
+/// namespace scope in a .cc file.
+#define SAC_REGISTER_LINT_RULE(RuleClass)                               \
+  static const RuleClass g_lint_rule_instance_##RuleClass;              \
+  static const ::sac::analysis::internal::LintRuleRegistrar             \
+      g_lint_rule_registrar_##RuleClass(&g_lint_rule_instance_##RuleClass)
+
+/// Runs every registered rule over `g`, appending to `out`.
+void LintPlan(const PlanGraph& g, std::vector<Diagnostic>* out);
+
+}  // namespace sac::analysis
+
+#endif  // SAC_ANALYSIS_LINT_H_

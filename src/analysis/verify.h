@@ -1,0 +1,31 @@
+// The DAG invariant verifier: structural sanity checks over a symbolic
+// plan, run before the engine executes anything (Sac::Eval calls it on
+// every compiled plan; debug builds assert on violations). A failure here
+// is a planner bug, not a user error -- the Status message says which
+// invariant broke and at which node.
+#ifndef SAC_ANALYSIS_VERIFY_H_
+#define SAC_ANALYSIS_VERIFY_H_
+
+#include "src/analysis/lint.h"
+#include "src/common/status.h"
+#include "src/planner/plan.h"
+
+namespace sac::analysis {
+
+/// Verifies the structural invariants of a symbolic plan DAG:
+///   * a non-empty creation record has a root, and every node reachable
+///     from the root appears in the creation record;
+///   * the graph is acyclic;
+///   * operator arity: sources have no input, narrow ops and keyed
+///     shuffles exactly one, join/cogroup/union exactly two, collect at
+///     least one; no input is null;
+///   * keyed shuffles have key_arity >= 1 and agree with their inputs;
+///   * preserves_partitioning appears only on narrow ops;
+///   * folds_group appears only downstream of groupByKey/cogroup;
+///   * sources carry a binding name.
+/// OK for an empty graph (purely local strategies run no engine ops).
+Status VerifyPlan(const PlanGraph& g);
+
+}  // namespace sac::analysis
+
+#endif  // SAC_ANALYSIS_VERIFY_H_

@@ -1,5 +1,7 @@
 #include "src/api/sac.h"
 
+#include <cassert>
+
 #include "src/comp/eval.h"
 #include "src/comp/loops.h"
 #include "src/comp/parser.h"
@@ -85,9 +87,37 @@ Result<CompiledQuery> Sac::Compile(const std::string& src) {
   return planner::CompileQuery(e, binds_, options_);
 }
 
+Result<analysis::AnalysisReport> Sac::Analyze(const std::string& src) {
+  return analysis::AnalyzeQuery(src, binds_, options_);
+}
+
+Result<std::string> Sac::Explain(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(analysis::AnalysisReport report, Analyze(src));
+  return report.Render("<query>");
+}
+
 Result<QueryResult> Sac::Eval(const std::string& src) {
   SAC_ASSIGN_OR_RETURN(CompiledQuery q, Compile(src));
-  return q.run(engine_.get());
+  // Catch planner bugs before any tile is materialized: the symbolic DAG
+  // must satisfy the structural invariants (debug builds additionally
+  // assert, but the check is cheap enough to keep on everywhere).
+  const Status plan_ok =
+      analysis::VerifyPlan(analysis::PlanGraph::FromQuery(q));
+  assert(plan_ok.ok() && "compiled plan failed invariant verification");
+  SAC_RETURN_NOT_OK(plan_ok);
+  SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
+  // Post-run: the result's lineage and stage attributions must line up.
+  switch (r.kind) {
+    case QueryResult::Kind::kTiled:
+      SAC_RETURN_NOT_OK(engine_->VerifyLineage(r.tiled.tiles));
+      break;
+    case QueryResult::Kind::kBlockVector:
+      SAC_RETURN_NOT_OK(engine_->VerifyLineage(r.vec.blocks));
+      break;
+    case QueryResult::Kind::kValue:
+      break;
+  }
+  return r;
 }
 
 Result<storage::TiledMatrix> Sac::EvalTiled(const std::string& src) {
@@ -152,6 +182,12 @@ Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
         }));
     SAC_ASSIGN_OR_RETURN(CompiledQuery q,
                          planner::CompileQuery(norm, binds_, options_));
+    if (u.in_loop) {
+      // Loop-body plans recompile and re-run every iteration; the
+      // analyzer's cache rules (SAC-W02) key off this flag.
+      for (const planner::PlanNodePtr& n : q.plan_nodes) n->in_loop = true;
+    }
+    SAC_RETURN_NOT_OK(analysis::VerifyPlan(analysis::PlanGraph::FromQuery(q)));
     SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
     switch (r.kind) {
       case QueryResult::Kind::kTiled:

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "src/analysis/analysis.h"
 #include "src/common/status.h"
 #include "src/planner/plan.h"
 #include "src/planner/planner.h"
@@ -82,7 +83,19 @@ class Sac {
   /// Compiles without running; inspect .strategy / .explanation.
   Result<planner::CompiledQuery> Compile(const std::string& src);
 
-  /// Compiles and runs.
+  /// Statically analyzes a query against the current bindings without
+  /// running it: comprehension checks, plan verification and lint rules
+  /// (see src/analysis/). Never executes engine operators.
+  Result<analysis::AnalysisReport> Analyze(const std::string& src);
+
+  /// Analyze() rendered as text: diagnostics (file:line:col format, the
+  /// file labelled `<query>`) followed by strategy and symbolic plan.
+  Result<std::string> Explain(const std::string& src);
+
+  /// Compiles and runs. The symbolic plan is verified (analysis::
+  /// VerifyPlan) before any engine operator executes, and the result's
+  /// lineage is verified after -- both guard against planner/engine bugs,
+  /// not user errors.
   Result<planner::QueryResult> Eval(const std::string& src);
 
   /// Eval expecting a tiled-matrix result.

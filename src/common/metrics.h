@@ -161,6 +161,13 @@ class StageRegistry {
   /// Reset() (or was never assigned).
   StageStats* Get(const StageRef& ref);
 
+  /// Current generation tag (bumped by Reset()); a StageRef with this gen
+  /// must resolve via Get() -- the invariant Engine::VerifyLineage checks.
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gen_;
+  }
+
   std::vector<StageStatsSnapshot> Snapshot() const;
 
   /// Drops all stages (totals are reset separately).

@@ -105,7 +105,10 @@ class ByteReader {
     if (pos_ + n > size_) {
       return Status::IoError("read past end of buffer");
     }
-    std::memcpy(out, data_ + pos_, n);
+    // n == 0 reads come from empty strings/arrays, whose destination
+    // pointer may be null -- memcpy's pointer args must be non-null even
+    // for zero sizes.
+    if (n > 0) std::memcpy(out, data_ + pos_, n);
     pos_ += n;
     return Status::OK();
   }

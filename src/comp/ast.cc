@@ -19,6 +19,7 @@ PatternPtr Pattern::Var(std::string name, Pos pos) {
   p->kind = Kind::kVar;
   p->var = std::move(name);
   p->pos = pos;
+  p->span = Span{pos, pos};
   return p;
 }
 
@@ -26,6 +27,7 @@ PatternPtr Pattern::Wildcard(Pos pos) {
   auto p = std::make_shared<Pattern>();
   p->kind = Kind::kWildcard;
   p->pos = pos;
+  p->span = Span{pos, pos};
   return p;
 }
 
@@ -34,6 +36,7 @@ PatternPtr Pattern::Tuple(std::vector<PatternPtr> elems, Pos pos) {
   p->kind = Kind::kTuple;
   p->elems = std::move(elems);
   p->pos = pos;
+  p->span = Span{pos, pos};
   return p;
 }
 
@@ -96,6 +99,7 @@ std::shared_ptr<Expr> New(Expr::Kind k, Pos pos) {
   auto e = std::make_shared<Expr>();
   e->kind = k;
   e->pos = pos;
+  e->span = Span{pos, pos};
   return e;
 }
 }  // namespace
@@ -220,16 +224,19 @@ ExprPtr Expr::If(ExprPtr cond, ExprPtr then_e, ExprPtr else_e, Pos pos) {
 // ---------------------------------------------------------------------------
 
 Qualifier Qualifier::Generator(PatternPtr p, ExprPtr e, Pos pos) {
-  return Qualifier{Kind::kGenerator, std::move(p), std::move(e), pos};
+  return Qualifier{Kind::kGenerator, std::move(p), std::move(e), pos,
+                   Span{pos, pos}};
 }
 Qualifier Qualifier::Let(PatternPtr p, ExprPtr e, Pos pos) {
-  return Qualifier{Kind::kLet, std::move(p), std::move(e), pos};
+  return Qualifier{Kind::kLet, std::move(p), std::move(e), pos,
+                   Span{pos, pos}};
 }
 Qualifier Qualifier::Guard(ExprPtr e, Pos pos) {
-  return Qualifier{Kind::kGuard, nullptr, std::move(e), pos};
+  return Qualifier{Kind::kGuard, nullptr, std::move(e), pos, Span{pos, pos}};
 }
 Qualifier Qualifier::GroupBy(PatternPtr p, ExprPtr e, Pos pos) {
-  return Qualifier{Kind::kGroupBy, std::move(p), std::move(e), pos};
+  return Qualifier{Kind::kGroupBy, std::move(p), std::move(e), pos,
+                   Span{pos, pos}};
 }
 
 std::string Qualifier::ToString() const {

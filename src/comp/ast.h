@@ -23,6 +23,23 @@ struct Pos {
   std::string ToString() const {
     return std::to_string(line) + ":" + std::to_string(col);
   }
+  bool IsSet() const { return line > 0; }
+  bool operator==(const Pos& o) const { return line == o.line && col == o.col; }
+};
+
+/// Half-open source range [begin, end): `end` points one column past the
+/// last character of the construct. Diagnostics carry spans so tools can
+/// print `file:line:col` (and underline the range) for any AST node.
+struct Span {
+  Pos begin;
+  Pos end;
+  bool IsSet() const { return begin.IsSet(); }
+  std::string ToString() const {
+    return begin.ToString() + "-" + end.ToString();
+  }
+  bool operator==(const Span& o) const {
+    return begin == o.begin && end == o.end;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -39,6 +56,7 @@ struct Pattern {
   std::string var;                  // kVar
   std::vector<PatternPtr> elems;    // kTuple
   Pos pos;
+  Span span;  // full source range (begin == pos; end set by the parser)
 
   static PatternPtr Var(std::string name, Pos pos = {});
   static PatternPtr Wildcard(Pos pos = {});
@@ -92,7 +110,8 @@ struct Expr {
   };
 
   Kind kind;
-  Pos pos;
+  Pos pos;    // anchor position (operator position for binary nodes)
+  Span span;  // full source range of the construct (set by the parser)
 
   int64_t int_val = 0;
   double double_val = 0.0;
@@ -147,6 +166,7 @@ struct Qualifier {
   PatternPtr pattern;  // generator / let / group-by
   ExprPtr expr;        // generator source / let rhs / guard / group-by key
   Pos pos;
+  Span span;  // full source range of the qualifier (set by the parser)
 
   static Qualifier Generator(PatternPtr p, ExprPtr e, Pos pos = {});
   static Qualifier Let(PatternPtr p, ExprPtr e, Pos pos = {});

@@ -30,11 +30,14 @@ Result<std::vector<Token>> Lex(const std::string& src) {
   auto peek = [&](size_t k = 0) -> char {
     return i + k < src.size() ? src[i + k] : '\0';
   };
+  // Both emit helpers run right after the token's characters have been
+  // consumed, so the current (line, col) is the token's end position.
   auto emit = [&](TokKind kind, Pos pos, std::string text = "") {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.pos = pos;
+    t.end_pos = Pos{line, col};
     out.push_back(std::move(t));
   };
   auto emit_reduce = [&](ReduceOp op, Pos pos) {
@@ -42,6 +45,7 @@ Result<std::vector<Token>> Lex(const std::string& src) {
     t.kind = TokKind::kReduce;
     t.reduce_op = op;
     t.pos = pos;
+    t.end_pos = Pos{line, col};
     out.push_back(std::move(t));
   };
 
@@ -79,6 +83,7 @@ Result<std::vector<Token>> Lex(const std::string& src) {
       std::string text = src.substr(start, i - start);
       Token t;
       t.pos = pos;
+      t.end_pos = Pos{line, col};
       t.text = text;
       if (is_double) {
         t.kind = TokKind::kDouble;
@@ -277,6 +282,7 @@ Result<std::vector<Token>> Lex(const std::string& src) {
   Token eof;
   eof.kind = TokKind::kEof;
   eof.pos = Pos{line, col};
+  eof.end_pos = eof.pos;
   out.push_back(eof);
   return out;
 }

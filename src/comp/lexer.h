@@ -34,7 +34,8 @@ struct Token {
   int64_t int_val = 0;
   double double_val = 0.0;
   ReduceOp reduce_op = ReduceOp::kSum;
-  Pos pos;
+  Pos pos;      // first character of the token
+  Pos end_pos;  // one past the last character (same line for all tokens)
 
   bool IsIdent(const char* s) const {
     return kind == TokKind::kIdent && text == s;

@@ -115,6 +115,7 @@ Result<TranslatedUpdate> TranslateAssignment(
   TranslatedUpdate out;
   out.target = stmt.target;
   out.query = Expr::Build("tiled", comp, dim_args, stmt.pos);
+  out.in_loop = !loops.empty();
   return out;
 }
 

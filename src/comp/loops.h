@@ -68,6 +68,9 @@ Result<LoopStmtPtr> ParseLoopProgram(const std::string& src);
 struct TranslatedUpdate {
   std::string target;
   ExprPtr query;
+  /// The assignment sat inside at least one `for` nest, so its compiled
+  /// plan re-runs every iteration (the analyzer's SAC-W02 cares).
+  bool in_loop = false;
 };
 
 /// Dimension lookup for a target array: returns the output dimension

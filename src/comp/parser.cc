@@ -104,7 +104,27 @@ class Parser {
   bool At(TokKind k) const { return Cur().kind == k; }
   bool AtIdent(const char* s) const { return Cur().IsIdent(s); }
   void Advance() {
+    last_end_ = Cur().end_pos;
     if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+
+  // ---- span bookkeeping ----------------------------------------------------
+  // Factories stamp span = {pos, pos}; the parser widens it to the full
+  // source range [begin, end-of-last-consumed-token) after each node is
+  // assembled. Nodes are shared immutably, so widening copies the node
+  // (shallow -- children stay shared), which is cheap at parse time.
+  static Pos BeginOf(const ExprPtr& e) {
+    return e->span.IsSet() ? e->span.begin : e->pos;
+  }
+  ExprPtr Spanned(ExprPtr e, Pos begin) const {
+    auto c = std::make_shared<Expr>(*e);
+    c->span = Span{begin, last_end_};
+    return c;
+  }
+  PatternPtr Spanned(PatternPtr p, Pos begin) const {
+    auto c = std::make_shared<Pattern>(*p);
+    c->span = Span{begin, last_end_};
+    return c;
   }
   bool Eat(TokKind k) {
     if (At(k)) {
@@ -127,8 +147,8 @@ class Parser {
     if (At(TokKind::kIdent)) {
       std::string name = Cur().text;
       Advance();
-      if (name == "_") return Pattern::Wildcard(pos);
-      return Pattern::Var(std::move(name), pos);
+      if (name == "_") return Spanned(Pattern::Wildcard(pos), pos);
+      return Spanned(Pattern::Var(std::move(name), pos), pos);
     }
     if (Eat(TokKind::kLParen)) {
       std::vector<PatternPtr> elems;
@@ -140,8 +160,8 @@ class Parser {
         }
       }
       SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' in pattern"));
-      if (elems.size() == 1) return elems[0];
-      return Pattern::Tuple(std::move(elems), pos);
+      if (elems.size() == 1) return Spanned(elems[0], pos);
+      return Spanned(Pattern::Tuple(std::move(elems), pos), pos);
     }
     return Error("expected pattern");
   }
@@ -158,8 +178,9 @@ class Parser {
       if (!AtIdent("else")) return Error("expected 'else'");
       Advance();
       SAC_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExpr());
-      return Expr::If(std::move(cond), std::move(then_e), std::move(else_e),
-                      pos);
+      return Spanned(Expr::If(std::move(cond), std::move(then_e),
+                              std::move(else_e), pos),
+                     pos);
     }
     return ParseOr();
   }
@@ -169,8 +190,11 @@ class Parser {
     while (At(TokKind::kOrOr)) {
       const Pos pos = Cur().pos;
       Advance();
+      const Pos begin = BeginOf(lhs);
       SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
-      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs), pos);
+      lhs = Spanned(
+          Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs), pos),
+          begin);
     }
     return lhs;
   }
@@ -180,8 +204,11 @@ class Parser {
     while (At(TokKind::kAndAnd)) {
       const Pos pos = Cur().pos;
       Advance();
+      const Pos begin = BeginOf(lhs);
       SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp());
-      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs), pos);
+      lhs = Spanned(
+          Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs), pos),
+          begin);
     }
     return lhs;
   }
@@ -200,9 +227,11 @@ class Parser {
         return lhs;
     }
     const Pos pos = Cur().pos;
+    const Pos begin = BeginOf(lhs);
     Advance();
     SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRange());
-    return Expr::Binary(op, std::move(lhs), std::move(rhs), pos);
+    return Spanned(Expr::Binary(op, std::move(lhs), std::move(rhs), pos),
+                   begin);
   }
 
   Result<ExprPtr> ParseRange() {
@@ -210,9 +239,11 @@ class Parser {
     if (AtIdent("until") || AtIdent("to")) {
       const std::string fn = Cur().text;
       const Pos pos = Cur().pos;
+      const Pos begin = BeginOf(lhs);
       Advance();
       SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
-      return Expr::Call(fn, {std::move(lhs), std::move(rhs)}, pos);
+      return Spanned(Expr::Call(fn, {std::move(lhs), std::move(rhs)}, pos),
+                     begin);
     }
     return lhs;
   }
@@ -229,9 +260,11 @@ class Parser {
         return lhs;
       }
       const Pos pos = Cur().pos;
+      const Pos begin = BeginOf(lhs);
       Advance();
       SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
-      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), pos);
+      lhs = Spanned(Expr::Binary(op, std::move(lhs), std::move(rhs), pos),
+                    begin);
     }
   }
 
@@ -249,9 +282,11 @@ class Parser {
         return lhs;
       }
       const Pos pos = Cur().pos;
+      const Pos begin = BeginOf(lhs);
       Advance();
       SAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
-      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs), pos);
+      lhs = Spanned(Expr::Binary(op, std::move(lhs), std::move(rhs), pos),
+                    begin);
     }
   }
 
@@ -259,17 +294,17 @@ class Parser {
     const Pos pos = Cur().pos;
     if (Eat(TokKind::kMinus)) {
       SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return Expr::Unary(UnOp::kNeg, std::move(e), pos);
+      return Spanned(Expr::Unary(UnOp::kNeg, std::move(e), pos), pos);
     }
     if (Eat(TokKind::kNot)) {
       SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return Expr::Unary(UnOp::kNot, std::move(e), pos);
+      return Spanned(Expr::Unary(UnOp::kNot, std::move(e), pos), pos);
     }
     if (At(TokKind::kReduce)) {
       const ReduceOp op = Cur().reduce_op;
       Advance();
       SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return Expr::Reduce(op, std::move(e), pos);
+      return Spanned(Expr::Reduce(op, std::move(e), pos), pos);
     }
     return ParsePostfix();
   }
@@ -278,6 +313,7 @@ class Parser {
     SAC_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
     for (;;) {
       const Pos pos = Cur().pos;
+      const Pos begin = BeginOf(e);
       if (At(TokKind::kLBracket)) {
         Advance();
         SAC_ASSIGN_OR_RETURN(BracketBody body, ParseBracketBody());
@@ -293,6 +329,7 @@ class Parser {
         } else {
           e = Expr::Index(std::move(e), std::move(body.elems), pos);
         }
+        e = Spanned(std::move(e), begin);
         continue;
       }
       if (At(TokKind::kDot)) {
@@ -300,7 +337,7 @@ class Parser {
         if (!At(TokKind::kIdent)) return Error("expected field after '.'");
         std::string field = Cur().text;
         Advance();
-        e = Expr::Call(std::move(field), {std::move(e)}, pos);
+        e = Spanned(Expr::Call(std::move(field), {std::move(e)}, pos), begin);
         continue;
       }
       if (At(TokKind::kLParen) && e->is(Expr::Kind::kVar)) {
@@ -314,7 +351,7 @@ class Parser {
           }
         }
         SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' after arguments"));
-        e = Expr::Call(e->str_val, std::move(args), pos);
+        e = Spanned(Expr::Call(e->str_val, std::move(args), pos), begin);
         continue;
       }
       return e;
@@ -345,7 +382,8 @@ class Parser {
         }
       }
       SAC_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
-      body.comp = Expr::Comprehension(std::move(first), std::move(quals), pos);
+      body.comp = Spanned(
+          Expr::Comprehension(std::move(first), std::move(quals), pos), pos);
       return body;
     }
     body.elems.push_back(std::move(first));
@@ -359,12 +397,16 @@ class Parser {
 
   Result<Qualifier> ParseQualifier() {
     const Pos pos = Cur().pos;
+    auto spanned = [&](Qualifier q) {
+      q.span = Span{pos, last_end_};
+      return q;
+    };
     if (AtIdent("let")) {
       Advance();
       SAC_ASSIGN_OR_RETURN(PatternPtr p, ParsePat());
       SAC_RETURN_NOT_OK(Expect(TokKind::kEq, "'=' in let"));
       SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
-      return Qualifier::Let(std::move(p), std::move(e), pos);
+      return spanned(Qualifier::Let(std::move(p), std::move(e), pos));
     }
     if (AtIdent("group")) {
       Advance();
@@ -375,7 +417,7 @@ class Parser {
       if (Eat(TokKind::kColon)) {
         SAC_ASSIGN_OR_RETURN(key, ParseExpr());
       }
-      return Qualifier::GroupBy(std::move(p), std::move(key), pos);
+      return spanned(Qualifier::GroupBy(std::move(p), std::move(key), pos));
     }
     // Generator `p <- e` vs guard: try pattern + arrow, else backtrack.
     const size_t save = pos_;
@@ -384,12 +426,13 @@ class Parser {
       if (pat.ok() && At(TokKind::kArrow)) {
         Advance();
         SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
-        return Qualifier::Generator(std::move(pat).value(), std::move(e), pos);
+        return spanned(
+            Qualifier::Generator(std::move(pat).value(), std::move(e), pos));
       }
     }
     pos_ = save;
     SAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
-    return Qualifier::Guard(std::move(e), pos);
+    return spanned(Qualifier::Guard(std::move(e), pos));
   }
 
   Result<ExprPtr> ParsePrimary() {
@@ -398,26 +441,26 @@ class Parser {
       case TokKind::kInt: {
         const int64_t v = Cur().int_val;
         Advance();
-        return Expr::Int(v, pos);
+        return Spanned(Expr::Int(v, pos), pos);
       }
       case TokKind::kDouble: {
         const double v = Cur().double_val;
         Advance();
-        return Expr::Double(v, pos);
+        return Spanned(Expr::Double(v, pos), pos);
       }
       case TokKind::kString: {
         std::string v = Cur().text;
         Advance();
-        return Expr::Str(std::move(v), pos);
+        return Spanned(Expr::Str(std::move(v), pos), pos);
       }
       case TokKind::kIdent: {
         std::string name = Cur().text;
         if (name == "true" || name == "false") {
           Advance();
-          return Expr::Bool(name == "true", pos);
+          return Spanned(Expr::Bool(name == "true", pos), pos);
         }
         Advance();
-        return Expr::Var(std::move(name), pos);
+        return Spanned(Expr::Var(std::move(name), pos), pos);
       }
       case TokKind::kLParen: {
         Advance();
@@ -430,14 +473,14 @@ class Parser {
           }
         }
         SAC_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
-        if (elems.size() == 1) return elems[0];
-        return Expr::Tuple(std::move(elems), pos);
+        if (elems.size() == 1) return Spanned(elems[0], pos);
+        return Spanned(Expr::Tuple(std::move(elems), pos), pos);
       }
       case TokKind::kLBracket: {
         Advance();
         SAC_ASSIGN_OR_RETURN(BracketBody body, ParseBracketBody());
-        if (body.is_comprehension) return body.comp;
-        return Expr::Call("list", std::move(body.elems), pos);
+        if (body.is_comprehension) return Spanned(body.comp, pos);
+        return Spanned(Expr::Call("list", std::move(body.elems), pos), pos);
       }
       default:
         return Error("expected expression");
@@ -446,6 +489,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  Pos last_end_;  // end position of the most recently consumed token
 };
 
 }  // namespace

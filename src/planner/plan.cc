@@ -1,0 +1,128 @@
+#include "src/planner/plan.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace sac::planner {
+
+const char* PlanOpName(PlanNode::Op op) {
+  switch (op) {
+    case PlanNode::Op::kSource: return "source";
+    case PlanNode::Op::kMap: return "map";
+    case PlanNode::Op::kFlatMap: return "flatMap";
+    case PlanNode::Op::kFilter: return "filter";
+    case PlanNode::Op::kMapPartitions: return "mapPartitions";
+    case PlanNode::Op::kJoin: return "join";
+    case PlanNode::Op::kCoGroup: return "cogroup";
+    case PlanNode::Op::kReduceByKey: return "reduceByKey";
+    case PlanNode::Op::kGroupByKey: return "groupByKey";
+    case PlanNode::Op::kPartitionBy: return "partitionBy";
+    case PlanNode::Op::kUnion: return "union";
+    case PlanNode::Op::kCollect: return "collect";
+  }
+  return "?";
+}
+
+std::string Partitioning::ToString() const {
+  if (kind == Kind::kNone) return "none";
+  std::string s = "hash(";
+  s += num_partitions < 0 ? "default" : std::to_string(num_partitions);
+  return s + ")";
+}
+
+std::string PlanNode::ToString() const {
+  std::ostringstream os;
+  os << PlanOpName(op);
+  if (op == Op::kSource) {
+    os << "[" << source << "]";
+  } else if (!label.empty()) {
+    os << "[" << label << "]";
+  }
+  os << " part=" << partitioning.ToString() << " key=" << key_arity;
+  if (preserves_partitioning) os << " preserves";
+  if (folds_group) os << " folds-group";
+  if (cached) os << " cached";
+  if (in_loop) os << " in-loop";
+  return os.str();
+}
+
+namespace {
+
+void PrintTree(const PlanNodePtr& node, int depth,
+               std::unordered_map<const PlanNode*, int>* seen,
+               std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  auto it = seen->find(node.get());
+  if (it != seen->end()) {
+    *os << "(see #" << it->second << ")\n";
+    return;
+  }
+  const int id = static_cast<int>(seen->size()) + 1;
+  (*seen)[node.get()] = id;
+  *os << "#" << id << " " << node->ToString() << "\n";
+  for (const PlanNodePtr& in : node->inputs) {
+    PrintTree(in, depth + 1, seen, os);
+  }
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanNodePtr& root) {
+  if (!root) return "(no plan)\n";
+  std::ostringstream os;
+  std::unordered_map<const PlanNode*, int> seen;
+  PrintTree(root, 0, &seen, &os);
+  return os.str();
+}
+
+PlanNodePtr PlanBuilder::Add(PlanNodePtr n) {
+  if (!n->pos.IsSet()) n->pos = default_pos_;
+  nodes_.push_back(n);
+  return n;
+}
+
+PlanNodePtr PlanBuilder::Source(std::string name, int key_arity,
+                                comp::Pos pos) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanNode::Op::kSource;
+  n->source = std::move(name);
+  n->key_arity = key_arity;
+  n->cached = true;  // bound arrays are materialized
+  n->pos = pos;
+  return Add(std::move(n));
+}
+
+PlanNodePtr PlanBuilder::Narrow(PlanNode::Op op, std::string label,
+                                PlanNodePtr in, int key_arity,
+                                bool preserves_partitioning) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = op;
+  n->label = std::move(label);
+  n->key_arity = key_arity;
+  n->preserves_partitioning = preserves_partitioning;
+  if (preserves_partitioning) n->partitioning = in->partitioning;
+  n->inputs.push_back(std::move(in));
+  return Add(std::move(n));
+}
+
+PlanNodePtr PlanBuilder::Shuffle(PlanNode::Op op, std::string label,
+                                 std::vector<PlanNodePtr> ins, int key_arity,
+                                 int num_partitions) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = op;
+  n->label = std::move(label);
+  n->key_arity = key_arity;
+  n->inputs = std::move(ins);
+  n->partitioning = Partitioning{Partitioning::Kind::kHashKey, num_partitions};
+  return Add(std::move(n));
+}
+
+PlanNodePtr PlanBuilder::Collect(std::vector<PlanNodePtr> ins) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = PlanNode::Op::kCollect;
+  n->label = "collect";
+  n->inputs = std::move(ins);
+  return Add(std::move(n));
+}
+
+}  // namespace sac::planner

@@ -8,8 +8,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/comp/ast.h"
 #include "src/runtime/engine.h"
 #include "src/storage/tiled.h"
 
@@ -105,11 +108,121 @@ struct PlannerOptions {
   bool use_jvmlike_kernels = false;
 };
 
+// ---------------------------------------------------------------------------
+// Symbolic physical plan
+// ---------------------------------------------------------------------------
+//
+// Each translation strategy emits, next to its executable closure, a small
+// symbolic DAG describing the engine operators the closure will run. The
+// static analyzer (src/analysis/) lints and verifies this DAG before any
+// tile is materialized: partitioning metadata feeds the shuffle rules
+// (SAC-W03), consumer counts feed the dead-dataset and cache rules
+// (SAC-W02/W04), and VerifyPlan() checks the structural invariants.
+
+/// How a plan node's output is distributed over partitions. `kHashKey`
+/// means rows live on partition `hash(key) % num_partitions` -- the
+/// engine's only shuffle placement, so two hash-partitioned nodes with the
+/// same partition count and an unchanged key are co-partitioned.
+struct Partitioning {
+  enum class Kind { kNone, kHashKey };
+  Kind kind = Kind::kNone;
+  int num_partitions = -1;  // -1 = engine default parallelism
+
+  bool Matches(const Partitioning& other) const {
+    return kind == Kind::kHashKey && other.kind == Kind::kHashKey &&
+           num_partitions == other.num_partitions;
+  }
+  std::string ToString() const;
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// One symbolic operator in the physical plan.
+struct PlanNode {
+  enum class Op {
+    kSource,         // a bound distributed array (already materialized)
+    kMap, kFlatMap, kFilter, kMapPartitions,   // narrow (1 input)
+    kJoin, kCoGroup,                           // wide, 2 inputs
+    kReduceByKey, kGroupByKey, kPartitionBy,   // wide, 1 input
+    kUnion,                                    // 2 inputs, narrow
+    kCollect,                                  // action (n inputs)
+  };
+
+  Op op = Op::kSource;
+  std::string label;   // engine stage label, e.g. "zipTiles"
+  std::string source;  // kSource only: the binding name
+  std::vector<PlanNodePtr> inputs;
+
+  /// Output placement; shuffles set kHashKey, narrow ops inherit it only
+  /// when `preserves_partitioning` (they leave the key untouched).
+  Partitioning partitioning;
+  /// Number of components in the record key (0 = rows are not keyed).
+  int key_arity = 0;
+  /// Narrow op leaves row keys (and hence co-partitioning) intact.
+  bool preserves_partitioning = false;
+  /// This node folds each group of its groupByKey/cogroup input with an
+  /// associative combine -- the signature SAC-W01 looks for.
+  bool folds_group = false;
+  /// Output is materialized and reusable without recompute (sources are;
+  /// the engine evaluates eagerly, so its intermediates are too, but a
+  /// re-planned loop body rebuilds them every iteration).
+  bool cached = false;
+  /// Node is compiled inside an iterative-loop body (DIABLO front end).
+  bool in_loop = false;
+  /// Source position that motivated this operator (comprehension /
+  /// generator position), for diagnostics.
+  comp::Pos pos;
+
+  bool is_shuffle() const {
+    return op == Op::kJoin || op == Op::kCoGroup || op == Op::kReduceByKey ||
+           op == Op::kGroupByKey || op == Op::kPartitionBy;
+  }
+  /// "join(2 in, hash(8), key=2)"-style one-liner.
+  std::string ToString() const;
+};
+
+const char* PlanOpName(PlanNode::Op op);
+
+/// Indented tree rendering of the DAG rooted at `root` (shared nodes are
+/// printed once and referenced by label afterwards).
+std::string PlanToString(const PlanNodePtr& root);
+
+/// Builds symbolic plan nodes, recording every node created -- including
+/// ones that end up unreachable from the root, which is exactly what the
+/// dead-dataset lint (SAC-W04) needs to see.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(comp::Pos default_pos = {}) : default_pos_(default_pos) {}
+
+  PlanNodePtr Source(std::string name, int key_arity, comp::Pos pos = {});
+  PlanNodePtr Narrow(PlanNode::Op op, std::string label, PlanNodePtr in,
+                     int key_arity, bool preserves_partitioning = false);
+  PlanNodePtr Shuffle(PlanNode::Op op, std::string label,
+                      std::vector<PlanNodePtr> ins, int key_arity,
+                      int num_partitions = -1);
+  PlanNodePtr Collect(std::vector<PlanNodePtr> ins);
+
+  const std::vector<PlanNodePtr>& nodes() const { return nodes_; }
+  std::vector<PlanNodePtr> TakeNodes() { return std::move(nodes_); }
+
+ private:
+  PlanNodePtr Add(PlanNodePtr n);
+  comp::Pos default_pos_;
+  std::vector<PlanNodePtr> nodes_;
+};
+
 /// A compiled, executable query plan.
 struct CompiledQuery {
   Strategy strategy = Strategy::kLocal;
   std::string explanation;  // one line: rule fired and why
   std::function<Result<QueryResult>(runtime::Engine*)> run;
+
+  /// Symbolic DAG of the engine operators `run` will execute; nullptr for
+  /// purely local evaluation (kLocal), which runs no engine operators.
+  PlanNodePtr plan;
+  /// Every symbolic node the strategy built (plan_nodes ⊇ reachable(plan)).
+  std::vector<PlanNodePtr> plan_nodes;
 };
 
 }  // namespace sac::planner

@@ -161,16 +161,6 @@ std::optional<size_t> VarPosInGen(const QueryShape& shape, const GenInfo& g,
   return std::nullopt;
 }
 
-/// Compiles the head value over the generators' element variables.
-Result<ScalarFn> CompileHeadValue(const QueryShape& shape,
-                                  const Bindings& binds,
-                                  const std::vector<std::string>& args) {
-  ConstEnv consts;
-  CollectScalarConsts(binds, &consts);
-  return exec::CompileScalarFn(shape.InlineLets(shape.head_val), args,
-                               consts);
-}
-
 /// True if expr is exactly `Var(a) op Var(b)`.
 bool IsVarBinop(const ExprPtr& e, comp::BinOp op, const std::string& a,
                 const std::string& b) {
@@ -258,6 +248,20 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     q.explanation =
         "5.1 tile join of " + shape.gens[0].source + " and " +
         shape.gens[1].source + " (no group-by shuffle)";
+    {
+      PlanBuilder pb(shape.pos);
+      PlanNodePtr sa = pb.Source(shape.gens[0].source, 2, shape.gens[0].pos);
+      PlanNodePtr sb = pb.Source(shape.gens[1].source, 2, shape.gens[1].pos);
+      PlanNodePtr ka =
+          pb.Narrow(PlanNode::Op::kMap, "keyTiles", sa, 2);
+      PlanNodePtr kb =
+          pb.Narrow(PlanNode::Op::kMap, "keyTiles", sb, 2);
+      PlanNodePtr joined =
+          pb.Shuffle(PlanNode::Op::kJoin, "join", {ka, kb}, 2);
+      q.plan = pb.Narrow(PlanNode::Op::kMap, "zipTiles", joined, 2,
+                         /*preserves_partitioning=*/true);
+      q.plan_nodes = pb.TakeNodes();
+    }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
       auto key_by = [&](const TiledMatrix& m,
                         const std::array<size_t, 2>& mp) {
@@ -354,6 +358,14 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     q.explanation = std::string("5.1 per-tile ") +
                     (is_transpose ? "transpose" : "map") + " of " +
                     shape.gens[0].source;
+    {
+      PlanBuilder pb(shape.pos);
+      PlanNodePtr src = pb.Source(shape.gens[0].source, 2, shape.gens[0].pos);
+      q.plan = pb.Narrow(PlanNode::Op::kMap,
+                         is_transpose ? "transposeTiles" : "mapTiles", src, 2,
+                         /*preserves_partitioning=*/!is_transpose);
+      q.plan_nodes = pb.TakeNodes();
+    }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
       SAC_ASSIGN_OR_RETURN(
           Dataset out,
@@ -421,6 +433,14 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     CompiledQuery q;
     q.strategy = Strategy::kTilingPreserving;
     q.explanation = "5.1 diagonal extraction from " + shape.gens[0].source;
+    {
+      PlanBuilder pb(shape.pos);
+      PlanNodePtr src = pb.Source(shape.gens[0].source, 2, shape.gens[0].pos);
+      PlanNodePtr flt = pb.Narrow(PlanNode::Op::kFilter, "filterDiagonal",
+                                  src, 2, /*preserves_partitioning=*/true);
+      q.plan = pb.Narrow(PlanNode::Op::kMap, "extractDiagonal", flt, 1);
+      q.plan_nodes = pb.TakeNodes();
+    }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
       SAC_ASSIGN_OR_RETURN(
           Dataset diag_tiles,
@@ -480,6 +500,14 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
       CompiledQuery q;
       q.strategy = Strategy::kTilingPreserving;
       q.explanation = "5.1 per-block map of " + shape.gens[0].source;
+      {
+        PlanBuilder pb(shape.pos);
+        PlanNodePtr src =
+            pb.Source(shape.gens[0].source, 1, shape.gens[0].pos);
+        q.plan = pb.Narrow(PlanNode::Op::kMap, "mapBlocks", src, 1,
+                           /*preserves_partitioning=*/true);
+        q.plan_nodes = pb.TakeNodes();
+      }
       q.run = [=](Engine* eng) -> Result<QueryResult> {
         SAC_ASSIGN_OR_RETURN(
             Dataset out,
@@ -511,6 +539,18 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
       q.strategy = Strategy::kTilingPreserving;
       q.explanation = "5.1 block join of " + shape.gens[0].source + " and " +
                       shape.gens[1].source;
+      {
+        PlanBuilder pb(shape.pos);
+        PlanNodePtr sa =
+            pb.Source(shape.gens[0].source, 1, shape.gens[0].pos);
+        PlanNodePtr sb =
+            pb.Source(shape.gens[1].source, 1, shape.gens[1].pos);
+        PlanNodePtr joined =
+            pb.Shuffle(PlanNode::Op::kJoin, "join", {sa, sb}, 1);
+        q.plan = pb.Narrow(PlanNode::Op::kMap, "zipBlocks", joined, 1,
+                           /*preserves_partitioning=*/true);
+        q.plan_nodes = pb.TakeNodes();
+      }
       q.run = [=](Engine* eng) -> Result<QueryResult> {
         SAC_ASSIGN_OR_RETURN(Dataset joined, eng->Join(Va.blocks, Vb.blocks));
         SAC_ASSIGN_OR_RETURN(
@@ -656,6 +696,15 @@ Result<CompiledQuery> TryTotalAggregate(const ExprPtr& query,
   CompiledQuery q;
   q.strategy = Strategy::kReduceByKey;
   q.explanation = "per-tile partial aggregation + driver-side fold";
+  {
+    PlanBuilder pb(query->pos);
+    PlanNodePtr tiles_node =
+        pb.Source(gen.source, is_matrix ? 2 : 1, gen.pos);
+    PlanNodePtr partials =
+        pb.Narrow(PlanNode::Op::kMap, "partialAggregate", tiles_node, 0);
+    q.plan = pb.Collect({partials});
+    q.plan_nodes = pb.TakeNodes();
+  }
   q.run = [=](Engine* eng) -> Result<QueryResult> {
     const int64_t block =
         is_matrix ? src.tiled.block : src.vec.block;

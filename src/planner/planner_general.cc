@@ -106,6 +106,19 @@ Result<CompiledQuery> TryReplication(const QueryShape& shape,
   q.explanation =
       "5.2 replication: each tile is shuffled to the output tiles in its "
       "index image I_f(K), then grouped";
+  {
+    PlanBuilder pb(shape.pos);
+    PlanNodePtr src_n = pb.Source(gen.source, 2, gen.pos);
+    PlanNodePtr rep = pb.Narrow(PlanNode::Op::kFlatMap, "replicateToImage",
+                                src_n, 2);
+    PlanNodePtr grouped =
+        pb.Shuffle(PlanNode::Op::kGroupByKey, "groupByDestTile", {rep}, 2);
+    // Assembly places each gathered element structurally -- not an
+    // associative fold, so SAC-W01 must not suggest reduceByKey here.
+    q.plan = pb.Narrow(PlanNode::Op::kMap, "assembleShiftedTiles", grouped, 2,
+                       /*preserves_partitioning=*/true);
+    q.plan_nodes = pb.TakeNodes();
+  }
   q.run = [=](Engine* eng) -> Result<QueryResult> {
     // Map side: compute each tile's destination set I_f(K) by evaluating
     // the index functions over the tile's elements (the paper's set
@@ -226,19 +239,6 @@ Result<Dataset> Elements(Engine* eng, const Binding& b) {
     }
     default:
       return Status::PlanError("binding has no element view");
-  }
-}
-
-double ScalarMonoidIdentity(ReduceOp op) {
-  switch (op) {
-    case ReduceOp::kProd:
-      return 1.0;
-    case ReduceOp::kMin:
-      return std::numeric_limits<double>::infinity();
-    case ReduceOp::kMax:
-      return -std::numeric_limits<double>::infinity();
-    default:
-      return 0.0;
   }
 }
 
@@ -455,6 +455,52 @@ Result<CompiledQuery> TryCoo(const QueryShape& shape, const Bindings& binds,
       "Section 4 coordinate format: element-level " +
       std::string(shape.gens.size() == 2 ? "join" : "map") +
       (shape.has_group_by ? " + reduceByKey" : "") + ", then re-tile";
+  {
+    PlanBuilder pb(shape.pos);
+    auto elem = [&](size_t g) {
+      return pb.Source(shape.gens[g].source,
+                       shape.gens[g].idx.size() == 1 ? 1 : 2,
+                       shape.gens[g].pos);
+    };
+    PlanNodePtr env_rows;
+    if (shape.gens.size() == 1) {
+      env_rows = pb.Narrow(PlanNode::Op::kMap, "elementEnv", elem(0), 0);
+    } else {
+      PlanNodePtr ka = pb.Narrow(PlanNode::Op::kMap, "keyByJoinIndex",
+                                 elem(0), 1);
+      PlanNodePtr kb = pb.Narrow(PlanNode::Op::kMap, "keyByJoinIndex",
+                                 elem(1), 1);
+      PlanNodePtr joined =
+          pb.Shuffle(PlanNode::Op::kJoin, "joinElements", {ka, kb}, 1);
+      env_rows = pb.Narrow(PlanNode::Op::kMap, "joinedEnv", joined, 0);
+    }
+    const int out_key = static_cast<int>(key_exprs.size());
+    PlanNodePtr result = pb.Narrow(PlanNode::Op::kFlatMap, "computeElements",
+                                   env_rows, out_key);
+    if (shape.has_group_by) {
+      PlanNodePtr reduced = pb.Shuffle(PlanNode::Op::kReduceByKey,
+                                       "reduceElements", {result}, out_key);
+      result = pb.Narrow(PlanNode::Op::kMap, "finalizeElements", reduced,
+                         out_key, /*preserves_partitioning=*/true);
+    }
+    if (out_is_rdd) {
+      q.plan = pb.Collect({result});
+    } else if (out_is_vector) {
+      PlanNodePtr kblk = pb.Narrow(PlanNode::Op::kMap, "keyByBlock",
+                                   result, 1);
+      PlanNodePtr gp =
+          pb.Shuffle(PlanNode::Op::kGroupByKey, "groupByBlock", {kblk}, 1);
+      q.plan = pb.Narrow(PlanNode::Op::kMap, "buildBlocks", gp, 1,
+                         /*preserves_partitioning=*/true);
+    } else {
+      PlanNodePtr kt = pb.Narrow(PlanNode::Op::kMap, "keyByTile", result, 2);
+      PlanNodePtr gp =
+          pb.Shuffle(PlanNode::Op::kGroupByKey, "groupByTile", {kt}, 2);
+      q.plan = pb.Narrow(PlanNode::Op::kMap, "buildTiles", gp, 2,
+                         /*preserves_partitioning=*/true);
+    }
+    q.plan_nodes = pb.TakeNodes();
+  }
   q.run = [=](Engine* eng) -> Result<QueryResult> {
     // Build the element-record dataset with rows mapping to a flat tuple
     // (idx..., val, idx..., val) environment.
@@ -687,6 +733,20 @@ Result<CompiledQuery> LocalFallbackPlan(const comp::ExprPtr& query,
   q.strategy = Strategy::kLocalFallback;
   q.explanation = "collected distributed inputs and ran the reference "
                   "evaluator (inputs small enough)";
+  {
+    PlanBuilder pb(query->pos);
+    std::vector<PlanNodePtr> srcs;
+    for (const std::string& v : comp::FreeVars(query)) {
+      auto bit = binds.find(v);
+      if (bit == binds.end() || !bit->second.is_distributed()) continue;
+      const int key = bit->second.kind == Binding::Kind::kBlockVector ? 1 : 2;
+      srcs.push_back(pb.Source(v, key, query->pos));
+    }
+    if (!srcs.empty()) {
+      q.plan = pb.Collect(std::move(srcs));
+      q.plan_nodes = pb.TakeNodes();
+    }
+  }
   q.run = [qy, bnds](Engine* eng) -> Result<QueryResult> {
     comp::Evaluator ev;
     int64_t block = 64;

@@ -508,6 +508,29 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
     q.strategy = Strategy::kReduceByKey;
     q.explanation = "5.3 tile join on the shared index, per-pair partial "
                     "products, reduceByKey with a tile monoid";
+    {
+      PlanBuilder pb(shape.pos);
+      PlanNodePtr sa = pb.Source(shape.gens[js.gen_a].source, 2,
+                                 shape.gens[js.gen_a].pos);
+      PlanNodePtr ka = pb.Narrow(PlanNode::Op::kMap, "keyByJoinDim", sa, 1);
+      PlanNodePtr sb =
+          pb.Source(shape.gens[js.gen_b].source, js.b_is_vector ? 1 : 2,
+                    shape.gens[js.gen_b].pos);
+      PlanNodePtr kb2 = js.b_is_vector
+                            ? sb
+                            : pb.Narrow(PlanNode::Op::kMap, "keyByJoinDim",
+                                        sb, 1);
+      PlanNodePtr joined =
+          pb.Shuffle(PlanNode::Op::kJoin, "joinTiles", {ka, kb2}, 1);
+      const int out_key = js.b_is_vector ? 1 : 2;
+      PlanNodePtr partials =
+          pb.Narrow(PlanNode::Op::kMap, "partialProducts", joined, out_key);
+      PlanNodePtr reduced = pb.Shuffle(PlanNode::Op::kReduceByKey,
+                                       "reduceTiles", {partials}, out_key);
+      q.plan = pb.Narrow(PlanNode::Op::kMap, "finalize", reduced, out_key,
+                         /*preserves_partitioning=*/true);
+      q.plan_nodes = pb.TakeNodes();
+    }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
       // Key A tiles by join coordinate.
       SAC_ASSIGN_OR_RETURN(
@@ -679,6 +702,18 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
     q.explanation = row_sums || col_sums
                         ? "5.3 per-tile axis reduction + reduceByKey"
                         : "5.3 per-tile partial aggregation + reduceByKey";
+    {
+      PlanBuilder pb(shape.pos);
+      PlanNodePtr src_n = pb.Source(gen.source, 2, gen.pos);
+      const int out_key = vec_out ? 1 : 2;
+      PlanNodePtr partials = pb.Narrow(PlanNode::Op::kFlatMap,
+                                       "partialAggregates", src_n, out_key);
+      PlanNodePtr reduced = pb.Shuffle(PlanNode::Op::kReduceByKey,
+                                       "reduceTiles", {partials}, out_key);
+      q.plan = pb.Narrow(PlanNode::Op::kMap, "finalize", reduced, out_key,
+                         /*preserves_partitioning=*/true);
+      q.plan_nodes = pb.TakeNodes();
+    }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
       SAC_ASSIGN_OR_RETURN(
           Dataset partials,
@@ -858,6 +893,20 @@ Result<CompiledQuery> TryGroupByJoin(const QueryShape& shape,
       std::to_string(out_gc) + "x replication of " +
       shape.gens[js.gen_a].source + ", " + std::to_string(out_gr) + "x of " +
       shape.gens[js.gen_b].source;
+  {
+    PlanBuilder pb(shape.pos);
+    PlanNodePtr sa = pb.Source(shape.gens[js.gen_a].source, 2,
+                               shape.gens[js.gen_a].pos);
+    PlanNodePtr sb = pb.Source(shape.gens[js.gen_b].source, 2,
+                               shape.gens[js.gen_b].pos);
+    PlanNodePtr ra = pb.Narrow(PlanNode::Op::kFlatMap, "replicateA", sa, 2);
+    PlanNodePtr rb = pb.Narrow(PlanNode::Op::kFlatMap, "replicateB", sb, 2);
+    PlanNodePtr cg =
+        pb.Shuffle(PlanNode::Op::kCoGroup, "cogroupPanels", {ra, rb}, 2);
+    q.plan = pb.Narrow(PlanNode::Op::kFlatMap, "summaMultiply", cg, 2,
+                       /*preserves_partitioning=*/true);
+    q.plan_nodes = pb.TakeNodes();
+  }
   q.run = [=](Engine* eng) -> Result<QueryResult> {
     const bool a_swap = (js.a_out_pos == 1);
     const bool b_swap = (js.b_join_pos == 1);

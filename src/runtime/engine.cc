@@ -579,6 +579,72 @@ Status Engine::Recover(const Dataset& ds) {
   return Status::OK();
 }
 
+Status Engine::VerifyLineage(const Dataset& ds) {
+  if (ds == nullptr) {
+    return Status::RuntimeError("lineage verification on a null dataset");
+  }
+  const uint64_t current_gen = stages_.generation();
+  std::unordered_set<const DatasetImpl*> seen;
+  std::vector<DatasetImpl*> stack{ds.get()};
+  while (!stack.empty()) {
+    DatasetImpl* d = stack.back();
+    stack.pop_back();
+    if (!seen.insert(d).second) continue;
+    const std::string where = "dataset '" + d->label_ + "'";
+
+    size_t want_parents = 0;
+    switch (d->kind_) {
+      case DatasetImpl::OpKind::kSource: want_parents = 0; break;
+      case DatasetImpl::OpKind::kNarrow:
+      case DatasetImpl::OpKind::kShuffle: want_parents = 1; break;
+      case DatasetImpl::OpKind::kCoShuffle:
+      case DatasetImpl::OpKind::kUnion: want_parents = 2; break;
+    }
+    if (d->parents_.size() != want_parents) {
+      return Status::RuntimeError(
+          where + ": expected " + std::to_string(want_parents) +
+          " lineage parent(s), has " + std::to_string(d->parents_.size()));
+    }
+    for (const auto& p : d->parents_) {
+      if (p == nullptr) {
+        return Status::RuntimeError(where + ": null lineage parent");
+      }
+      stack.push_back(p.get());
+    }
+    if (d->parts_.empty()) {
+      return Status::RuntimeError(where + ": no partitions");
+    }
+    if (d->available_.size() != d->parts_.size()) {
+      return Status::RuntimeError(
+          where + ": availability bitmap tracks " +
+          std::to_string(d->available_.size()) + " partitions, data has " +
+          std::to_string(d->parts_.size()));
+    }
+    if (d->kind_ == DatasetImpl::OpKind::kNarrow &&
+        d->parts_.size() != d->parents_[0]->parts_.size()) {
+      return Status::RuntimeError(
+          where + ": narrow op with " + std::to_string(d->parts_.size()) +
+          " partitions over a parent with " +
+          std::to_string(d->parents_[0]->parts_.size()));
+    }
+    if (d->kind_ == DatasetImpl::OpKind::kUnion &&
+        d->parts_.size() != d->parents_[0]->parts_.size() +
+                                d->parents_[1]->parts_.size()) {
+      return Status::RuntimeError(where +
+                                  ": union partition count is not the sum "
+                                  "of its parents'");
+    }
+    // Stage-registry consistency: refs minted in the current generation
+    // must resolve; refs from before a Reset() are expected to be stale.
+    if (d->stage_.gen == current_gen && stages_.Get(d->stage_) == nullptr) {
+      return Status::RuntimeError(
+          where + ": current-generation stage ref (stage " +
+          std::to_string(d->stage_.id) + ") does not resolve");
+    }
+  }
+  return Status::OK();
+}
+
 Status Engine::RecomputePartition(DatasetImpl* ds, int i) {
   if (StageStats* stats = StatsFor(ds)) {
     stats->AddRecompute();

@@ -182,6 +182,13 @@ class Engine {
   /// Recomputes any invalidated partitions from lineage (recursively).
   Status Recover(const Dataset& ds);
 
+  /// Structural verification of `ds`'s lineage DAG: parent arity per
+  /// operator kind, partition-count agreement for narrow/union nodes,
+  /// availability bookkeeping, and stage-registry consistency (a stage
+  /// ref from the current generation must resolve). Violations are
+  /// engine bugs and come back as RuntimeError naming the node.
+  Status VerifyLineage(const Dataset& ds);
+
  private:
   // Map-side transform applied per source partition before routing (e.g.
   // the local combine of reduceByKey); the int selects the parent (0/1).

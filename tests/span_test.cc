@@ -1,0 +1,100 @@
+// Source-span accuracy: the lexer's token end positions and the parser's
+// AST spans, which the analyzer's diagnostics rely on for file:line:col
+// output.
+#include <gtest/gtest.h>
+
+#include "src/comp/ast.h"
+#include "src/comp/lexer.h"
+#include "src/comp/parser.h"
+
+namespace sac::comp {
+namespace {
+
+TEST(Spans, LexerTracksTokenEndPositions) {
+  auto toks = Lex("ab + cde");
+  ASSERT_TRUE(toks.ok());
+  const std::vector<Token>& t = toks.value();
+  ASSERT_GE(t.size(), 4u);  // ab + cde EOF
+  EXPECT_EQ(t[0].pos.line, 1);
+  EXPECT_EQ(t[0].pos.col, 1);
+  EXPECT_EQ(t[0].end_pos.col, 3);  // one past 'ab'
+  EXPECT_EQ(t[1].pos.col, 4);
+  EXPECT_EQ(t[1].end_pos.col, 5);
+  EXPECT_EQ(t[2].pos.col, 6);
+  EXPECT_EQ(t[2].end_pos.col, 9);
+}
+
+TEST(Spans, LexerTracksPositionsAcrossLines) {
+  auto toks = Lex("a\n  bb12\n    3.5");
+  ASSERT_TRUE(toks.ok());
+  const std::vector<Token>& t = toks.value();
+  EXPECT_EQ(t[1].pos.line, 2);
+  EXPECT_EQ(t[1].pos.col, 3);
+  EXPECT_EQ(t[1].end_pos.col, 7);
+  EXPECT_EQ(t[2].pos.line, 3);
+  EXPECT_EQ(t[2].pos.col, 5);
+  EXPECT_EQ(t[2].end_pos.col, 8);
+}
+
+TEST(Spans, BinaryExpressionSpansTheWholeConstruct) {
+  auto e = Parse("abc + de * f");
+  ASSERT_TRUE(e.ok());
+  const ExprPtr& root = e.value();
+  ASSERT_TRUE(root->span.IsSet());
+  EXPECT_EQ(root->span.begin.line, 1);
+  EXPECT_EQ(root->span.begin.col, 1);
+  EXPECT_EQ(root->span.end.col, 13);  // one past 'f'
+  // The rhs product spans "de * f".
+  const ExprPtr& rhs = root->children[1];
+  EXPECT_EQ(rhs->span.begin.col, 7);
+  EXPECT_EQ(rhs->span.end.col, 13);
+}
+
+TEST(Spans, ComprehensionQualifiersCarrySpans) {
+  auto e = Parse(
+      "[ v | ((i,j),v) <- A,\n"
+      "      i == j ]");
+  ASSERT_TRUE(e.ok());
+  const ExprPtr& root = e.value();
+  ASSERT_EQ(root->kind, Expr::Kind::kComprehension);
+  ASSERT_EQ(root->quals.size(), 2u);
+  const Qualifier& gen = root->quals[0];
+  EXPECT_EQ(gen.span.begin.line, 1);
+  EXPECT_EQ(gen.span.begin.col, 7);
+  EXPECT_EQ(gen.span.end.col, 21);  // one past 'A'
+  const Qualifier& guard = root->quals[1];
+  EXPECT_EQ(guard.span.begin.line, 2);
+  EXPECT_EQ(guard.span.begin.col, 7);
+  EXPECT_EQ(guard.span.end.col, 13);  // one past 'j'
+}
+
+TEST(Spans, MultiLineConstructSpansAcrossLines) {
+  auto e = Parse("aa +\n  bb");
+  ASSERT_TRUE(e.ok());
+  const ExprPtr& root = e.value();
+  EXPECT_EQ(root->span.begin.line, 1);
+  EXPECT_EQ(root->span.begin.col, 1);
+  EXPECT_EQ(root->span.end.line, 2);
+  EXPECT_EQ(root->span.end.col, 5);
+}
+
+TEST(Spans, PatternSpansCoverTheTuple) {
+  auto e = Parse("[ v | ((i,j),v) <- A ]");
+  ASSERT_TRUE(e.ok());
+  const Qualifier& gen = e.value()->quals[0];
+  ASSERT_NE(gen.pattern, nullptr);
+  ASSERT_TRUE(gen.pattern->span.IsSet());
+  EXPECT_EQ(gen.pattern->span.begin.col, 7);
+  EXPECT_EQ(gen.pattern->span.end.col, 16);  // one past ')'
+}
+
+TEST(Spans, ParseErrorsReportPositions) {
+  auto e = Parse("tiled(n,n)[ ((i,j), v ");
+  ASSERT_FALSE(e.ok());
+  // Status messages end with " at line:col".
+  EXPECT_NE(e.status().message().find(" at "), std::string::npos)
+      << e.status().ToString();
+}
+
+}  // namespace
+}  // namespace sac::comp
