@@ -1,0 +1,123 @@
+// Ablation -- shuffle routing path: executor-local zero-copy fast path
+// vs the old serialize-everything path, on the fig4b-shaped plain SAC
+// multiply (join + group-by, GBJ disabled: it materializes and shuffles
+// every partial product tile, so it is the shuffle-heaviest figure
+// workload and isolates routing cost from kernel compute).
+//
+//   fastpath   -- executor-local records move as Values (default engine)
+//   serialize  -- SAC_SHUFFLE_FAST_PATH=off behavior (forced)
+//
+// Both series must produce the same shuffle-record counts, and the fast
+// path's local_shuffle_bytes + shuffle_bytes must equal the serialize
+// path's shuffle_bytes (metering fidelity); the bench exits nonzero if
+// either identity breaks. `--smoke` runs one tiny size and additionally
+// fails if the fast path is >10% slower than the serialize path -- the
+// CI perf-smoke gate (scripts/check.sh).
+#include "bench/bench_common.h"
+
+#include "src/api/algorithms.h"
+#include "src/planner/planner.h"
+
+int main(int argc, char** argv) {
+  using namespace sac;           // NOLINT
+  using namespace sac::bench;    // NOLINT
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  std::vector<int64_t> sizes;
+  const int64_t block = 64;
+  const std::string scale = Scale();
+  if (smoke || scale == "tiny") {
+    sizes = {192};
+  } else if (scale == "full") {
+    sizes = {128, 256, 384, 512};
+  } else {
+    sizes = {128, 256, 384};
+  }
+
+  PrintHeader(
+      "Ablation: shuffle routing path (executor-local zero-copy vs "
+      "serialize-everything), SAC GBJ multiply");
+  BenchReporter reporter("abl_shuffle_path", argc, argv);
+
+  planner::PlannerOptions no_gbj;
+  no_gbj.enable_group_by_join = false;
+
+  auto measure = [&](int64_t n, bool fast) {
+    Sac ctx(BenchCluster(), no_gbj);
+    ctx.engine().set_shuffle_fast_path(fast);
+    auto a = ctx.RandomMatrix(n, n, block, 201, 0.0, 10.0).value();
+    auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
+    Row row = TimeQuery(&ctx, "abl", fast ? "fastpath" : "serialize", n,
+                        n * n, [&] {
+                          SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
+                        });
+    reporter.CaptureTrace(&ctx);
+    return row;
+  };
+
+  bool ok = true;
+  double fast_ms = 0, ser_ms = 0;
+  // The routing difference is a few percent of a compute-heavy query, so
+  // take the best of two interleaved passes per series to shed scheduler
+  // noise (the accounting identity is checked on every pass's totals).
+  const int passes = 2;
+  for (int64_t n : sizes) {
+    Row fast_row = measure(n, true);
+    Row ser_row = measure(n, false);
+    for (int p = 1; p < passes; ++p) {
+      Row f2 = measure(n, true);
+      Row s2 = measure(n, false);
+      if (f2.time_ms < fast_row.time_ms) fast_row = f2;
+      if (s2.time_ms < ser_row.time_ms) ser_row = s2;
+    }
+    reporter.Report(fast_row);
+    reporter.Report(ser_row);
+    fast_ms += fast_row.time_ms;
+    ser_ms += ser_row.time_ms;
+
+    // Metering fidelity: the fast path splits the serialize path's byte
+    // total into local + remote without changing it, and routes the same
+    // number of records.
+    const uint64_t fast_total = fast_row.totals.shuffle_bytes +
+                                fast_row.totals.local_shuffle_bytes;
+    if (fast_total != ser_row.totals.shuffle_bytes) {
+      std::fprintf(stderr,
+                   "FAIL n=%lld: fastpath local+remote bytes %llu != "
+                   "serialize bytes %llu\n",
+                   static_cast<long long>(n),
+                   static_cast<unsigned long long>(fast_total),
+                   static_cast<unsigned long long>(
+                       ser_row.totals.shuffle_bytes));
+      ok = false;
+    }
+    if (fast_row.totals.shuffle_records != ser_row.totals.shuffle_records) {
+      std::fprintf(stderr,
+                   "FAIL n=%lld: shuffle_records differ (%llu vs %llu)\n",
+                   static_cast<long long>(n),
+                   static_cast<unsigned long long>(
+                       fast_row.totals.shuffle_records),
+                   static_cast<unsigned long long>(
+                       ser_row.totals.shuffle_records));
+      ok = false;
+    }
+  }
+
+  if (smoke) {
+    // Perf gate: the fast path must not lose to the path it replaces.
+    if (fast_ms > 1.10 * ser_ms) {
+      std::fprintf(stderr,
+                   "FAIL perf-smoke: fastpath %.1fms > 1.10 x serialize "
+                   "%.1fms\n",
+                   fast_ms, ser_ms);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "perf-smoke ok: fastpath %.1fms vs serialize %.1fms\n",
+                   fast_ms, ser_ms);
+    }
+  }
+  return ok ? 0 : 1;
+}

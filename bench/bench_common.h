@@ -168,6 +168,8 @@ class BenchReporter {
             ",\"shuffle_records\":" + std::to_string(c.shuffle_records) +
             ",\"cross_executor_bytes\":" +
             std::to_string(c.cross_executor_bytes) +
+            ",\"local_shuffle_bytes\":" +
+            std::to_string(c.local_shuffle_bytes) +
             ",\"tasks\":" + std::to_string(c.tasks_run) +
             ",\"recomputed\":" + std::to_string(c.tasks_recomputed) +
             ",\"records_in\":" + std::to_string(c.records_processed);

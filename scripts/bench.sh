@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the figure-reproduction benches and the shuffle-path ablation,
+# writing machine-readable reports at the repo root:
+#   BENCH_fig4a.json  BENCH_fig4b.json  BENCH_fig4c.json
+#   BENCH_abl_shuffle_path.json
+# These are committed alongside code changes so the perf trajectory is
+# auditable across PRs (compare with the BENCH_*.baseline.json files).
+#
+# Usage: scripts/bench.sh [scale] [reps]
+#   scale: tiny | small | full   (default: small)
+#   reps:  timed repetitions     (default: 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-small}"
+reps="${2:-3}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target \
+  bench_fig4a_addition bench_fig4b_multiply bench_fig4c_factorization \
+  bench_abl_shuffle_path
+
+export SAC_BENCH_SCALE="$scale" SAC_BENCH_REPS="$reps"
+
+echo "==> fig4a (addition), scale=$scale reps=$reps"
+./build/bench/bench_fig4a_addition --out BENCH_fig4a.json
+
+echo "==> fig4b (multiplication)"
+./build/bench/bench_fig4b_multiply --out BENCH_fig4b.json
+
+echo "==> fig4c (factorization)"
+./build/bench/bench_fig4c_factorization --out BENCH_fig4c.json
+
+echo "==> ablation: shuffle fast path vs serialize path"
+./build/bench/bench_abl_shuffle_path --out BENCH_abl_shuffle_path.json
+
+echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json"

@@ -4,10 +4,13 @@
 #   2. sac_lint gate: the analyzer accepts every examples/lint/*_ok.sac
 #      and rejects every *_err.sac with located diagnostics
 #   3. clang-tidy via scripts/lint.sh (skips when not installed)
-#   4. asan: AddressSanitizer+UBSan build, full test suite
-#   5. tsan: ThreadSanitizer build of the concurrency-sensitive tests
-#      (engine, trace, thread pool), since the trace/metrics buffers are
-#      written from pool threads
+#   4. perf-smoke: bench_abl_shuffle_path --smoke at tiny scale (shuffle
+#      fast path must not be slower than the serialize path by >10%, and
+#      the local+remote byte accounting must match it exactly)
+#   5. asan: AddressSanitizer+UBSan build, full test suite
+#   6. tsan: ThreadSanitizer build of the concurrency-sensitive tests
+#      (engine, trace, thread pool, shuffle pools, sharded metrics),
+#      since the trace/metrics buffers are written from pool threads
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
@@ -35,6 +38,11 @@ if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
   done
 
   scripts/lint.sh
+
+  echo "==> perf-smoke: shuffle fast path vs serialize path"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=3 \
+    ./build/bench/bench_abl_shuffle_path --smoke \
+    --out build/BENCH_abl_shuffle_path.smoke.json
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--asan-only" ]]; then
@@ -51,7 +59,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" --target sac_tests
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
-    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*'
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*'
 fi
 
 echo "==> all checks passed"

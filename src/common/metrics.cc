@@ -6,24 +6,40 @@
 
 namespace sac {
 
+namespace {
+/// Small dense per-thread id used to spread threads over metric shards.
+/// Process-wide so every Metrics instance shards the same way.
+uint32_t ThreadShardSeed() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+}  // namespace
+
+Metrics::Shard& Metrics::Local() {
+  return shards_[ThreadShardSeed() & (kShards - 1)];
+}
+
 std::string MetricsSnapshot::ToString() const {
   std::ostringstream os;
   os << "shuffle=" << shuffle_bytes / (1024.0 * 1024.0) << "MB"
      << " records=" << shuffle_records
      << " cross_exec=" << cross_executor_bytes / (1024.0 * 1024.0) << "MB"
+     << " local=" << local_shuffle_bytes / (1024.0 * 1024.0) << "MB"
      << " tasks=" << tasks_run << " recomputed=" << tasks_recomputed;
   return os.str();
 }
 
 MetricsSnapshot Metrics::Snapshot() const {
   MetricsSnapshot s;
-  s.shuffle_bytes = shuffle_bytes_.load(std::memory_order_relaxed);
-  s.shuffle_records = shuffle_records_.load(std::memory_order_relaxed);
-  s.cross_executor_bytes =
-      cross_executor_bytes_.load(std::memory_order_relaxed);
-  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
-  s.tasks_recomputed = tasks_recomputed_.load(std::memory_order_relaxed);
-  s.records_processed = records_processed_.load(std::memory_order_relaxed);
+  s.shuffle_bytes = shuffle_bytes();
+  s.shuffle_records = shuffle_records();
+  s.cross_executor_bytes = cross_executor_bytes();
+  s.local_shuffle_bytes = local_shuffle_bytes();
+  s.tasks_run = tasks_run();
+  s.tasks_recomputed = tasks_recomputed();
+  s.records_processed = records_processed();
   return s;
 }
 
@@ -36,6 +52,7 @@ std::string StageStatsSnapshot::ToString() const {
      << " records_in=" << counters.records_processed
      << " shuffle=" << counters.shuffle_bytes / (1024.0 * 1024.0) << "MB"
      << " cross=" << counters.cross_executor_bytes / (1024.0 * 1024.0)
+     << "MB local=" << counters.local_shuffle_bytes / (1024.0 * 1024.0)
      << "MB recomputed=" << counters.tasks_recomputed;
   return os.str();
 }
@@ -90,20 +107,24 @@ size_t StageRegistry::size() const {
 std::string StageRegistry::ReportString() const {
   const std::vector<StageStatsSnapshot> stages = Snapshot();
   std::ostringstream os;
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-5s %-24s %-9s %6s %12s %12s %10s %7s %9s %12s\n",
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-5s %-24s %-9s %6s %12s %12s %10s %10s %7s %9s %12s\n",
                 "stage", "label", "kind", "tasks", "records_in",
-                "shuffle_KB", "cross_KB", "recomp", "wall_ms", "task_p95_us");
+                "shuffle_KB", "cross_KB", "local_KB", "recomp", "wall_ms",
+                "task_p95_us");
   os << line;
   for (const StageStatsSnapshot& s : stages) {
     std::snprintf(
         line, sizeof(line),
-        "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %7llu %9.2f %12llu\n",
+        "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %10.1f %7llu %9.2f "
+        "%12llu\n",
         s.id, s.label.substr(0, 24).c_str(), s.kind.c_str(),
         static_cast<unsigned long long>(s.counters.tasks_run),
         static_cast<unsigned long long>(s.counters.records_processed),
         s.counters.shuffle_bytes / 1024.0,
         s.counters.cross_executor_bytes / 1024.0,
+        s.counters.local_shuffle_bytes / 1024.0,
         static_cast<unsigned long long>(s.counters.tasks_recomputed),
         s.wall_ms,
         static_cast<unsigned long long>(s.task_us.Percentile(0.95)));

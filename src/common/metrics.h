@@ -3,12 +3,25 @@
 // speedup (e.g. "SUMMA shuffles 8x fewer bytes") is auditable.
 //
 // Two layers:
-//  * Metrics       -- engine-wide cumulative totals (atomics).
+//  * Metrics       -- engine-wide cumulative totals.
 //  * StageRegistry -- one StageStats per plan stage (= per DISC operator
 //    invocation, keyed by the dataset node's label). Every stage-level
 //    increment forwards to the totals, so the registry is a strict
 //    refinement of Metrics: summing any counter over all stages
 //    reproduces the engine-wide value.
+//
+// Concurrency: Metrics is sharded. Writers land on a per-thread shard
+// (cache-line padded, relaxed atomics within the shard since several
+// threads may hash to one), so the per-record hot path never contends on
+// a shared cache line. Readers fold the shards: Snapshot() and the
+// counter getters sum across shards, which is exact only when no writer
+// is concurrently mid-increment -- the same "not during a query" contract
+// Reset() always had. Shuffle byte counters distinguish three views:
+// shuffle_bytes (serialized bytes that crossed partitions),
+// cross_executor_bytes (the subset that crossed executors) and
+// local_shuffle_bytes (bytes routed executor-locally by the zero-copy
+// fast path, metered via Value::SerializedSize so fast-path and
+// forced-serialize runs account identically; see DESIGN.md section 8).
 #ifndef SAC_COMMON_METRICS_H_
 #define SAC_COMMON_METRICS_H_
 
@@ -24,12 +37,13 @@
 
 namespace sac {
 
-/// Plain, copyable view of the counters, read once each -- use this
-/// instead of reading the six atomics non-atomically mid-run.
+/// Plain, copyable view of the counters, folded once across shards --
+/// use this instead of reading individual getters non-atomically mid-run.
 struct MetricsSnapshot {
   uint64_t shuffle_bytes = 0;
   uint64_t shuffle_records = 0;
   uint64_t cross_executor_bytes = 0;
+  uint64_t local_shuffle_bytes = 0;
   uint64_t tasks_run = 0;
   uint64_t tasks_recomputed = 0;
   uint64_t records_processed = 0;
@@ -38,44 +52,86 @@ struct MetricsSnapshot {
 };
 
 /// Counters for one engine/session. All counters are cumulative;
-/// call Reset() between measured runs (never concurrently with a query).
+/// call Reset() between measured runs (never concurrently with a query --
+/// Engine::ResetStats enforces this with an in-flight check).
 class Metrics {
  public:
   void Reset() {
-    shuffle_bytes_ = 0;
-    shuffle_records_ = 0;
-    cross_executor_bytes_ = 0;
-    tasks_run_ = 0;
-    tasks_recomputed_ = 0;
-    records_processed_ = 0;
+    for (Shard& s : shards_) {
+      s.shuffle_bytes = 0;
+      s.shuffle_records = 0;
+      s.cross_executor_bytes = 0;
+      s.local_shuffle_bytes = 0;
+      s.tasks_run = 0;
+      s.tasks_recomputed = 0;
+      s.records_processed = 0;
+    }
   }
 
   void AddShuffle(uint64_t bytes, uint64_t records, bool cross_executor) {
-    shuffle_bytes_ += bytes;
-    shuffle_records_ += records;
-    if (cross_executor) cross_executor_bytes_ += bytes;
+    Shard& s = Local();
+    Bump(s.shuffle_bytes, bytes);
+    Bump(s.shuffle_records, records);
+    if (cross_executor) Bump(s.cross_executor_bytes, bytes);
   }
-  void AddTask() { ++tasks_run_; }
-  void AddRecompute() { ++tasks_recomputed_; }
-  void AddRecords(uint64_t n) { records_processed_ += n; }
+  /// Bytes moved by the executor-local zero-copy path (no serialization;
+  /// volume computed via Value::SerializedSize).
+  void AddLocalShuffle(uint64_t bytes) {
+    Bump(Local().local_shuffle_bytes, bytes);
+  }
+  void AddTask() { Bump(Local().tasks_run, 1); }
+  void AddRecompute() { Bump(Local().tasks_recomputed, 1); }
+  void AddRecords(uint64_t n) { Bump(Local().records_processed, n); }
 
-  uint64_t shuffle_bytes() const { return shuffle_bytes_; }
-  uint64_t shuffle_records() const { return shuffle_records_; }
-  uint64_t cross_executor_bytes() const { return cross_executor_bytes_; }
-  uint64_t tasks_run() const { return tasks_run_; }
-  uint64_t tasks_recomputed() const { return tasks_recomputed_; }
-  uint64_t records_processed() const { return records_processed_; }
+  uint64_t shuffle_bytes() const { return Fold(&Shard::shuffle_bytes); }
+  uint64_t shuffle_records() const { return Fold(&Shard::shuffle_records); }
+  uint64_t cross_executor_bytes() const {
+    return Fold(&Shard::cross_executor_bytes);
+  }
+  uint64_t local_shuffle_bytes() const {
+    return Fold(&Shard::local_shuffle_bytes);
+  }
+  uint64_t tasks_run() const { return Fold(&Shard::tasks_run); }
+  uint64_t tasks_recomputed() const { return Fold(&Shard::tasks_recomputed); }
+  uint64_t records_processed() const {
+    return Fold(&Shard::records_processed);
+  }
 
   MetricsSnapshot Snapshot() const;
   std::string ToString() const;
 
  private:
-  std::atomic<uint64_t> shuffle_bytes_{0};
-  std::atomic<uint64_t> shuffle_records_{0};
-  std::atomic<uint64_t> cross_executor_bytes_{0};
-  std::atomic<uint64_t> tasks_run_{0};
-  std::atomic<uint64_t> tasks_recomputed_{0};
-  std::atomic<uint64_t> records_processed_{0};
+  // Power of two so the thread->shard map is a mask, sized to cover
+  // typical pool widths without making StageStats objects huge.
+  static constexpr size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> shuffle_bytes{0};
+    std::atomic<uint64_t> shuffle_records{0};
+    std::atomic<uint64_t> cross_executor_bytes{0};
+    std::atomic<uint64_t> local_shuffle_bytes{0};
+    std::atomic<uint64_t> tasks_run{0};
+    std::atomic<uint64_t> tasks_recomputed{0};
+    std::atomic<uint64_t> records_processed{0};
+  };
+
+  static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Shard owned by the calling thread (threads may share a shard; the
+  /// relaxed atomics keep sharing correct, just slower).
+  Shard& Local();
+
+  uint64_t Fold(std::atomic<uint64_t> Shard::* counter) const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += (s.*counter).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  Shard shards_[kShards];
 };
 
 /// Copyable per-stage view (see StageStats).
@@ -109,6 +165,10 @@ class StageStats {
   void AddShuffle(uint64_t bytes, uint64_t records, bool cross_executor) {
     local_.AddShuffle(bytes, records, cross_executor);
     if (totals_) totals_->AddShuffle(bytes, records, cross_executor);
+  }
+  void AddLocalShuffle(uint64_t bytes) {
+    local_.AddLocalShuffle(bytes);
+    if (totals_) totals_->AddLocalShuffle(bytes);
   }
   void AddTask() {
     local_.AddTask();

@@ -1,0 +1,143 @@
+// Reusable-vector pools for the shuffle hot path. Steady-state iterative
+// workloads (e.g. the fig4c factorization loop) run the same shuffle
+// shape hundreds of times; without pooling, every map-side task allocates
+// fresh per-destination byte buffers and scratch row vectors, then frees
+// them at the end of the stage -- pure allocator churn. A VectorPool keeps
+// the freed vectors (capacity intact) on a freelist so the next stage's
+// checkouts are recycled allocations.
+//
+// Checkouts are RAII (PooledVec): the vector returns to the pool when the
+// handle dies, including on error paths, so a failed task cannot leak
+// pool capacity. Thread safety: Acquire/Release take one uncontended
+// mutex; pool-side bookkeeping is never on the per-record path.
+#ifndef SAC_COMMON_POOL_H_
+#define SAC_COMMON_POOL_H_
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sac {
+
+/// Pool of std::vector<T> buffers. Released vectors are cleared (size 0)
+/// but keep their heap capacity; Acquire() pops one from the freelist or
+/// default-constructs. The freelist is capped so a one-off wide stage
+/// cannot pin unbounded memory.
+template <typename T>
+class VectorPool {
+ public:
+  explicit VectorPool(size_t max_free = 256) : max_free_(max_free) {}
+
+  VectorPool(const VectorPool&) = delete;
+  VectorPool& operator=(const VectorPool&) = delete;
+
+  std::vector<T> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquires_;
+    ++outstanding_;
+    if (free_.empty()) return {};
+    ++reuses_;
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    return v;
+  }
+
+  /// Returns a vector to the pool. Contents are destroyed; capacity is
+  /// kept unless the freelist is full.
+  void Release(std::vector<T> v) {
+    v.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_ > 0) --outstanding_;
+    if (free_.size() < max_free_) free_.push_back(std::move(v));
+  }
+
+  // ---- introspection (tests / reports) --------------------------------
+  /// Total Acquire() calls.
+  size_t acquires() const { return Locked(acquires_); }
+  /// Acquires served from the freelist (i.e. recycled allocations).
+  size_t reuses() const { return Locked(reuses_); }
+  /// Checkouts not yet returned; 0 when no task is in flight.
+  size_t outstanding() const { return Locked(outstanding_); }
+  /// Vectors currently parked on the freelist.
+  size_t free_count() const { return Locked(free_.size()); }
+
+  /// Drops the freelist and zeroes the stats (not the outstanding count:
+  /// live checkouts still return here afterwards).
+  void Trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.clear();
+    acquires_ = 0;
+    reuses_ = 0;
+  }
+
+ private:
+  template <typename V>
+  size_t Locked(const V& v) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<size_t>(v);
+  }
+
+  mutable std::mutex mu_;
+  const size_t max_free_;
+  std::vector<std::vector<T>> free_;
+  size_t acquires_ = 0;
+  size_t reuses_ = 0;
+  size_t outstanding_ = 0;
+};
+
+/// RAII checkout of a pooled vector. Movable, not copyable; the wrapped
+/// vector is returned to its pool on destruction (error paths included).
+/// A default-constructed or moved-from handle owns nothing.
+template <typename T>
+class PooledVec {
+ public:
+  PooledVec() = default;
+  PooledVec(VectorPool<T>* pool, std::vector<T> v)
+      : pool_(pool), v_(std::move(v)) {}
+  ~PooledVec() {
+    if (pool_) pool_->Release(std::move(v_));
+  }
+
+  PooledVec(PooledVec&& o) noexcept : pool_(o.pool_), v_(std::move(o.v_)) {
+    o.pool_ = nullptr;
+  }
+  PooledVec& operator=(PooledVec&& o) noexcept {
+    if (this != &o) {
+      if (pool_) pool_->Release(std::move(v_));
+      pool_ = o.pool_;
+      v_ = std::move(o.v_);
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PooledVec(const PooledVec&) = delete;
+  PooledVec& operator=(const PooledVec&) = delete;
+
+  /// True iff this handle holds a live checkout (shuffle buckets use this
+  /// to tell a routed-local bucket from an untouched default handle).
+  explicit operator bool() const { return pool_ != nullptr; }
+
+  std::vector<T>& operator*() { return v_; }
+  const std::vector<T>& operator*() const { return v_; }
+  std::vector<T>* operator->() { return &v_; }
+  const std::vector<T>* operator->() const { return &v_; }
+  std::vector<T>& get() { return v_; }
+  const std::vector<T>& get() const { return v_; }
+
+ private:
+  VectorPool<T>* pool_ = nullptr;
+  std::vector<T> v_;
+};
+
+/// Acquires from `pool` as an RAII handle (nullptr pool => plain vector
+/// that is simply destroyed, so call sites need no branching).
+template <typename T>
+PooledVec<T> AcquirePooled(VectorPool<T>* pool) {
+  if (!pool) return PooledVec<T>(nullptr, {});
+  return PooledVec<T>(pool, pool->Acquire());
+}
+
+}  // namespace sac
+
+#endif  // SAC_COMMON_POOL_H_

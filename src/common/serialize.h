@@ -14,10 +14,46 @@
 
 namespace sac {
 
-/// Append-only little-endian byte sink.
+/// Append-only little-endian byte sink. By default it owns its buffer;
+/// it can also be pointed at an external vector (the shuffle buffer-pool
+/// handshake: the pooled vector stays owned by its RAII checkout, the
+/// writer just appends into it) or seeded from a recycled buffer via
+/// AdoptBuffer. Movable, not copyable.
 class ByteWriter {
  public:
-  void PutU8(uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+  /// Writer that appends into `buf` (cleared first, capacity kept).
+  explicit ByteWriter(std::vector<uint8_t> buf) { AdoptBuffer(std::move(buf)); }
+  /// Writer that appends into `*sink` (cleared first, capacity kept).
+  /// `*sink` must outlive the writer; ownership stays with the caller.
+  explicit ByteWriter(std::vector<uint8_t>* sink) : out_(sink) {
+    out_->clear();
+  }
+
+  ByteWriter(ByteWriter&& o) noexcept
+      : buf_(std::move(o.buf_)), out_(o.out_ == &o.buf_ ? &buf_ : o.out_) {
+    o.out_ = &o.buf_;
+  }
+  ByteWriter& operator=(ByteWriter&& o) noexcept {
+    if (this != &o) {
+      buf_ = std::move(o.buf_);
+      out_ = o.out_ == &o.buf_ ? &buf_ : o.out_;
+      o.out_ = &o.buf_;
+    }
+    return *this;
+  }
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  /// Replaces the backing buffer with `buf`, cleared but with its heap
+  /// capacity intact (recycled-allocation handshake).
+  void AdoptBuffer(std::vector<uint8_t> buf) {
+    buf_ = std::move(buf);
+    buf_.clear();
+    out_ = &buf_;
+  }
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
   void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
   void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
@@ -37,15 +73,18 @@ class ByteWriter {
 
   void PutRaw(const void* data, size_t n) {
     const auto* p = static_cast<const uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    out_->insert(out_->end(), p, p + n);
   }
 
-  size_t size() const { return buf_.size(); }
-  const std::vector<uint8_t>& buffer() const { return buf_; }
-  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return out_->size(); }
+  const std::vector<uint8_t>& buffer() const { return *out_; }
+  /// Moves the written bytes out (external-sink writers hand out the
+  /// sink's contents, leaving it empty).
+  std::vector<uint8_t> TakeBuffer() { return std::move(*out_); }
 
  private:
   std::vector<uint8_t> buf_;
+  std::vector<uint8_t>* out_ = &buf_;
 };
 
 /// Sequential reader over a byte buffer; all getters are bounds-checked and

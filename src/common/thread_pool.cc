@@ -36,34 +36,48 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t chunk) {
   if (n == 0) return;
-  const size_t num_chunks = std::min(n, num_threads());
-  if (num_chunks <= 1) {
+  const size_t workers = std::min(n, num_threads());
+  if (workers <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Chunked static partitioning; a shared latch signals completion so this
-  // does not interfere with unrelated tasks in the same pool.
-  struct Latch {
+  if (chunk == 0) {
+    // Partition-task ranges (n comparable to the pool width) claim one
+    // index at a time so a skewed partition never queues work behind it;
+    // large fine-grained ranges amortize cursor traffic over a chunk
+    // while still leaving ~8 claims per worker for rebalancing.
+    chunk = n <= workers * 16 ? 1 : n / (workers * 8);
+  }
+  // Dynamic chunked claiming: workers race on a shared cursor, so the
+  // finishing order adapts to per-index cost. A shared latch signals
+  // completion so this does not interfere with unrelated tasks in the
+  // same pool.
+  struct Ctl {
+    std::atomic<size_t> cursor{0};
     std::mutex mu;
     std::condition_variable cv;
     size_t pending;
   };
-  auto latch = std::make_shared<Latch>();
-  latch->pending = num_chunks;
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t lo = c * chunk;
-    const size_t hi = std::min(n, lo + chunk);
-    Submit([&fn, lo, hi, latch] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-      std::lock_guard<std::mutex> lock(latch->mu);
-      if (--latch->pending == 0) latch->cv.notify_all();
+  auto ctl = std::make_shared<Ctl>();
+  ctl->pending = workers;
+  for (size_t w = 0; w < workers; ++w) {
+    Submit([&fn, n, chunk, ctl] {
+      for (;;) {
+        const size_t lo =
+            ctl->cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= n) break;
+        const size_t hi = std::min(n, lo + chunk);
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      }
+      std::lock_guard<std::mutex> lock(ctl->mu);
+      if (--ctl->pending == 0) ctl->cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->cv.wait(lock, [&] { return latch->pending == 0; });
+  std::unique_lock<std::mutex> lock(ctl->mu);
+  ctl->cv.wait(lock, [&] { return ctl->pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -34,7 +34,17 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), splitting work across the pool and
   /// blocking until done. Safe to call from outside the pool only.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// Scheduling is skew-aware: workers claim chunks off a shared atomic
+  /// cursor instead of being striped statically, so one fat index (a
+  /// skewed partition) occupies one worker while the rest drain the
+  /// remaining indices -- the stage is never serialized behind the
+  /// heaviest element. `chunk` overrides the claim granularity; 0 picks
+  /// one index per claim when n is within a small multiple of the pool
+  /// width (partition-task workloads) and an amortizing chunk otherwise
+  /// (fine-grained elementwise loops).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t chunk = 0);
 
   /// Process-wide default pool sized from hardware_concurrency (min 2, so
   /// concurrency bugs surface even on single-core hosts).

@@ -1,6 +1,8 @@
 #include "src/runtime/engine.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -51,11 +53,21 @@ class KeySlots {
 };
 
 Status ExpectPair(const Value& row) {
-  if (!row.is_tuple() || row.TupleSize() != 2) {
+  if (!row.is_pair()) {
     return Status::RuntimeError(
         "wide operator expects (key, value) rows, got " + row.ToString());
   }
   return Status::OK();
+}
+
+/// SAC_SHUFFLE_FAST_PATH: unset/"on"/"1"/"true" => fast path (default);
+/// "off"/"0"/"false" => force the serialize-everything path.
+bool FastPathFromEnv() {
+  const char* v = std::getenv("SAC_SHUFFLE_FAST_PATH");
+  if (v == nullptr) return true;
+  std::string s(v);
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return !(s == "off" || s == "0" || s == "false");
 }
 
 }  // namespace
@@ -66,9 +78,14 @@ Engine::Engine(ClusterConfig config)
   SAC_CHECK_GE(config_.cores_per_executor, 1);
   SAC_CHECK_GE(config_.default_parallelism, 1);
   SetLogLevelFromEnv();
+  shuffle_fast_path_ = FastPathFromEnv();
 }
 
 void Engine::ResetStats() {
+  // Resetting while an operator runs would tear per-stage counters and
+  // leave task spans pointing at dropped stages; fail loudly instead.
+  SAC_CHECK_EQ(in_flight(), 0)
+      << "Engine::ResetStats called while a query is executing";
   metrics_.Reset();
   stages_.Reset();
   tracer_.Reset();
@@ -106,6 +123,7 @@ std::string Engine::ExplainWithStats(const Dataset& ds) {
              << " records_in=" << snap.counters.records_processed
              << " shuffle_bytes=" << snap.counters.shuffle_bytes
              << " cross_bytes=" << snap.counters.cross_executor_bytes
+             << " local_bytes=" << snap.counters.local_shuffle_bytes
              << " recomputed=" << snap.counters.tasks_recomputed;
           if (snap.task_us.count > 0) {
             os << " task_us{" << snap.task_us.ToString() << "}";
@@ -132,6 +150,7 @@ Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
 
 Status Engine::ParallelParts(const TaskContext& ctx, int n,
                              const std::function<Status(int)>& fn) {
+  InFlightScope running(this);
   std::mutex mu;
   Status first_error;
   pool_.ParallelFor(static_cast<size_t>(n), [&](size_t i) {
@@ -286,19 +305,48 @@ Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
 }
 
 Result<Engine::ShuffleBuckets> Engine::BucketRows(StageStats* stats,
-                                                  const Partition& rows,
+                                                  Partition rows,
                                                   int src_part,
                                                   int num_dest) {
   ShuffleBuckets buckets;
-  std::vector<ByteWriter> writers(num_dest);
-  for (const Value& row : rows) {
+  buckets.remote_by_dest.resize(num_dest);
+  buckets.local_by_dest.resize(num_dest);
+  const int src_exec = ExecutorOf(src_part);
+  const bool fast = shuffle_fast_path_;
+
+  // A (src, dest) pair is entirely local or entirely remote, so each
+  // bucket checks out exactly one pooled container and the reduce-side
+  // concatenation order is identical on both paths.
+  std::vector<uint8_t> local_dest(num_dest, 0);
+  std::vector<ByteWriter> writers;
+  writers.reserve(num_dest);
+  std::vector<uint64_t> local_bytes(num_dest, 0);
+  for (int d = 0; d < num_dest; ++d) {
+    local_dest[d] = fast && ExecutorOf(d) == src_exec;
+    if (local_dest[d]) {
+      buckets.local_by_dest[d] = AcquirePooled(&row_pool_);
+      writers.emplace_back();  // placeholder, never written
+    } else {
+      buckets.remote_by_dest[d] = AcquirePooled(&byte_pool_);
+      writers.emplace_back(&buckets.remote_by_dest[d].get());
+    }
+  }
+
+  for (Value& row : rows) {
     SAC_RETURN_NOT_OK(ExpectPair(row));
     const int dest =
         static_cast<int>(row.At(0).Hash() % static_cast<uint64_t>(num_dest));
-    row.Serialize(&writers[dest]);
+    if (local_dest[dest]) {
+      // Zero-copy route: the Value moves as-is; meter what it would have
+      // cost on the wire (SerializedSize is exact, see value.h).
+      local_bytes[dest] += row.SerializedSize();
+      buckets.local_by_dest[dest]->push_back(std::move(row));
+    } else {
+      row.Serialize(&writers[dest]);
+    }
     ++buckets.records;
   }
-  buckets.by_dest.resize(num_dest);
+
   auto add_shuffle = [&](uint64_t bytes, uint64_t records, bool cross) {
     if (stats) {
       stats->AddShuffle(bytes, records, cross);
@@ -307,8 +355,16 @@ Result<Engine::ShuffleBuckets> Engine::BucketRows(StageStats* stats,
     }
   };
   for (int d = 0; d < num_dest; ++d) {
-    add_shuffle(writers[d].size(), 0, ExecutorOf(src_part) != ExecutorOf(d));
-    buckets.by_dest[d] = writers[d].TakeBuffer();
+    if (local_dest[d]) {
+      if (stats) {
+        stats->AddLocalShuffle(local_bytes[d]);
+      } else {
+        metrics_.AddLocalShuffle(local_bytes[d]);
+      }
+    } else {
+      add_shuffle(buckets.remote_by_dest[d]->size(), 0,
+                  ExecutorOf(src_part) != ExecutorOf(d));
+    }
   }
   add_shuffle(0, buckets.records, false);
   return buckets;
@@ -340,10 +396,12 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
       "stage");
   Stopwatch stage_sw;
 
+  InFlightScope running(this);
+
   // Map side: bucket every parent partition (parallel across partitions).
-  // buckets[parent][src][dest] = serialized rows.
-  std::vector<std::vector<std::vector<std::vector<uint8_t>>>> buckets(
-      num_parents);
+  // buckets[parent][src] holds per-destination pooled buffers: serialized
+  // bytes for remote destinations, moved Values for executor-local ones.
+  std::vector<std::vector<ShuffleBuckets>> buckets(num_parents);
   for (int p = 0; p < num_parents; ++p) {
     SAC_RETURN_NOT_OK(Recover(ds->parents_[p]));
     DatasetImpl* parent = ds->parents_[p].get();
@@ -355,24 +413,33 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
           AddRecordsTo(stats, parent->parts_[s].size());
           SAC_ASSIGN_OR_RETURN(Partition combined,
                                map_side(parent->parts_[s], p));
-          SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
-                               BucketRows(stats, combined, s, num_dest));
-          buckets[p][s] = std::move(bs.by_dest);
+          SAC_ASSIGN_OR_RETURN(
+              ShuffleBuckets bs,
+              BucketRows(stats, std::move(combined), s, num_dest));
+          buckets[p][s] = std::move(bs);
           return Status::OK();
         }));
   }
 
-  // Reduce side: deserialize this destination's buckets in deterministic
-  // (parent, source-partition) order, then fold.
+  // Reduce side: drain this destination's buckets in deterministic
+  // (parent, source-partition) order, then fold. Local buckets hand over
+  // their Values by move; remote buckets are deserialized. A (src, dest)
+  // bucket is entirely one or the other, so the concatenation order
+  // matches the serialize-everything path exactly.
   auto reduce_one = [&](int d) -> Status {
     ValueVec rows_a, rows_b;
     for (int p = 0; p < num_parents; ++p) {
       ValueVec& rows = (p == 0) ? rows_a : rows_b;
-      for (auto& src_buckets : buckets[p]) {
-        ByteReader reader(src_buckets[d]);
-        while (!reader.AtEnd()) {
-          SAC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(&reader));
-          rows.push_back(std::move(v));
+      for (ShuffleBuckets& bs : buckets[p]) {
+        if (bs.local_by_dest[d]) {
+          ValueVec& local = *bs.local_by_dest[d];
+          for (Value& v : local) rows.push_back(std::move(v));
+        } else {
+          ByteReader reader(*bs.remote_by_dest[d]);
+          while (!reader.AtEnd()) {
+            SAC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(&reader));
+            rows.push_back(std::move(v));
+          }
         }
       }
     }
@@ -399,6 +466,8 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
                       static_cast<int64_t>(c.shuffle_records));
     stage_span.AddArg("cross_executor_bytes",
                       static_cast<int64_t>(c.cross_executor_bytes));
+    stage_span.AddArg("local_shuffle_bytes",
+                      static_cast<int64_t>(c.local_shuffle_bytes));
     SAC_LOG(Debug) << "stage #" << ds->stage_.id << " " << ds->label()
                    << (only_dest >= 0 ? " (recover)" : "") << ": "
                    << c.shuffle_records << " records, " << c.shuffle_bytes

@@ -5,9 +5,16 @@
 // serialize-route-deserialize hash shuffle), plus parallelize/collect.
 //
 // Fidelity notes (see DESIGN.md):
-//  * Wide operators serialize every record into per-destination byte
-//    buffers and deserialize on the "reduce side", so shuffle volume costs
-//    real work and is metered exactly (per-executor byte accounting).
+//  * Wide operators route every record to a destination partition. Records
+//    bound for a partition on a *different* executor are serialized into
+//    per-destination byte buffers and deserialized on the "reduce side",
+//    so cross-executor volume costs real work and is metered exactly.
+//    Records bound for a partition on the *same* executor take a zero-copy
+//    fast path (moved as Values, volume metered via SerializedSize into
+//    local_shuffle_bytes) -- on a real cluster those records never touch
+//    the wire either. SAC_SHUFFLE_FAST_PATH=off restores the old
+//    serialize-everything path for A/B runs; both paths produce identical
+//    results and identical local+remote byte totals (DESIGN.md section 8).
 //  * reduceByKey performs map-side combining before the shuffle, exactly
 //    the property Section 4 of the paper relies on when preferring it over
 //    groupByKey.
@@ -19,12 +26,14 @@
 #ifndef SAC_RUNTIME_ENGINE_H_
 #define SAC_RUNTIME_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/pool.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/common/trace.h"
@@ -106,9 +115,36 @@ class Engine {
   trace::Tracer& tracer() { return tracer_; }
   ThreadPool& pool() { return pool_; }
 
+  // ---- Shuffle hot path ----------------------------------------------
+  /// Executor-local zero-copy routing: records whose destination partition
+  /// lives on the source partition's executor move as Values (no
+  /// serialize/deserialize); their volume is metered into
+  /// local_shuffle_bytes via Value::SerializedSize. Default on; the
+  /// SAC_SHUFFLE_FAST_PATH=off environment variable (read at engine
+  /// construction) or this setter force the old serialize-everything path
+  /// for A/B benchmarking. Do not toggle while a query is running.
+  bool shuffle_fast_path() const { return shuffle_fast_path_; }
+  void set_shuffle_fast_path(bool on) { shuffle_fast_path_ = on; }
+
+  /// Pools backing the shuffle: per-destination serialization buffers and
+  /// zero-copy row scratch, checked out per map-side task and returned
+  /// when the stage's buckets are consumed (RAII -- error paths return
+  /// them too). Exposed for tests and reports.
+  VectorPool<uint8_t>& shuffle_buffer_pool() { return byte_pool_; }
+  VectorPool<Value>& row_scratch_pool() { return row_pool_; }
+
+  /// Number of currently executing engine operators/tasks; 0 whenever the
+  /// engine is quiescent. ResetStats() checks this to fail loudly on the
+  /// documented "never concurrently with a query" contract.
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
   // ---- Observability --------------------------------------------------
   /// Clears totals, per-stage stats and the trace buffer in one step
-  /// (call between measured runs; never concurrently with a query).
+  /// (call between measured runs; never concurrently with a query --
+  /// violating that aborts with a CHECK failure instead of silently
+  /// corrupting per-stage stats).
   void ResetStats();
 
   /// Human-readable per-stage metrics table (one row per operator run).
@@ -245,15 +281,36 @@ class Engine {
 
   Status RecomputePartition(DatasetImpl* ds, int i);
 
-  // Map-side shuffle helper: computes, serializes and routes `rows` of
-  // source partition src_part into per-destination buffers, accounting
-  // metrics. Returns one byte buffer per destination partition.
+  // Map-side shuffle helper: routes `rows` of source partition src_part
+  // into per-destination buckets, accounting metrics. Destinations on the
+  // same executor receive the Values themselves (zero-copy fast path,
+  // volume metered via SerializedSize into local_shuffle_bytes); remote
+  // destinations receive serialized bytes (metered into shuffle_bytes /
+  // cross_executor_bytes). With the fast path off, every destination is
+  // treated as remote, reproducing the old serialize-everything path
+  // bit-for-bit. For a given (src, dest) pair all rows take the same
+  // route, so reduce-side concatenation order is identical on both paths.
+  // Buckets hold pooled buffers; destroying them returns the buffers.
   struct ShuffleBuckets {
-    std::vector<std::vector<uint8_t>> by_dest;
+    std::vector<PooledVec<uint8_t>> remote_by_dest;  // serialized records
+    std::vector<PooledVec<Value>> local_by_dest;     // zero-copy records
     uint64_t records = 0;
   };
-  Result<ShuffleBuckets> BucketRows(StageStats* stats, const Partition& rows,
+  Result<ShuffleBuckets> BucketRows(StageStats* stats, Partition rows,
                                     int src_part, int num_dest);
+
+  /// RAII marker for a running operator; makes ResetStats() misuse loud.
+  struct InFlightScope {
+    explicit InFlightScope(Engine* e) : eng(e) {
+      eng->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlightScope() {
+      eng->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    InFlightScope(const InFlightScope&) = delete;
+    InFlightScope& operator=(const InFlightScope&) = delete;
+    Engine* eng;
+  };
 
   int ExecutorOf(int partition) const {
     return partition % config_.num_executors;
@@ -264,6 +321,10 @@ class Engine {
   Metrics metrics_;
   StageRegistry stages_{&metrics_};
   trace::Tracer tracer_;
+  VectorPool<uint8_t> byte_pool_;
+  VectorPool<Value> row_pool_;
+  std::atomic<int64_t> in_flight_{0};
+  bool shuffle_fast_path_ = true;
 };
 
 }  // namespace sac::runtime

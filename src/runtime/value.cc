@@ -434,4 +434,10 @@ size_t Value::SerializedSize() const {
   return n;
 }
 
+size_t SerializedSizeOf(const ValueVec& rows) {
+  size_t n = 0;
+  for (const Value& v : rows) n += v.SerializedSize();
+  return n;
+}
+
 }  // namespace sac::runtime

@@ -64,6 +64,8 @@ class Value {
   bool is_tile() const { return kind() == Kind::kTile; }
   bool is_sparse_tile() const { return kind() == Kind::kSparseTile; }
   bool is_numeric() const { return is_int() || is_double(); }
+  /// True for the (key, value) shape wide operators route on.
+  bool is_pair() const { return is_tuple() && TupleSize() == 2; }
 
   int64_t AsInt() const;
   double AsDouble() const;       // accepts int or double
@@ -95,7 +97,11 @@ class Value {
   void Serialize(ByteWriter* w) const;
   static Result<Value> Deserialize(ByteReader* r);
 
-  /// Serialized size in bytes without materializing the buffer.
+  /// Serialized size in bytes without materializing the buffer. Exact:
+  /// equals the byte count Serialize() would emit (tiles and sparse
+  /// tiles cost O(1) -- computed from the shape, not by walking data),
+  /// which is what lets the shuffle fast path meter executor-local
+  /// records without serializing them.
   size_t SerializedSize() const;
 
  private:
@@ -111,6 +117,9 @@ class Value {
                             std::shared_ptr<const la::SparseTile>>;
   Repr repr_;
 };
+
+/// Sum of SerializedSize() over `rows` (local-shuffle volume metering).
+size_t SerializedSizeOf(const ValueVec& rows);
 
 /// Structural equality (delegates to Value::Equals).
 inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }

@@ -1,0 +1,94 @@
+#include "src/common/pool.h"
+
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace sac {
+namespace {
+
+TEST(PoolTest, AcquireStartsEmptyAndTracksOutstanding) {
+  VectorPool<uint8_t> pool;
+  EXPECT_EQ(pool.outstanding(), 0u);
+  std::vector<uint8_t> v = pool.Acquire();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(pool.acquires(), 1u);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  pool.Release(std::move(v));
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+}
+
+TEST(PoolTest, ReleasedCapacityIsRecycled) {
+  VectorPool<uint8_t> pool;
+  std::vector<uint8_t> v = pool.Acquire();
+  v.reserve(4096);
+  pool.Release(std::move(v));
+
+  std::vector<uint8_t> w = pool.Acquire();
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_TRUE(w.empty());            // contents cleared...
+  EXPECT_GE(w.capacity(), 4096u);    // ...allocation kept
+  pool.Release(std::move(w));
+}
+
+TEST(PoolTest, FreelistIsCapped) {
+  VectorPool<int> pool(/*max_free=*/2);
+  std::vector<int> a = pool.Acquire(), b = pool.Acquire(), c = pool.Acquire();
+  pool.Release(std::move(a));
+  pool.Release(std::move(b));
+  pool.Release(std::move(c));  // dropped: freelist already at max_free
+  EXPECT_EQ(pool.free_count(), 2u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PoolTest, TrimDropsFreelistButNotOutstanding) {
+  VectorPool<int> pool;
+  std::vector<int> held = pool.Acquire();
+  pool.Release(pool.Acquire());
+  EXPECT_EQ(pool.free_count(), 1u);
+  pool.Trim();
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.acquires(), 0u);
+  EXPECT_EQ(pool.outstanding(), 1u);  // `held` still checked out
+  pool.Release(std::move(held));
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PoolTest, PooledVecReturnsOnDestruction) {
+  VectorPool<uint8_t> pool;
+  {
+    PooledVec<uint8_t> h = AcquirePooled(&pool);
+    h->push_back(7);
+    EXPECT_TRUE(h);
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+}
+
+TEST(PoolTest, PooledVecMoveTransfersOwnership) {
+  VectorPool<uint8_t> pool;
+  PooledVec<uint8_t> a = AcquirePooled(&pool);
+  a->push_back(1);
+  PooledVec<uint8_t> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b);
+  EXPECT_EQ(b->size(), 1u);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  b = PooledVec<uint8_t>();  // move-assign over a live handle releases it
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PoolTest, DefaultAndNullPoolHandlesOwnNothing) {
+  PooledVec<int> def;
+  EXPECT_FALSE(def);
+  PooledVec<int> null_pool = AcquirePooled<int>(nullptr);
+  EXPECT_FALSE(null_pool);
+  null_pool->push_back(3);  // plain vector, simply destroyed
+  EXPECT_EQ(null_pool->size(), 1u);
+}
+
+}  // namespace
+}  // namespace sac

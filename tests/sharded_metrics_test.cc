@@ -1,0 +1,74 @@
+// The sharded Metrics must fold to exact totals under concurrent writers
+// (the whole point of sharding is lock-free writes with no lost counts).
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+
+namespace sac {
+namespace {
+
+TEST(ShardedMetricsTest, ConcurrentWritersFoldExactly) {
+  Metrics m;
+  ThreadPool pool(8);
+  constexpr size_t kOps = 20000;
+  pool.ParallelFor(kOps, [&](size_t i) {
+    m.AddShuffle(3, 1, i % 2 == 0);
+    m.AddLocalShuffle(5);
+    m.AddTask();
+    m.AddRecords(2);
+    if (i % 10 == 0) m.AddRecompute();
+  });
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.shuffle_bytes, 3 * kOps);
+  EXPECT_EQ(s.shuffle_records, kOps);
+  EXPECT_EQ(s.cross_executor_bytes, 3 * (kOps / 2));
+  EXPECT_EQ(s.local_shuffle_bytes, 5 * kOps);
+  EXPECT_EQ(s.tasks_run, kOps);
+  EXPECT_EQ(s.records_processed, 2 * kOps);
+  EXPECT_EQ(s.tasks_recomputed, kOps / 10);
+}
+
+TEST(ShardedMetricsTest, GettersMatchSnapshot) {
+  Metrics m;
+  m.AddShuffle(10, 2, true);
+  m.AddLocalShuffle(7);
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(m.shuffle_bytes(), s.shuffle_bytes);
+  EXPECT_EQ(m.shuffle_records(), s.shuffle_records);
+  EXPECT_EQ(m.cross_executor_bytes(), s.cross_executor_bytes);
+  EXPECT_EQ(m.local_shuffle_bytes(), s.local_shuffle_bytes);
+}
+
+TEST(ShardedMetricsTest, ResetClearsEveryShard) {
+  Metrics m;
+  ThreadPool pool(8);
+  // Writers spread across threads land on several shards; Reset must
+  // clear them all, not just the caller's.
+  pool.ParallelFor(1000, [&](size_t) {
+    m.AddShuffle(1, 1, true);
+    m.AddLocalShuffle(1);
+    m.AddTask();
+  });
+  m.Reset();
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.shuffle_bytes, 0u);
+  EXPECT_EQ(s.shuffle_records, 0u);
+  EXPECT_EQ(s.cross_executor_bytes, 0u);
+  EXPECT_EQ(s.local_shuffle_bytes, 0u);
+  EXPECT_EQ(s.tasks_run, 0u);
+}
+
+TEST(ShardedMetricsTest, StageStatsForwardLocalShuffleToTotals) {
+  Metrics totals;
+  StageStats stage(1, "s", "shuffle", &totals);
+  stage.AddLocalShuffle(11);
+  stage.AddShuffle(4, 1, false);
+  EXPECT_EQ(stage.counters().local_shuffle_bytes(), 11u);
+  EXPECT_EQ(totals.local_shuffle_bytes(), 11u);
+  EXPECT_EQ(totals.shuffle_bytes(), 4u);
+}
+
+}  // namespace
+}  // namespace sac

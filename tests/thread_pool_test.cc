@@ -1,6 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -59,6 +62,39 @@ TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlockWait) {
   }
   pool.Wait();
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitChunkCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+                   /*chunk=*/7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DynamicClaimingLetsIdleWorkersDrainSkewedWork) {
+  // Element 0 blocks until elements 1..3 have run. Static striping would
+  // pin some of 1..3 behind the blocked worker and deadlock; dynamic
+  // claiming lets the free worker drain them, so element 0's wait is
+  // satisfied. The generous timeout turns a regression into a test
+  // failure instead of a hang.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  bool timed_out = false;
+  pool.ParallelFor(4, [&](size_t i) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (i == 0) {
+      timed_out = !cv.wait_for(lock, std::chrono::seconds(60),
+                               [&] { return done == 3; });
+    } else {
+      ++done;
+      cv.notify_all();
+    }
+  });
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(done, 3);
 }
 
 TEST(ThreadPoolTest, ParallelForSumsCorrectly) {
