@@ -1,0 +1,156 @@
+// Recovery ablation / chaos gate: the Figure 4.C factorization workload
+// run three ways from identical seeds --
+//
+//   fault-free    no injected faults (the baseline)
+//   chaos         a seeded FaultPlan injecting failures at every named
+//                 point (pre-run, mid-map, shuffle-serialize,
+//                 post-shuffle); retries must recover silently
+//   chaos+ckpt    same plan, with P and Q checkpointed after every
+//                 gradient step (lineage truncation exercised under
+//                 faults)
+//
+// The gate FAILS (nonzero exit) unless: the chaos runs produce
+// byte-identical P/Q factors to the fault-free run, at least 3 faults
+// were injected with at least one mid-shuffle-serialization, retries and
+// backoff show up in the metrics, and the chaos wall time stays within a
+// loose multiple of the fault-free run (recovery must not devolve into
+// recomputing the world). `--smoke` shrinks the iteration count for CI.
+#include "bench/bench_common.h"
+
+#include <cstring>
+
+#include "src/api/algorithms.h"
+#include "src/runtime/recovery.h"
+
+namespace {
+
+/// Byte-exact factor comparison: deterministic reduce order plus exact
+/// binary serialization make replayed runs bit-identical, so any drift
+/// is a recovery bug, not rounding.
+bool SameTile(const sac::la::Tile& a, const sac::la::Tile& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.vec().data(), b.vec().data(),
+                     a.vec().size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sac;         // NOLINT
+  using namespace sac::bench;  // NOLINT
+  using runtime::recovery::FaultPlan;
+  using runtime::recovery::FaultPoint;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int64_t n = 128, block = 64, k = 64;
+  const int iters = smoke ? 2 : 3;
+  const double gamma = 0.002, lambda = 0.02;
+
+  // One failure at each named point. Stage "*" matches every operator, so
+  // each rule fires once per (stage, partition) on first attempts; every
+  // failed attempt is retried with backoff and must leave no trace in the
+  // results. Each rule targets a distinct partition: two rules on the
+  // same partition would shadow each other (the earlier point kills
+  // attempt 1, and by attempt 2 a count=1 rule no longer matches).
+  const char* kChaosPlan =
+      "seed=11;"
+      "pre-run@*:part=0:count=1;"
+      "mid-map@*:part=1:count=1;"
+      "shuffle-serialize@*:part=2:count=1;"
+      "post-shuffle@*:part=3:count=1";
+
+  PrintHeader(
+      "Recovery ablation: fig4c factorization under a seeded fault plan");
+  BenchReporter reporter("abl_recovery", argc, argv);
+
+  int violations = 0;
+  auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "CHAOS GATE VIOLATION: %s\n", what);
+      ++violations;
+    }
+  };
+
+  struct RunResult {
+    Row row;
+    la::Tile p{0, 0};
+    la::Tile q{0, 0};
+    uint64_t injected = 0;
+    uint64_t injected_shuffle = 0;
+  };
+
+  auto run = [&](const std::string& series, const char* plan,
+                 bool checkpoint_each_step) -> RunResult {
+    Sac ctx(BenchCluster());
+    if (plan != nullptr) {
+      auto parsed = FaultPlan::Parse(plan);
+      SAC_BENCH_CHECK(parsed);
+      ctx.engine().set_fault_plan(std::move(parsed).value());
+    }
+    auto r = ctx.RandomSparseMatrix(n, n, block, 301, 0.1, 5).value();
+    auto p0 = ctx.RandomMatrix(n, k, block, 302, 0.0, 1.0).value();
+    auto q0 = ctx.RandomMatrix(n, k, block, 303, 0.0, 1.0).value();
+    RunResult out;
+    algo::Factorization st{p0, q0};
+    out.row =
+        TimeQuery(&ctx, "abl_recovery", series, n, n * n, [&] {
+          st = algo::Factorization{p0, q0};  // every rep replays from seed
+          for (int it = 0; it < iters; ++it) {
+            SAC_BENCH_CHECK(
+                [&]() -> Result<bool> {
+                  SAC_ASSIGN_OR_RETURN(
+                      st, algo::FactorizationStep(&ctx, r, st, gamma,
+                                                  lambda));
+                  if (checkpoint_each_step) {
+                    SAC_RETURN_NOT_OK(ctx.Checkpoint(st.p));
+                    SAC_RETURN_NOT_OK(ctx.Checkpoint(st.q));
+                  }
+                  return true;
+                }());
+          }
+        });
+    reporter.Report(out.row);
+    reporter.CaptureTrace(&ctx);
+    out.p = ctx.ToLocal(st.p).value();
+    out.q = ctx.ToLocal(st.q).value();
+    out.injected = ctx.engine().fault_plan().injected();
+    out.injected_shuffle =
+        ctx.engine().fault_plan().injected(FaultPoint::kShuffleSerialize);
+    return out;
+  };
+
+  const RunResult clean = run("fault-free", nullptr, false);
+  const RunResult chaos = run("chaos", kChaosPlan, false);
+  const RunResult ckpt = run("chaos+ckpt", kChaosPlan, true);
+
+  expect(clean.injected == 0, "fault-free run injected faults");
+  expect(chaos.injected >= 3, "chaos run injected fewer than 3 faults");
+  expect(chaos.injected_shuffle >= 1,
+         "no fault fired during shuffle serialization");
+  expect(SameTile(chaos.p, clean.p) && SameTile(chaos.q, clean.q),
+         "chaos factors are not byte-identical to the fault-free run");
+  expect(SameTile(ckpt.p, clean.p) && SameTile(ckpt.q, clean.q),
+         "chaos+ckpt factors are not byte-identical to the fault-free run");
+  expect(chaos.row.totals.tasks_retried > 0,
+         "chaos run shows no retries in metrics");
+  expect(chaos.row.totals.retry_wait_us > 0,
+         "chaos run shows no backoff time in metrics");
+  expect(ckpt.row.totals.checkpoint_bytes > 0,
+         "chaos+ckpt run metered no checkpoint bytes");
+  // Loose overhead bound: retries redo single tasks, not whole stages, so
+  // recovery cost must stay within a small multiple of the clean run.
+  expect(chaos.row.time_ms <= clean.row.time_ms * 5.0 + 500.0,
+         "chaos overhead exceeds 5x fault-free + 500ms");
+
+  if (violations > 0) {
+    std::fprintf(stderr, "chaos gate: %d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("chaos gate: ok (%llu faults injected, %llu mid-shuffle)\n",
+              static_cast<unsigned long long>(chaos.injected),
+              static_cast<unsigned long long>(chaos.injected_shuffle));
+  return 0;
+}

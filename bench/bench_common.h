@@ -172,7 +172,13 @@ class BenchReporter {
             std::to_string(c.local_shuffle_bytes) +
             ",\"tasks\":" + std::to_string(c.tasks_run) +
             ",\"recomputed\":" + std::to_string(c.tasks_recomputed) +
-            ",\"records_in\":" + std::to_string(c.records_processed);
+            ",\"records_in\":" + std::to_string(c.records_processed) +
+            ",\"retried\":" + std::to_string(c.tasks_retried) +
+            ",\"retry_wait_us\":" + std::to_string(c.retry_wait_us) +
+            ",\"faults_injected\":" + std::to_string(c.faults_injected) +
+            ",\"checkpoint_bytes\":" + std::to_string(c.checkpoint_bytes) +
+            ",\"checkpoint_restore_bytes\":" +
+            std::to_string(c.checkpoint_restore_bytes);
   }
 
   void WriteJsonReport() const {

@@ -7,10 +7,16 @@
 #   4. perf-smoke: bench_abl_shuffle_path --smoke at tiny scale (shuffle
 #      fast path must not be slower than the serialize path by >10%, and
 #      the local+remote byte accounting must match it exactly)
-#   5. asan: AddressSanitizer+UBSan build, full test suite
-#   6. tsan: ThreadSanitizer build of the concurrency-sensitive tests
-#      (engine, trace, thread pool, shuffle pools, sharded metrics),
-#      since the trace/metrics buffers are written from pool threads
+#   5. chaos: bench_abl_recovery --smoke (fig4c under a canned seeded
+#      fault plan must produce byte-identical factors to the fault-free
+#      run, with retries/backoff/checkpoints metered and overhead bounded)
+#   6. docs: scripts/check_docs_links.sh (no *.md relative link may point
+#      at a missing file)
+#   7. asan: AddressSanitizer+UBSan build, full test suite
+#   8. tsan: ThreadSanitizer build of the concurrency-sensitive tests
+#      (engine, trace, thread pool, shuffle pools, sharded metrics, and
+#      the recovery/retry path), since the trace/metrics buffers and
+#      fault counters are written from pool threads
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
@@ -43,6 +49,14 @@ if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=3 \
     ./build/bench/bench_abl_shuffle_path --smoke \
     --out build/BENCH_abl_shuffle_path.smoke.json
+
+  echo "==> chaos: fig4c under a seeded fault plan (recovery gate)"
+  SAC_BENCH_REPS=1 \
+    ./build/bench/bench_abl_recovery --smoke \
+    --out build/BENCH_abl_recovery.smoke.json
+
+  echo "==> docs: markdown relative-link check"
+  scripts/check_docs_links.sh
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--asan-only" ]]; then
@@ -59,7 +73,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" --target sac_tests
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
-    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*'
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*'
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fails if any markdown file in the repo contains a relative link to a
+# file that does not exist. Checks inline links [text](target) in every
+# tracked *.md (skipping http(s)/mailto targets and pure #anchors;
+# in-file anchor fragments of existing targets are not resolved).
+#
+# Usage: scripts/check_docs_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  # Pull out every](target) link target, one per line.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"         # strip any anchor fragment
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "$md: dead relative link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$md" 2>/dev/null \
+             | sed 's/^](//; s/)$//' || true)
+done < <(git ls-files '*.md')
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "docs link check: FAILED" >&2
+  exit 1
+fi
+echo "docs link check: ok"

@@ -193,6 +193,60 @@ class DeadDatasetRule : public LintRule {
 };
 SAC_REGISTER_LINT_RULE(DeadDatasetRule);
 
+// ---------------------------------------------------------------------------
+// SAC-W05: chained in-loop shuffles with nothing cutting the lineage
+// ---------------------------------------------------------------------------
+
+class LoopShuffleChainRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W05"; }
+  const char* summary() const override {
+    return "shuffle feeding another shuffle inside an iterative loop with "
+           "no cache or checkpoint between them; lineage and recovery cost "
+           "grow with every iteration";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    const auto consumers = Consumers(g);
+    for (const PlanNodePtr& n : g.nodes) {
+      if (!n->in_loop || !n->is_shuffle() || n->cached) continue;
+      // Walk downstream through uncached nodes; a cached node cuts the
+      // recompute chain, another in-loop shuffle means a lost partition
+      // there replays this shuffle too -- every iteration, since nothing
+      // between them materializes durably.
+      std::unordered_set<const PlanNode*> seen;
+      std::vector<const PlanNode*> stack;
+      auto push_consumers = [&](const PlanNode* p) {
+        auto it = consumers.find(p);
+        if (it == consumers.end()) return;
+        for (const PlanNode* c : it->second) stack.push_back(c);
+      };
+      push_consumers(n.get());
+      const PlanNode* hit = nullptr;
+      while (!stack.empty() && hit == nullptr) {
+        const PlanNode* c = stack.back();
+        stack.pop_back();
+        if (!seen.insert(c).second) continue;
+        if (c->cached) continue;
+        if (c->in_loop && c->is_shuffle()) {
+          hit = c;
+          break;
+        }
+        push_consumers(c);
+      }
+      if (hit == nullptr) continue;
+      out->push_back(Warning(
+          code(),
+          NodeDesc(*n) + " feeds " + NodeDesc(*hit) +
+              " inside an iterative loop with nothing cutting the lineage "
+              "between them; cache the intermediate or checkpoint the loop "
+              "target (ClusterConfig::checkpoint_interval) so recovery "
+              "does not replay the whole chain",
+          SpanOf(*n)));
+    }
+  }
+};
+SAC_REGISTER_LINT_RULE(LoopShuffleChainRule);
+
 }  // namespace
 
 }  // namespace sac::analysis

@@ -199,11 +199,52 @@ Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
       default:
         return Status::RuntimeError("loop assignment produced a scalar");
     }
+    // Auto-checkpoint: each rebind of an in-loop target stacks another
+    // layer of lineage on top of the previous binding; every K-th rebind
+    // we cut the chain (Spark's checkpoint() discipline for iterative
+    // jobs). Counters persist across EvalLoop calls, so driver-level
+    // iteration (EvalLoopIterated, the fig4c pattern) is covered too.
+    const int interval = engine_->config().checkpoint_interval;
+    if (interval > 0 && u.in_loop) {
+      const int count = ++loop_update_counts_[u.target];
+      if (count % interval == 0) {
+        SAC_RETURN_NOT_OK(Checkpoint(u.target));
+      }
+    }
     report.push_back(u.target + " <- " +
                      planner::StrategyName(q.strategy) + ": " +
                      q.explanation);
   }
   return report;
+}
+
+Result<std::vector<std::string>> Sac::EvalLoopIterated(const std::string& src,
+                                                       int iterations) {
+  if (iterations < 1) {
+    return Status::InvalidArgument("EvalLoopIterated needs iterations >= 1");
+  }
+  std::vector<std::string> report;
+  for (int it = 0; it < iterations; ++it) {
+    SAC_ASSIGN_OR_RETURN(std::vector<std::string> one, EvalLoop(src));
+    if (it == 0) report = std::move(one);
+  }
+  return report;
+}
+
+Status Sac::Checkpoint(const std::string& name) {
+  auto it = binds_.find(name);
+  if (it == binds_.end()) {
+    return Status::InvalidArgument("Checkpoint: '" + name + "' is not bound");
+  }
+  switch (it->second.kind) {
+    case Binding::Kind::kTiled:
+      return engine_->Checkpoint(it->second.tiled.tiles);
+    case Binding::Kind::kBlockVector:
+      return engine_->Checkpoint(it->second.vec.blocks);
+    default:
+      return Status::InvalidArgument("Checkpoint: '" + name +
+                                     "' is not a distributed array");
+  }
 }
 
 Result<Value> Sac::ReferenceEval(const std::string& src) {

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "src/analysis/analysis.h"
 #include "src/common/status.h"
@@ -112,6 +113,28 @@ class Sac {
   /// one "target <- strategy" line per translated assignment.
   Result<std::vector<std::string>> EvalLoop(const std::string& src);
 
+  /// Runs the loop program `iterations` times (the driver-level iteration
+  /// of gradient-descent workloads like Figure 4c). Between runs the
+  /// targets stay rebound, so lineage would grow linearly with the
+  /// iteration count -- the auto-checkpointing below bounds it.
+  Result<std::vector<std::string>> EvalLoopIterated(const std::string& src,
+                                                    int iterations);
+
+  // ---- fault tolerance ----------------------------------------------------
+  /// Materializes the array to spill files and truncates its lineage
+  /// (Engine::Checkpoint): recovery of a dropped partition then reads the
+  /// spill file instead of recomputing the upstream chain. EvalLoop calls
+  /// this automatically on in-loop targets every
+  /// ClusterConfig::checkpoint_interval rebinds (0 disables).
+  Status Checkpoint(const storage::TiledMatrix& m) {
+    return engine_->Checkpoint(m.tiles);
+  }
+  Status Checkpoint(const storage::BlockVector& v) {
+    return engine_->Checkpoint(v.blocks);
+  }
+  /// Checkpoints a bound tiled matrix or block vector by name.
+  Status Checkpoint(const std::string& name);
+
   /// Runs the same query through the reference evaluator on collected
   /// inputs -- the oracle used by tests (small inputs only).
   Result<runtime::Value> ReferenceEval(const std::string& src);
@@ -120,6 +143,9 @@ class Sac {
   std::unique_ptr<runtime::Engine> engine_;
   planner::PlannerOptions options_;
   planner::Bindings binds_;
+  // Rebind count per in-loop target, driving auto-checkpointing across
+  // EvalLoop calls (driver iterations).
+  std::unordered_map<std::string, int> loop_update_counts_;
 };
 
 }  // namespace sac

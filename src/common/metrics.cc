@@ -28,6 +28,15 @@ std::string MetricsSnapshot::ToString() const {
      << " cross_exec=" << cross_executor_bytes / (1024.0 * 1024.0) << "MB"
      << " local=" << local_shuffle_bytes / (1024.0 * 1024.0) << "MB"
      << " tasks=" << tasks_run << " recomputed=" << tasks_recomputed;
+  if (tasks_retried > 0 || faults_injected > 0) {
+    os << " retried=" << tasks_retried << " faults=" << faults_injected
+       << " backoff=" << retry_wait_us / 1000.0 << "ms";
+  }
+  if (checkpoint_bytes > 0 || checkpoint_restore_bytes > 0) {
+    os << " ckpt_out=" << checkpoint_bytes / (1024.0 * 1024.0) << "MB"
+       << " ckpt_in=" << checkpoint_restore_bytes / (1024.0 * 1024.0)
+       << "MB";
+  }
   return os.str();
 }
 
@@ -40,6 +49,11 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.tasks_run = tasks_run();
   s.tasks_recomputed = tasks_recomputed();
   s.records_processed = records_processed();
+  s.tasks_retried = tasks_retried();
+  s.retry_wait_us = retry_wait_us();
+  s.faults_injected = faults_injected();
+  s.checkpoint_bytes = checkpoint_bytes();
+  s.checkpoint_restore_bytes = checkpoint_restore_bytes();
   return s;
 }
 
@@ -54,6 +68,10 @@ std::string StageStatsSnapshot::ToString() const {
      << " cross=" << counters.cross_executor_bytes / (1024.0 * 1024.0)
      << "MB local=" << counters.local_shuffle_bytes / (1024.0 * 1024.0)
      << "MB recomputed=" << counters.tasks_recomputed;
+  if (counters.tasks_retried > 0) {
+    os << " retried=" << counters.tasks_retried
+       << " backoff=" << counters.retry_wait_us / 1000.0 << "ms";
+  }
   return os.str();
 }
 
@@ -107,18 +125,19 @@ size_t StageRegistry::size() const {
 std::string StageRegistry::ReportString() const {
   const std::vector<StageStatsSnapshot> stages = Snapshot();
   std::ostringstream os;
-  char line[320];
+  char line[448];
   std::snprintf(line, sizeof(line),
-                "%-5s %-24s %-9s %6s %12s %12s %10s %10s %7s %9s %12s\n",
+                "%-5s %-24s %-9s %6s %12s %12s %10s %10s %7s %7s %6s %10s "
+                "%8s %9s %12s\n",
                 "stage", "label", "kind", "tasks", "records_in",
-                "shuffle_KB", "cross_KB", "local_KB", "recomp", "wall_ms",
-                "task_p95_us");
+                "shuffle_KB", "cross_KB", "local_KB", "recomp", "retries",
+                "faults", "backoff_ms", "ckpt_KB", "wall_ms", "task_p95_us");
   os << line;
   for (const StageStatsSnapshot& s : stages) {
     std::snprintf(
         line, sizeof(line),
-        "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %10.1f %7llu %9.2f "
-        "%12llu\n",
+        "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %10.1f %7llu %7llu "
+        "%6llu %10.1f %8.1f %9.2f %12llu\n",
         s.id, s.label.substr(0, 24).c_str(), s.kind.c_str(),
         static_cast<unsigned long long>(s.counters.tasks_run),
         static_cast<unsigned long long>(s.counters.records_processed),
@@ -126,6 +145,11 @@ std::string StageRegistry::ReportString() const {
         s.counters.cross_executor_bytes / 1024.0,
         s.counters.local_shuffle_bytes / 1024.0,
         static_cast<unsigned long long>(s.counters.tasks_recomputed),
+        static_cast<unsigned long long>(s.counters.tasks_retried),
+        static_cast<unsigned long long>(s.counters.faults_injected),
+        s.counters.retry_wait_us / 1000.0,
+        (s.counters.checkpoint_bytes + s.counters.checkpoint_restore_bytes) /
+            1024.0,
         s.wall_ms,
         static_cast<unsigned long long>(s.task_us.Percentile(0.95)));
     os << line;

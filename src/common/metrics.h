@@ -47,6 +47,14 @@ struct MetricsSnapshot {
   uint64_t tasks_run = 0;
   uint64_t tasks_recomputed = 0;
   uint64_t records_processed = 0;
+  // Recovery subsystem (docs/FAULT_MODEL.md): attempts beyond the first,
+  // time slept in backoff before them, faults the FaultPlan injected, and
+  // checkpoint spill-file traffic in both directions.
+  uint64_t tasks_retried = 0;
+  uint64_t retry_wait_us = 0;
+  uint64_t faults_injected = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t checkpoint_restore_bytes = 0;
 
   std::string ToString() const;
 };
@@ -65,6 +73,11 @@ class Metrics {
       s.tasks_run = 0;
       s.tasks_recomputed = 0;
       s.records_processed = 0;
+      s.tasks_retried = 0;
+      s.retry_wait_us = 0;
+      s.faults_injected = 0;
+      s.checkpoint_bytes = 0;
+      s.checkpoint_restore_bytes = 0;
     }
   }
 
@@ -82,6 +95,19 @@ class Metrics {
   void AddTask() { Bump(Local().tasks_run, 1); }
   void AddRecompute() { Bump(Local().tasks_recomputed, 1); }
   void AddRecords(uint64_t n) { Bump(Local().records_processed, n); }
+  /// One extra attempt of a task, after sleeping `wait_us` of backoff.
+  void AddRetry(uint64_t wait_us) {
+    Shard& s = Local();
+    Bump(s.tasks_retried, 1);
+    Bump(s.retry_wait_us, wait_us);
+  }
+  void AddFault() { Bump(Local().faults_injected, 1); }
+  void AddCheckpointWrite(uint64_t bytes) {
+    Bump(Local().checkpoint_bytes, bytes);
+  }
+  void AddCheckpointRestore(uint64_t bytes) {
+    Bump(Local().checkpoint_restore_bytes, bytes);
+  }
 
   uint64_t shuffle_bytes() const { return Fold(&Shard::shuffle_bytes); }
   uint64_t shuffle_records() const { return Fold(&Shard::shuffle_records); }
@@ -95,6 +121,13 @@ class Metrics {
   uint64_t tasks_recomputed() const { return Fold(&Shard::tasks_recomputed); }
   uint64_t records_processed() const {
     return Fold(&Shard::records_processed);
+  }
+  uint64_t tasks_retried() const { return Fold(&Shard::tasks_retried); }
+  uint64_t retry_wait_us() const { return Fold(&Shard::retry_wait_us); }
+  uint64_t faults_injected() const { return Fold(&Shard::faults_injected); }
+  uint64_t checkpoint_bytes() const { return Fold(&Shard::checkpoint_bytes); }
+  uint64_t checkpoint_restore_bytes() const {
+    return Fold(&Shard::checkpoint_restore_bytes);
   }
 
   MetricsSnapshot Snapshot() const;
@@ -113,6 +146,11 @@ class Metrics {
     std::atomic<uint64_t> tasks_run{0};
     std::atomic<uint64_t> tasks_recomputed{0};
     std::atomic<uint64_t> records_processed{0};
+    std::atomic<uint64_t> tasks_retried{0};
+    std::atomic<uint64_t> retry_wait_us{0};
+    std::atomic<uint64_t> faults_injected{0};
+    std::atomic<uint64_t> checkpoint_bytes{0};
+    std::atomic<uint64_t> checkpoint_restore_bytes{0};
   };
 
   static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
@@ -181,6 +219,22 @@ class StageStats {
   void AddRecords(uint64_t n) {
     local_.AddRecords(n);
     if (totals_) totals_->AddRecords(n);
+  }
+  void AddRetry(uint64_t wait_us) {
+    local_.AddRetry(wait_us);
+    if (totals_) totals_->AddRetry(wait_us);
+  }
+  void AddFault() {
+    local_.AddFault();
+    if (totals_) totals_->AddFault();
+  }
+  void AddCheckpointWrite(uint64_t bytes) {
+    local_.AddCheckpointWrite(bytes);
+    if (totals_) totals_->AddCheckpointWrite(bytes);
+  }
+  void AddCheckpointRestore(uint64_t bytes) {
+    local_.AddCheckpointRestore(bytes);
+    if (totals_) totals_->AddCheckpointRestore(bytes);
   }
   void RecordTaskMicros(uint64_t us) { task_us_.Record(us); }
   void AddWallMicros(uint64_t us) {

@@ -116,6 +116,7 @@ Result<TranslatedUpdate> TranslateAssignment(
   out.target = stmt.target;
   out.query = Expr::Build("tiled", comp, dim_args, stmt.pos);
   out.in_loop = !loops.empty();
+  out.loop_depth = static_cast<int>(loops.size());
   return out;
 }
 

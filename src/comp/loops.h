@@ -71,6 +71,11 @@ struct TranslatedUpdate {
   /// The assignment sat inside at least one `for` nest, so its compiled
   /// plan re-runs every iteration (the analyzer's SAC-W02 cares).
   bool in_loop = false;
+  /// Number of enclosing `for` nests (0 when !in_loop). In-loop targets
+  /// grow lineage on every driver re-run, which is what
+  /// Sac::EvalLoop's auto-checkpointing (ClusterConfig::
+  /// checkpoint_interval) exists to bound.
+  int loop_depth = 0;
 };
 
 /// Dimension lookup for a target array: returns the output dimension

@@ -1,16 +1,21 @@
 #include "src/runtime/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/common/serialize.h"
+#include "src/storage/spill.h"
 
 namespace sac::runtime {
 
@@ -70,15 +75,31 @@ bool FastPathFromEnv() {
   return !(s == "off" || s == "0" || s == "false");
 }
 
+/// Directory for checkpoint spill files when neither the call nor the
+/// config names one.
+std::string DefaultSpillDir() {
+  const char* t = std::getenv("TMPDIR");
+  return (t != nullptr && *t != '\0') ? std::string(t) : std::string("/tmp");
+}
+
 }  // namespace
+
+DatasetImpl::~DatasetImpl() {
+  for (const std::string& p : spill_paths_) storage::RemoveSpill(p);
+}
 
 Engine::Engine(ClusterConfig config)
     : config_(config), pool_(static_cast<size_t>(config.TotalCores())) {
   SAC_CHECK_GE(config_.num_executors, 1);
   SAC_CHECK_GE(config_.cores_per_executor, 1);
   SAC_CHECK_GE(config_.default_parallelism, 1);
+  SAC_CHECK_GE(config_.max_task_attempts, 1);
+  SAC_CHECK_GE(config_.retry_base_delay_us, 0);
+  SAC_CHECK_GE(config_.retry_max_delay_us, 0);
+  SAC_CHECK_GE(config_.checkpoint_interval, 0);
   SetLogLevelFromEnv();
   shuffle_fast_path_ = FastPathFromEnv();
+  fault_plan_ = recovery::FaultPlan::FromEnv();
 }
 
 void Engine::ResetStats() {
@@ -149,7 +170,7 @@ Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
 }
 
 Status Engine::ParallelParts(const TaskContext& ctx, int n,
-                             const std::function<Status(int)>& fn) {
+                             const TaskAttemptFn& fn) {
   InFlightScope running(this);
   std::mutex mu;
   Status first_error;
@@ -164,7 +185,7 @@ Status Engine::ParallelParts(const TaskContext& ctx, int n,
     } else {
       metrics_.AddTask();
     }
-    Status st = fn(static_cast<int>(i));
+    Status st = RunTaskWithRetry(ctx, static_cast<int>(i), fn);
     if (ctx.stats) ctx.stats->RecordTaskMicros(sw.ElapsedMicros());
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(mu);
@@ -172,6 +193,64 @@ Status Engine::ParallelParts(const TaskContext& ctx, int n,
     }
   });
   return first_error;
+}
+
+Status Engine::CheckFault(recovery::FaultPoint point, const TaskContext& ctx,
+                          int part, int attempt) {
+  if (fault_plan_.empty()) return Status::OK();
+  Status st = fault_plan_.Check(point, ctx.label, part, attempt);
+  if (!st.ok()) {
+    if (ctx.stats) {
+      ctx.stats->AddFault();
+    } else {
+      metrics_.AddFault();
+    }
+    tracer_.Instant("fault:" + ctx.label, "fault", ctx.parent_span,
+                    {{"partition", part}, {"attempt", attempt}});
+    SAC_LOG(Info) << st.message();
+  }
+  return st;
+}
+
+Status Engine::RunTaskWithRetry(const TaskContext& ctx, int part,
+                                const TaskAttemptFn& fn) {
+  const int max_attempts = config_.max_task_attempts;
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Backoff before attempt k+1 is base * 2^(k-1), capped. On a real
+      // cluster this is the window in which a flaky executor recovers; it
+      // is metered so ReportString shows what recovery cost.
+      uint64_t delay_us =
+          static_cast<uint64_t>(config_.retry_base_delay_us);
+      for (int k = 2; k < attempt; ++k) delay_us *= 2;
+      delay_us = std::min(
+          delay_us, static_cast<uint64_t>(config_.retry_max_delay_us));
+      if (delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+      if (ctx.stats) {
+        ctx.stats->AddRetry(delay_us);
+      } else {
+        metrics_.AddRetry(delay_us);
+      }
+      tracer_.Instant("retry:" + ctx.label, "retry", ctx.parent_span,
+                      {{"partition", part},
+                       {"attempt", attempt},
+                       {"backoff_us", static_cast<int>(delay_us)}});
+    }
+    Status st = CheckFault(recovery::FaultPoint::kPreRun, ctx, part, attempt);
+    if (st.ok()) st = fn(part, attempt);
+    if (st.ok()) return st;
+    // Only injected failures (kCancelled) are transient; anything else is
+    // a real error the attempt loop must not mask or replay.
+    if (st.code() != StatusCode::kCancelled) return st;
+    last = st;
+  }
+  return Status::RuntimeError("task '" + ctx.label + "[" +
+                              std::to_string(part) + "]' failed after " +
+                              std::to_string(max_attempts) +
+                              " attempts: " + last.message());
 }
 
 Dataset Engine::Parallelize(ValueVec rows, int num_partitions) {
@@ -205,13 +284,19 @@ Result<Dataset> Engine::GeneratePartitions(
   };
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
   Stopwatch sw;
-  SAC_RETURN_NOT_OK(
-      ParallelParts(ContextFor(ds.get(), span.id()), num_partitions,
-                    [&](int i) {
-                      SAC_RETURN_NOT_OK(gen(i, &ds->parts_[i]));
-                      ds->available_[i] = true;
-                      return Status::OK();
-                    }));
+  const TaskContext ctx = ContextFor(ds.get(), span.id());
+  SAC_RETURN_NOT_OK(ParallelParts(
+      ctx, num_partitions, [&](int i, int attempt) -> Status {
+        // Generate into a scratch partition and publish only on success,
+        // so a killed attempt leaves nothing for the retry to trip over.
+        Partition tmp;
+        SAC_RETURN_NOT_OK(gen(i, &tmp));
+        SAC_RETURN_NOT_OK(
+            CheckFault(recovery::FaultPoint::kMidMap, ctx, i, attempt));
+        ds->parts_[i] = std::move(tmp);
+        ds->available_[i] = true;
+        return Status::OK();
+      }));
   if (StageStats* stats = StatsFor(ds.get())) {
     stats->AddWallMicros(sw.ElapsedMicros());
   }
@@ -263,10 +348,18 @@ Result<Dataset> Engine::MapPartitions(const Dataset& in, PartitionFn fn,
   StageStats* stats = StatsFor(ds.get());
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
   Stopwatch sw;
+  const TaskContext ctx = ContextFor(ds.get(), span.id());
   SAC_RETURN_NOT_OK(ParallelParts(
-      ContextFor(ds.get(), span.id()), ds->num_partitions(), [&](int i) {
+      ctx, ds->num_partitions(), [&](int i, int attempt) -> Status {
+        // Map into a scratch partition; publish (and meter records_in)
+        // only once the attempt survived its mid-map fault check, so a
+        // retried task neither sees partial output nor double-counts.
+        Partition tmp;
+        SAC_RETURN_NOT_OK(fn(in->parts_[i], &tmp));
+        SAC_RETURN_NOT_OK(
+            CheckFault(recovery::FaultPoint::kMidMap, ctx, i, attempt));
         AddRecordsTo(stats, in->parts_[i].size());
-        SAC_RETURN_NOT_OK(fn(in->parts_[i], &ds->parts_[i]));
+        ds->parts_[i] = std::move(tmp);
         ds->available_[i] = true;
         return Status::OK();
       }));
@@ -304,10 +397,11 @@ Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
   return ds;
 }
 
-Result<Engine::ShuffleBuckets> Engine::BucketRows(StageStats* stats,
+Result<Engine::ShuffleBuckets> Engine::BucketRows(const TaskContext& ctx,
                                                   Partition rows,
                                                   int src_part,
-                                                  int num_dest) {
+                                                  int num_dest, int attempt) {
+  StageStats* stats = ctx.stats;
   ShuffleBuckets buckets;
   buckets.remote_by_dest.resize(num_dest);
   buckets.local_by_dest.resize(num_dest);
@@ -332,7 +426,22 @@ Result<Engine::ShuffleBuckets> Engine::BucketRows(StageStats* stats,
     }
   }
 
+  // The shuffle-serialize fault point fires mid-row-loop -- after some
+  // records are already bucketed/serialized but before anything is
+  // metered or published, so a killed attempt drops its pooled buffers
+  // (RAII) and the retry re-buckets from scratch. Empty partitions check
+  // once up front so plans can target them too.
+  const size_t fault_idx = rows.size() / 2;
+  if (rows.empty()) {
+    SAC_RETURN_NOT_OK(CheckFault(recovery::FaultPoint::kShuffleSerialize,
+                                 ctx, src_part, attempt));
+  }
+  size_t row_idx = 0;
   for (Value& row : rows) {
+    if (row_idx++ == fault_idx) {
+      SAC_RETURN_NOT_OK(CheckFault(recovery::FaultPoint::kShuffleSerialize,
+                                   ctx, src_part, attempt));
+    }
     SAC_RETURN_NOT_OK(ExpectPair(row));
     const int dest =
         static_cast<int>(row.At(0).Hash() % static_cast<uint64_t>(num_dest));
@@ -402,20 +511,25 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
   // buckets[parent][src] holds per-destination pooled buffers: serialized
   // bytes for remote destinations, moved Values for executor-local ones.
   std::vector<std::vector<ShuffleBuckets>> buckets(num_parents);
+  const TaskContext write_ctx = ContextFor(ds, stage_span.id(),
+                                           "shuffle-write");
   for (int p = 0; p < num_parents; ++p) {
     SAC_RETURN_NOT_OK(Recover(ds->parents_[p]));
     DatasetImpl* parent = ds->parents_[p].get();
     const int num_src = parent->num_partitions();
     buckets[p].resize(num_src);
     SAC_RETURN_NOT_OK(ParallelParts(
-        ContextFor(ds, stage_span.id(), "shuffle-write"), num_src,
-        [&](int s) -> Status {
-          AddRecordsTo(stats, parent->parts_[s].size());
+        write_ctx, num_src, [&](int s, int attempt) -> Status {
+          // Each attempt re-runs the map-side combine from the (still
+          // materialized) parent partition, so a kill inside BucketRows
+          // replays cleanly; records_in and the buckets publish only on
+          // success.
           SAC_ASSIGN_OR_RETURN(Partition combined,
                                map_side(parent->parts_[s], p));
-          SAC_ASSIGN_OR_RETURN(
-              ShuffleBuckets bs,
-              BucketRows(stats, std::move(combined), s, num_dest));
+          SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
+                               BucketRows(write_ctx, std::move(combined), s,
+                                          num_dest, attempt));
+          AddRecordsTo(stats, parent->parts_[s].size());
           buckets[p][s] = std::move(bs);
           return Status::OK();
         }));
@@ -426,7 +540,15 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
   // their Values by move; remote buckets are deserialized. A (src, dest)
   // bucket is entirely one or the other, so the concatenation order
   // matches the serialize-everything path exactly.
-  auto reduce_one = [&](int d) -> Status {
+  const TaskContext reduce_ctx = ContextFor(ds, stage_span.id(), "reduce");
+  auto reduce_one = [&](int d, int attempt) -> Status {
+    // The post-shuffle fault point fires at the very top of the reduce
+    // task: the shuffle output exists but nothing has been drained yet,
+    // so a retry re-reads intact buckets. (All retryable failures of this
+    // task -- pre-run and post-shuffle -- precede the destructive drain
+    // below; real errors mid-drain are not retried.)
+    SAC_RETURN_NOT_OK(CheckFault(recovery::FaultPoint::kPostShuffle,
+                                 reduce_ctx, d, attempt));
     ValueVec rows_a, rows_b;
     for (int p = 0; p < num_parents; ++p) {
       ValueVec& rows = (p == 0) ? rows_a : rows_b;
@@ -452,10 +574,11 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
 
   Status st;
   if (only_dest >= 0) {
-    st = reduce_one(only_dest);
+    // Lineage recovery of a single destination: still under the retry
+    // policy (ParallelParts is bypassed, so wrap explicitly).
+    st = RunTaskWithRetry(reduce_ctx, only_dest, reduce_one);
   } else {
-    st = ParallelParts(ContextFor(ds, stage_span.id(), "reduce"), num_dest,
-                       reduce_one);
+    st = ParallelParts(reduce_ctx, num_dest, reduce_one);
   }
   if (stats) {
     stats->AddWallMicros(stage_sw.ElapsedMicros());
@@ -648,6 +771,83 @@ Status Engine::Recover(const Dataset& ds) {
   return Status::OK();
 }
 
+Status Engine::Checkpoint(const Dataset& ds, const std::string& dir) {
+  if (ds == nullptr) {
+    return Status::InvalidArgument("Checkpoint on a null dataset");
+  }
+  if (ds->checkpointed_) return Status::OK();  // idempotent
+  SAC_RETURN_NOT_OK(Recover(ds));
+
+  std::string base = !dir.empty()                     ? dir
+                     : !config_.checkpoint_dir.empty() ? config_.checkpoint_dir
+                                                       : DefaultSpillDir();
+  SAC_RETURN_NOT_OK(storage::EnsureSpillDir(base));
+
+  // Unique per process + checkpoint so concurrent engines (tests) never
+  // collide on spill paths.
+  static std::atomic<uint64_t> next_ckpt{0};
+  const uint64_t ckpt_id = next_ckpt.fetch_add(1, std::memory_order_relaxed);
+  const int n = ds->num_partitions();
+  std::vector<std::string> paths(n);
+  for (int i = 0; i < n; ++i) {
+    paths[i] = base + "/sac-ckpt-" + std::to_string(::getpid()) + "-" +
+               std::to_string(ckpt_id) + "-p" + std::to_string(i) + ".spill";
+  }
+
+  StageStats* stats = StatsFor(ds.get());
+  trace::ScopedSpan span(&tracer_, ds->label_ + ":checkpoint", "stage");
+  Stopwatch sw;
+  const TaskContext ctx = ContextFor(ds.get(), span.id(), "checkpoint");
+  std::atomic<uint64_t> total_bytes{0};
+  Status st =
+      ParallelParts(ctx, n, [&](int i, int) -> Status {
+        SAC_ASSIGN_OR_RETURN(uint64_t bytes,
+                             storage::WriteSpill(paths[i], ds->parts_[i]));
+        total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        if (stats) {
+          stats->AddCheckpointWrite(bytes);
+        } else {
+          metrics_.AddCheckpointWrite(bytes);
+        }
+        return Status::OK();
+      });
+  if (!st.ok()) {
+    for (const std::string& p : paths) storage::RemoveSpill(p);
+    return st.WithContext("checkpoint of '" + ds->label_ + "'");
+  }
+
+  // Truncate lineage: the node becomes a source whose recompute closure
+  // restores from disk; parents are released (their reference counts may
+  // free whole upstream chains).
+  ds->parents_.clear();
+  ds->kind_ = DatasetImpl::OpKind::kSource;
+  ds->narrow_fn_ = nullptr;
+  ds->checkpointed_ = true;
+  ds->spill_paths_ = paths;
+  ds->wide_fn_ = [paths](Engine* eng, DatasetImpl* self,
+                         int out) -> Status {
+    uint64_t bytes = 0;
+    SAC_ASSIGN_OR_RETURN(ValueVec rows,
+                         storage::ReadSpill(paths[out], &bytes));
+    if (StageStats* s = eng->StatsFor(self)) {
+      s->AddCheckpointRestore(bytes);
+    } else {
+      eng->metrics_.AddCheckpointRestore(bytes);
+    }
+    self->parts_[out] = std::move(rows);
+    self->available_[out] = true;
+    return Status::OK();
+  };
+  if (stats) stats->AddWallMicros(sw.ElapsedMicros());
+  span.AddArg("checkpoint_bytes",
+              static_cast<int64_t>(total_bytes.load(std::memory_order_relaxed)));
+  SAC_LOG(Debug) << "checkpointed '" << ds->label_ << "' (" << n
+                 << " partitions, "
+                 << total_bytes.load(std::memory_order_relaxed)
+                 << " bytes) to " << base;
+  return Status::OK();
+}
+
 Status Engine::VerifyLineage(const Dataset& ds) {
   if (ds == nullptr) {
     return Status::RuntimeError("lineage verification on a null dataset");
@@ -710,6 +910,26 @@ Status Engine::VerifyLineage(const Dataset& ds) {
           where + ": current-generation stage ref (stage " +
           std::to_string(d->stage_.id) + ") does not resolve");
     }
+    // Checkpoint truncation invariants: a checkpointed node must be a
+    // parentless source that can restore every partition from its spill
+    // files (Engine::Checkpoint upholds these; a violation means the
+    // truncation was torn).
+    if (d->checkpointed_) {
+      if (d->kind_ != DatasetImpl::OpKind::kSource || !d->parents_.empty()) {
+        return Status::RuntimeError(
+            where + ": checkpointed dataset still carries lineage");
+      }
+      if (!d->wide_fn_) {
+        return Status::RuntimeError(
+            where + ": checkpointed dataset has no restore closure");
+      }
+      if (d->spill_paths_.size() != d->parts_.size()) {
+        return Status::RuntimeError(
+            where + ": checkpointed dataset has " +
+            std::to_string(d->spill_paths_.size()) + " spill file(s) for " +
+            std::to_string(d->parts_.size()) + " partitions");
+      }
+    }
   }
   return Status::OK();
 }
@@ -723,23 +943,39 @@ Status Engine::RecomputePartition(DatasetImpl* ds, int i) {
   tracer_.Instant("recompute:" + ds->label_, "recompute", 0,
                   {{"partition", i}, {"stage", ds->stage_.id}});
   switch (ds->kind_) {
-    case DatasetImpl::OpKind::kSource:
-      if (ds->wide_fn_) return ds->wide_fn_(this, ds, i);
-      return Status::RuntimeError(
-          "lost partition of non-regenerable source '" + ds->label_ + "'");
+    case DatasetImpl::OpKind::kSource: {
+      if (!ds->wide_fn_) {
+        return Status::RuntimeError(
+            "lost partition of non-regenerable source '" + ds->label_ + "'");
+      }
+      // Regeneration (and checkpoint restore) runs under the retry policy.
+      const TaskContext ctx{StatsFor(ds), 0, ds->label_, "recompute"};
+      return RunTaskWithRetry(
+          ctx, i, [&](int part, int) { return ds->wide_fn_(this, ds, part); });
+    }
     case DatasetImpl::OpKind::kNarrow: {
       DatasetImpl* parent = ds->parents_[0].get();
       if (!parent->IsAvailable(i)) {
         SAC_RETURN_NOT_OK(RecomputePartition(parent, i));
       }
-      ds->parts_[i].clear();
-      SAC_RETURN_NOT_OK(ds->narrow_fn_(parent->parts_[i], &ds->parts_[i]));
-      ds->available_[i] = true;
-      return Status::OK();
+      const TaskContext ctx{StatsFor(ds), 0, ds->label_, "recompute"};
+      return RunTaskWithRetry(
+          ctx, i, [&](int part, int attempt) -> Status {
+            Partition tmp;
+            SAC_RETURN_NOT_OK(ds->narrow_fn_(parent->parts_[part], &tmp));
+            SAC_RETURN_NOT_OK(CheckFault(recovery::FaultPoint::kMidMap, ctx,
+                                         part, attempt));
+            ds->parts_[part] = std::move(tmp);
+            ds->available_[part] = true;
+            return Status::OK();
+          });
     }
     case DatasetImpl::OpKind::kShuffle:
     case DatasetImpl::OpKind::kCoShuffle:
     case DatasetImpl::OpKind::kUnion:
+      // Wide recomputes re-enter ExecuteShuffle (or the union closure over
+      // its parents), whose own task paths already apply the retry policy
+      // -- wrapping here again would square the attempt budget.
       return ds->wide_fn_(this, ds, i);
   }
   return Status::RuntimeError("unknown dataset kind");

@@ -18,9 +18,14 @@
 //  * reduceByKey performs map-side combining before the shuffle, exactly
 //    the property Section 4 of the paper relies on when preferring it over
 //    groupByKey.
-//  * Datasets are evaluated eagerly but record their lineage, so a lost
-//    partition (fault injection) is recomputed from its parents, like
-//    Spark's RDD recovery.
+//  * Datasets are evaluated eagerly but record their lineage. Recovery is
+//    a real subsystem (DESIGN.md section 9, docs/FAULT_MODEL.md): a seeded
+//    FaultPlan (SAC_FAULT_PLAN) can kill any task attempt at named points;
+//    killed attempts are retried with bounded exponential backoff
+//    (ClusterConfig::max_task_attempts / retry_*_delay_us); a lost
+//    partition is recomputed from its parents recursively; and
+//    Checkpoint() materializes a dataset to spill files and truncates its
+//    lineage so iterative loops don't grow unbounded recompute chains.
 //  * Reduce-side folds iterate buckets in source-partition order, so
 //    results are deterministic regardless of thread scheduling.
 #ifndef SAC_RUNTIME_ENGINE_H_
@@ -37,6 +42,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/common/trace.h"
+#include "src/runtime/recovery.h"
 #include "src/runtime/value.h"
 
 namespace sac::runtime {
@@ -48,6 +54,19 @@ struct ClusterConfig {
   int num_executors = 4;
   int cores_per_executor = 1;
   int default_parallelism = 8;  // partitions created by Parallelize
+
+  // ---- Fault tolerance (DESIGN.md section 9, docs/FAULT_MODEL.md) ----
+  // Attempts per task including the first; injected faults (kCancelled)
+  // are retried up to this bound, real task errors are not retried.
+  int max_task_attempts = 3;
+  // Backoff slept before attempt k+1 is base * 2^(k-1), capped at max.
+  int retry_base_delay_us = 200;
+  int retry_max_delay_us = 20000;
+  // Auto-checkpoint every K-th rebinding of a loop target in
+  // Sac::EvalLoop (0 = never). See Engine::Checkpoint.
+  int checkpoint_interval = 0;
+  // Directory for checkpoint spill files; "" = the system temp dir.
+  std::string checkpoint_dir = "";
 
   int TotalCores() const { return num_executors * cores_per_executor; }
 };
@@ -72,9 +91,16 @@ class DatasetImpl {
   /// Index of this node's stage in Engine::stages() (see StageRegistry).
   int stage_id() const { return stage_.id; }
 
-  /// Fault injection: drop the materialized data of one partition.
+  /// Drop the materialized data of one partition (tests / coarse fault
+  /// injection; mid-task failures go through the engine's FaultPlan).
   void InvalidatePartition(int i) { available_[i] = 0; }
   bool IsAvailable(int i) const { return available_[i] != 0; }
+
+  /// True once Engine::Checkpoint truncated this node's lineage: it is a
+  /// source whose partitions restore from spill files, not from parents.
+  bool checkpointed() const { return checkpointed_; }
+
+  ~DatasetImpl();  // removes this node's checkpoint spill files
 
  private:
   friend class Engine;
@@ -93,6 +119,11 @@ class DatasetImpl {
   // shuffle: output partition i from *all* parent partitions.
   std::function<Status(Engine* eng, DatasetImpl* self, int out_part)>
       wide_fn_;
+
+  // Checkpoint state (Engine::Checkpoint): when checkpointed_, wide_fn_
+  // reloads partition i from spill_paths_[i] instead of recomputing.
+  bool checkpointed_ = false;
+  std::vector<std::string> spill_paths_;
 };
 
 using Dataset = std::shared_ptr<DatasetImpl>;
@@ -107,6 +138,10 @@ using PartitionFn = std::function<Status(const Partition&, Partition*)>;
 
 class Engine {
  public:
+  /// ClusterConfig carries the retry/checkpoint policy too; `Config` is
+  /// the conventional name at the engine API boundary.
+  using Config = ClusterConfig;
+
   explicit Engine(ClusterConfig config = ClusterConfig());
 
   const ClusterConfig& config() const { return config_; }
@@ -218,6 +253,24 @@ class Engine {
   /// Recomputes any invalidated partitions from lineage (recursively).
   Status Recover(const Dataset& ds);
 
+  // ---- Fault tolerance ------------------------------------------------
+  /// The active fault-injection plan, parsed from SAC_FAULT_PLAN at
+  /// construction (recovery::FaultPlan grammar, docs/FAULT_MODEL.md).
+  /// Replace programmatically for tests; never while a query is running.
+  recovery::FaultPlan& fault_plan() { return fault_plan_; }
+  void set_fault_plan(recovery::FaultPlan plan) {
+    fault_plan_ = std::move(plan);
+  }
+
+  /// Materializes `ds` (recovering lost partitions first) to one spill
+  /// file per partition under `dir` (default: config().checkpoint_dir,
+  /// falling back to the system temp dir) and truncates its lineage: the
+  /// node becomes a checkpointed source whose partitions restore from
+  /// disk, and its parents are released. Idempotent on a checkpointed
+  /// dataset. Spill I/O is metered (checkpoint_bytes /
+  /// checkpoint_restore_bytes) and traced as a "checkpoint" stage phase.
+  Status Checkpoint(const Dataset& ds, const std::string& dir = "");
+
   /// Structural verification of `ds`'s lineage DAG: parent arity per
   /// operator kind, partition-count agreement for narrow/union nodes,
   /// availability bookkeeping, and stage-registry consistency (a stage
@@ -273,11 +326,31 @@ class Engine {
   Status ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
                         const ReduceSideFn& reduce_side, int only_dest);
 
+  /// One attempt of a partition task. `attempt` is 1-based; the body must
+  /// be idempotent across attempts (publish no state before succeeding).
+  using TaskAttemptFn = std::function<Status(int part, int attempt)>;
+
   /// Runs fn over partitions in parallel; collects the first error.
-  /// Each task gets a span (parented to ctx.parent_span) and charges its
-  /// duration to ctx.stats.
+  /// Each task gets a span (parented to ctx.parent_span), charges its
+  /// duration to ctx.stats, and runs under the retry policy (see
+  /// RunTaskWithRetry) -- fn may be attempted several times.
   Status ParallelParts(const TaskContext& ctx, int n,
-                       const std::function<Status(int)>& fn);
+                       const TaskAttemptFn& fn);
+
+  /// The retry/backoff policy around one task: consult the fault plan at
+  /// kPreRun, run fn, and on an *injected* failure (kCancelled) sleep
+  /// base*2^(k-1) (capped) and try again, up to
+  /// config().max_task_attempts. Retries and backoff time are metered
+  /// (AddRetry) and traced as "retry:<label>" instants; exhausting the
+  /// budget surfaces a RuntimeError naming the task. Real task errors
+  /// pass through untouched on the first attempt.
+  Status RunTaskWithRetry(const TaskContext& ctx, int part,
+                          const TaskAttemptFn& fn);
+
+  /// Consults the fault plan at `point` for (ctx.label, part, attempt),
+  /// metering an injected fault into ctx.stats.
+  Status CheckFault(recovery::FaultPoint point, const TaskContext& ctx,
+                    int part, int attempt);
 
   Status RecomputePartition(DatasetImpl* ds, int i);
 
@@ -296,8 +369,11 @@ class Engine {
     std::vector<PooledVec<Value>> local_by_dest;     // zero-copy records
     uint64_t records = 0;
   };
-  Result<ShuffleBuckets> BucketRows(StageStats* stats, Partition rows,
-                                    int src_part, int num_dest);
+  // The ctx + attempt let the row loop consult the fault plan at
+  // kShuffleSerialize mid-serialization (before any metering, so a killed
+  // attempt leaves the counters untouched).
+  Result<ShuffleBuckets> BucketRows(const TaskContext& ctx, Partition rows,
+                                    int src_part, int num_dest, int attempt);
 
   /// RAII marker for a running operator; makes ResetStats() misuse loud.
   struct InFlightScope {
@@ -325,6 +401,7 @@ class Engine {
   VectorPool<Value> row_pool_;
   std::atomic<int64_t> in_flight_{0};
   bool shuffle_fast_path_ = true;
+  recovery::FaultPlan fault_plan_;
 };
 
 }  // namespace sac::runtime

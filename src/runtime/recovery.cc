@@ -1,0 +1,209 @@
+#include "src/runtime/recovery.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace sac::runtime::recovery {
+
+namespace {
+
+// Fixed FNV-1a over the firing tuple: the probabilistic coin flip must
+// replay identically across platforms and thread schedules, which rules
+// out std::hash and any stateful RNG shared between tasks.
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashTuple(uint64_t seed, FaultPoint point, const std::string& label,
+                   int partition, int attempt) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, &seed, sizeof(seed));
+  int p = static_cast<int>(point);
+  h = Fnv1a(h, &p, sizeof(p));
+  h = Fnv1a(h, label.data(), label.size());
+  h = Fnv1a(h, &partition, sizeof(partition));
+  h = Fnv1a(h, &attempt, sizeof(attempt));
+  return h;
+}
+
+Result<FaultPoint> ParsePoint(const std::string& s) {
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    auto p = static_cast<FaultPoint>(i);
+    if (s == FaultPointName(p)) return p;
+  }
+  return Status::InvalidArgument("unknown fault point '" + s +
+                         "' (expected pre-run, mid-map, shuffle-serialize "
+                         "or post-shuffle)");
+}
+
+Result<long> ParseInt(const std::string& s, const std::string& what) {
+  if (s.empty()) return Status::InvalidArgument(what + " is empty");
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("bad " + what + " '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kPreRun: return "pre-run";
+    case FaultPoint::kMidMap: return "mid-map";
+    case FaultPoint::kShuffleSerialize: return "shuffle-serialize";
+    case FaultPoint::kPostShuffle: return "post-shuffle";
+  }
+  return "?";
+}
+
+std::string FaultRule::ToString() const {
+  std::ostringstream os;
+  os << FaultPointName(point) << '@' << stage;
+  if (partition >= 0) os << ":part=" << partition;
+  if (count != 1) os << ":count=" << count;
+  if (prob < 1.0) os << ":p=" << prob;
+  return os.str();
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : Split(spec, ';')) {
+    // Trim surrounding whitespace so "a; b" works.
+    size_t b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;  // empty item, e.g. trailing ';'
+    size_t e = raw.find_last_not_of(" \t");
+    std::string item = raw.substr(b, e - b + 1);
+
+    if (item.rfind("seed=", 0) == 0) {
+      SAC_ASSIGN_OR_RETURN(long s, ParseInt(item.substr(5), "seed"));
+      plan.seed_ = static_cast<uint64_t>(s);
+      continue;
+    }
+
+    size_t at = item.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument("fault rule '" + item +
+                             "' has no '@' (expected point@stage[:opt...])");
+    }
+    FaultRule rule;
+    SAC_ASSIGN_OR_RETURN(rule.point, ParsePoint(item.substr(0, at)));
+    std::vector<std::string> parts = Split(item.substr(at + 1), ':');
+    if (parts[0].empty()) {
+      return Status::InvalidArgument("fault rule '" + item + "' has an empty stage");
+    }
+    rule.stage = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i) {
+      const std::string& opt = parts[i];
+      if (opt.rfind("part=", 0) == 0) {
+        SAC_ASSIGN_OR_RETURN(long v, ParseInt(opt.substr(5), "part"));
+        rule.partition = static_cast<int>(v);
+      } else if (opt.rfind("count=", 0) == 0) {
+        SAC_ASSIGN_OR_RETURN(long v, ParseInt(opt.substr(6), "count"));
+        if (v < 1) return Status::InvalidArgument("count must be >= 1 in '" + item + "'");
+        rule.count = static_cast<int>(v);
+      } else if (opt.rfind("p=", 0) == 0) {
+        char* end = nullptr;
+        double p = std::strtod(opt.c_str() + 2, &end);
+        if (end != opt.c_str() + opt.size() || p < 0.0 || p > 1.0) {
+          return Status::InvalidArgument("bad probability in '" + item +
+                                 "' (want p=F with F in [0,1])");
+        }
+        rule.prob = p;
+      } else {
+        return Status::InvalidArgument("unknown option '" + opt + "' in fault rule '" +
+                               item + "'");
+      }
+    }
+    plan.rules_.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FromEnv() {
+  const char* v = std::getenv("SAC_FAULT_PLAN");
+  if (v == nullptr || *v == '\0') return FaultPlan();
+  auto parsed = Parse(v);
+  if (!parsed.ok()) {
+    SAC_LOG(Error) << "ignoring malformed SAC_FAULT_PLAN: "
+                   << parsed.status().ToString();
+    return FaultPlan();
+  }
+  SAC_LOG(Info) << "fault plan active: " << parsed.value().ToString();
+  return std::move(parsed).value();
+}
+
+Status FaultPlan::Check(FaultPoint point, const std::string& stage_label,
+                        int partition, int attempt) {
+  for (const FaultRule& r : rules_) {
+    if (r.point != point) continue;
+    if (r.stage != "*" && stage_label.find(r.stage) == std::string::npos)
+      continue;
+    if (r.partition >= 0 && r.partition != partition) continue;
+    if (attempt > r.count) continue;
+    if (r.prob < 1.0) {
+      uint64_t h = HashTuple(seed_, point, stage_label, partition, attempt);
+      // Top 53 bits -> uniform double in [0,1).
+      double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u >= r.prob) continue;
+    }
+    injected_[static_cast<int>(point)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    std::ostringstream os;
+    os << "injected fault at " << FaultPointName(point) << " in '"
+       << stage_label << "' partition " << partition << " attempt "
+       << attempt;
+    return Status::Cancelled(os.str());
+  }
+  return Status::OK();
+}
+
+uint64_t FaultPlan::injected() const {
+  uint64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FaultPlan::ResetCounters() {
+  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  for (const FaultRule& r : rules_) os << ';' << r.ToString();
+  return os.str();
+}
+
+void FaultPlan::CopyFrom(const FaultPlan& other) {
+  rules_ = other.rules_;
+  seed_ = other.seed_;
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    injected_[i].store(other.injected_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sac::runtime::recovery

@@ -1,0 +1,124 @@
+// Fault-tolerance subsystem: deterministic fault injection.
+//
+// The engine substitutes for Spark's lineage-based fault tolerance
+// (DESIGN.md section 1), and a recovery story is only credible with an
+// explicit, testable fault model. This header defines it:
+//
+//  * FaultPoint -- the named points inside a task attempt where the
+//    engine consults the active FaultPlan. Every point sits *before* the
+//    attempt publishes any state, so a failed attempt can be retried
+//    from scratch on identical input (the idempotence invariant the
+//    retry loop in Engine::RunTaskWithRetry relies on).
+//  * FaultPlan -- a parsed, seeded plan of injected failures. Rules fire
+//    per (point, stage label, partition, attempt), never "first N checks
+//    globally", so a plan replays identically regardless of thread
+//    scheduling. Probabilistic rules hash (seed, point, label,
+//    partition, attempt) with a fixed FNV-1a, so they are equally
+//    deterministic and portable.
+//
+// Plan grammar (also documented in docs/FAULT_MODEL.md):
+//
+//   plan  := item (';' item)*
+//   item  := 'seed=' N | rule
+//   rule  := point '@' stage (':' opt)*
+//   point := 'pre-run' | 'mid-map' | 'shuffle-serialize' | 'post-shuffle'
+//   stage := '*' (any stage) | substring matched against the stage label
+//   opt   := 'part=' N      (only this partition; default: every one)
+//          | 'count=' N     (attempts 1..N fail; default 1)
+//          | 'p=' F         (fire with probability F in [0,1]; default 1)
+//
+// Example: SAC_FAULT_PLAN="seed=7;mid-map@map:part=0;shuffle-serialize@reduceByKey:part=1:count=2"
+//
+// Injected failures carry StatusCode::kCancelled -- the only code the
+// retry loop treats as transient. Real task errors (user code, planner
+// bugs) keep their codes and are never retried.
+#ifndef SAC_RUNTIME_RECOVERY_H_
+#define SAC_RUNTIME_RECOVERY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sac::runtime::recovery {
+
+/// Named points inside a task attempt where faults can be injected. All
+/// of them precede the attempt's state publication (see file comment).
+enum class FaultPoint : int {
+  kPreRun = 0,            // task scheduled, body not yet started
+  kMidMap = 1,            // narrow map body ran, output not yet published
+  kShuffleSerialize = 2,  // map-side shuffle task, mid bucket/serialize
+  kPostShuffle = 3,       // reduce task start: shuffle output written,
+                          // reduce-side fold not yet run
+};
+inline constexpr int kNumFaultPoints = 4;
+
+/// "pre-run" | "mid-map" | "shuffle-serialize" | "post-shuffle".
+const char* FaultPointName(FaultPoint p);
+
+/// One parsed plan rule; see the grammar in the file comment.
+struct FaultRule {
+  FaultPoint point = FaultPoint::kPreRun;
+  std::string stage = "*";  // "*" or substring of the stage label
+  int partition = -1;       // -1 = every partition
+  int count = 1;            // attempts 1..count fail
+  double prob = 1.0;        // < 1: seeded-hash coin flip per attempt
+
+  std::string ToString() const;
+};
+
+/// A deterministic, seeded plan of injected task failures. Thread-safe:
+/// rules are immutable after Parse and the fired counters are atomics,
+/// so Check() may be called concurrently from pool threads.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan(const FaultPlan& other) { CopyFrom(other); }
+  FaultPlan& operator=(const FaultPlan& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Parses the grammar above. Errors name the offending item.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Parses SAC_FAULT_PLAN; unset => empty plan. A malformed value is
+  /// logged as an error and ignored (the engine must still construct).
+  static FaultPlan FromEnv();
+
+  bool empty() const { return rules_.empty(); }
+  uint64_t seed() const { return seed_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  /// Consulted by the engine at each instrumented point. Returns a
+  /// kCancelled status when a rule fires for this exact
+  /// (point, stage label, partition, attempt) tuple, OK otherwise.
+  Status Check(FaultPoint point, const std::string& stage_label,
+               int partition, int attempt);
+
+  /// Faults fired so far (total / per point).
+  uint64_t injected() const;
+  uint64_t injected(FaultPoint point) const {
+    return injected_[static_cast<int>(point)].load(
+        std::memory_order_relaxed);
+  }
+  void ResetCounters();
+
+  /// Renders back to the plan grammar (minus fired-counter state).
+  std::string ToString() const;
+
+ private:
+  void CopyFrom(const FaultPlan& other);
+
+  std::vector<FaultRule> rules_;
+  uint64_t seed_ = 0;
+  std::array<std::atomic<uint64_t>, kNumFaultPoints> injected_{};
+};
+
+}  // namespace sac::runtime::recovery
+
+#endif  // SAC_RUNTIME_RECOVERY_H_

@@ -1,0 +1,98 @@
+#include "src/storage/spill.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/serialize.h"
+
+namespace sac::storage {
+
+using runtime::Value;
+using runtime::ValueVec;
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5341435350494C4CULL;  // "SACSPILL"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status EnsureSpillDir(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty spill directory");
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IoError("spill path '" + dir + "' is not a directory");
+    }
+    return Status::OK();
+  }
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create spill directory '" + dir + "'");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WriteSpill(const std::string& path, const ValueVec& rows) {
+  ByteWriter w;
+  w.PutU64(kMagic);
+  w.PutU32(kVersion);
+  w.PutU64(rows.size());
+  for (const Value& row : rows) row.Serialize(&w);
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open spill '" + path + "' for writing");
+  if (std::fwrite(w.buffer().data(), 1, w.size(), f.get()) != w.size()) {
+    return Status::IoError("short write to spill '" + path + "'");
+  }
+  return static_cast<uint64_t>(w.size());
+}
+
+Result<ValueVec> ReadSpill(const std::string& path, uint64_t* bytes_read) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open spill '" + path + "'");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 0) return Status::IoError("cannot stat spill '" + path + "'");
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IoError("short read from spill '" + path + "'");
+  }
+
+  ByteReader r(buf);
+  SAC_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kMagic) {
+    return Status::IoError("'" + path + "' is not a SAC spill file");
+  }
+  SAC_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kVersion) {
+    return Status::IoError("unsupported spill version " +
+                           std::to_string(version));
+  }
+  SAC_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  ValueVec rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SAC_ASSIGN_OR_RETURN(Value row, Value::Deserialize(&r));
+    rows.push_back(std::move(row));
+  }
+  if (bytes_read != nullptr) *bytes_read = static_cast<uint64_t>(size);
+  return rows;
+}
+
+void RemoveSpill(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace sac::storage

@@ -1,0 +1,39 @@
+// Checkpoint spill files: one file per dataset partition, holding the
+// partition's rows in the standard Value wire format. Written by
+// Engine::Checkpoint when it truncates a dataset's lineage; read back by
+// the dataset's replacement recompute closure when a checkpointed
+// partition is dropped.
+//
+// Deliberately a leaf module: it depends only on runtime/value.h and the
+// byte codecs, so engine.cc can include it without creating a cycle with
+// the rest of src/storage (which includes runtime/engine.h).
+#ifndef SAC_STORAGE_SPILL_H_
+#define SAC_STORAGE_SPILL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/runtime/value.h"
+
+namespace sac::storage {
+
+/// Creates `dir` (one level) if it does not exist.
+Status EnsureSpillDir(const std::string& dir);
+
+/// Writes `rows` to `path`, replacing any existing file. Returns the
+/// file size in bytes (for checkpoint-write metering).
+Result<uint64_t> WriteSpill(const std::string& path,
+                            const runtime::ValueVec& rows);
+
+/// Reads a spill file back. On success, `*bytes_read` (if non-null) is
+/// set to the file size in bytes (for checkpoint-restore metering).
+Result<runtime::ValueVec> ReadSpill(const std::string& path,
+                                    uint64_t* bytes_read = nullptr);
+
+/// Best-effort unlink, for DatasetImpl teardown. Missing files are fine.
+void RemoveSpill(const std::string& path);
+
+}  // namespace sac::storage
+
+#endif  // SAC_STORAGE_SPILL_H_

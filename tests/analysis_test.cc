@@ -256,11 +256,48 @@ TEST(PlanLint, W04SilentWhenEverythingIsReachable) {
   EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
-TEST(PlanLint, RegistryHasAllFourRules) {
+TEST(PlanLint, W05FiresOnChainedLoopShuffles) {
+  // shuffle -> map -> shuffle, all re-run every iteration, nothing cached:
+  // losing a partition of the second shuffle replays the first one too.
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr first =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "partial", {src}, 2, 8);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", first, 2);
+  PlanNodePtr second =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "combine", {mid}, 2, 16);
+  for (const PlanNodePtr& n : pb.nodes()) n->in_loop = true;
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{second, pb.TakeNodes()}, &ds);
+  ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W05"});
+  EXPECT_NE(ds[0].message.find("checkpoint"), std::string::npos);
+}
+
+TEST(PlanLint, W05SilentOutsideLoopsOrWhenChainIsCut) {
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr first =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "partial", {src}, 2, 8);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", first, 2);
+  PlanNodePtr second =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "combine", {mid}, 2, 16);
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{second, pb.nodes()}, &ds);  // not in a loop
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+
+  for (const PlanNodePtr& n : pb.nodes()) n->in_loop = true;
+  mid->cached = true;  // materialized intermediate cuts the replay chain
+  ds.clear();
+  LintPlan(PlanGraph{second, pb.TakeNodes()}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+}
+
+TEST(PlanLint, RegistryHasAllFiveRules) {
   std::vector<std::string> codes;
   for (const LintRule* r : LintRules()) codes.push_back(r->code());
-  EXPECT_EQ(codes.size(), 4u);
-  for (const char* want : {"SAC-W01", "SAC-W02", "SAC-W03", "SAC-W04"}) {
+  EXPECT_EQ(codes.size(), 5u);
+  for (const char* want :
+       {"SAC-W01", "SAC-W02", "SAC-W03", "SAC-W04", "SAC-W05"}) {
     EXPECT_NE(std::find(codes.begin(), codes.end(), want), codes.end())
         << want << " not registered";
   }
