@@ -178,7 +178,13 @@ class BenchReporter {
             ",\"faults_injected\":" + std::to_string(c.faults_injected) +
             ",\"checkpoint_bytes\":" + std::to_string(c.checkpoint_bytes) +
             ",\"checkpoint_restore_bytes\":" +
-            std::to_string(c.checkpoint_restore_bytes);
+            std::to_string(c.checkpoint_restore_bytes) +
+            ",\"evictions\":" + std::to_string(c.evictions) +
+            ",\"bytes_evicted\":" + std::to_string(c.bytes_evicted) +
+            ",\"bytes_reloaded\":" + std::to_string(c.bytes_reloaded) +
+            ",\"reload_recomputes\":" + std::to_string(c.reload_recomputes) +
+            ",\"peak_resident_bytes\":" +
+            std::to_string(c.peak_resident_bytes);
   }
 
   void WriteJsonReport() const {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Runs the figure-reproduction benches and the shuffle-path ablation,
-# writing machine-readable reports at the repo root:
+# Runs the figure-reproduction benches and the shuffle-path + memory
+# ablations, writing machine-readable reports at the repo root:
 #   BENCH_fig4a.json  BENCH_fig4b.json  BENCH_fig4c.json
-#   BENCH_abl_shuffle_path.json
+#   BENCH_abl_shuffle_path.json  BENCH_abl_memory.json
 # These are committed alongside code changes so the perf trajectory is
 # auditable across PRs (compare with the BENCH_*.baseline.json files).
 #
@@ -19,7 +19,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target \
   bench_fig4a_addition bench_fig4b_multiply bench_fig4c_factorization \
-  bench_abl_shuffle_path
+  bench_abl_shuffle_path bench_abl_memory
 
 export SAC_BENCH_SCALE="$scale" SAC_BENCH_REPS="$reps"
 
@@ -35,4 +35,7 @@ echo "==> fig4c (factorization)"
 echo "==> ablation: shuffle fast path vs serialize path"
 ./build/bench/bench_abl_shuffle_path --out BENCH_abl_shuffle_path.json
 
-echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json"
+echo "==> ablation: unlimited vs 25% memory budget (out-of-core)"
+./build/bench/bench_abl_memory --out BENCH_abl_memory.json
+
+echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json"

@@ -10,13 +10,17 @@
 #   5. chaos: bench_abl_recovery --smoke (fig4c under a canned seeded
 #      fault plan must produce byte-identical factors to the fault-free
 #      run, with retries/backoff/checkpoints metered and overhead bounded)
-#   6. docs: scripts/check_docs_links.sh (no *.md relative link may point
+#   6. out-of-core: bench_abl_memory --smoke (fig4b multiply under a
+#      memory budget a quarter of its working set must evict, reload,
+#      and still produce a byte-identical product with bounded slowdown)
+#   7. docs: scripts/check_docs_links.sh (no *.md relative link may point
 #      at a missing file)
-#   7. asan: AddressSanitizer+UBSan build, full test suite
-#   8. tsan: ThreadSanitizer build of the concurrency-sensitive tests
-#      (engine, trace, thread pool, shuffle pools, sharded metrics, and
-#      the recovery/retry path), since the trace/metrics buffers and
-#      fault counters are written from pool threads
+#   8. asan: AddressSanitizer+UBSan build, full test suite
+#   9. tsan: ThreadSanitizer build of the concurrency-sensitive tests
+#      (engine, trace, thread pool, shuffle pools, sharded metrics, the
+#      block store / memory budget, and the recovery/retry path), since
+#      the trace/metrics buffers, fault counters, and budget accounting
+#      are written from pool threads
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
@@ -55,6 +59,13 @@ if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
     ./build/bench/bench_abl_recovery --smoke \
     --out build/BENCH_abl_recovery.smoke.json
 
+  echo "==> out-of-core: fig4b multiply under a 25% memory budget"
+  # SAC_MEM_BUDGET must be unset: the bench sizes its own budget from the
+  # unlimited run's peak, and the env var would override both contexts.
+  SAC_BENCH_REPS=1 env -u SAC_MEM_BUDGET \
+    ./build/bench/bench_abl_memory --smoke \
+    --out build/BENCH_abl_memory.smoke.json
+
   echo "==> docs: markdown relative-link check"
   scripts/check_docs_links.sh
 fi
@@ -73,7 +84,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" --target sac_tests
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
-    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*'
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*'
 fi
 
 echo "==> all checks passed"

@@ -5,6 +5,7 @@
 
 #include "src/comp/parser.h"
 #include "src/comp/rewrite.h"
+#include "src/runtime/memory.h"
 
 namespace sac::analysis {
 
@@ -60,7 +61,8 @@ std::string AnalysisReport::Render(const std::string& file) const {
 
 Result<AnalysisReport> AnalyzeQuery(const std::string& src,
                                     const planner::Bindings& binds,
-                                    const planner::PlannerOptions& opts) {
+                                    const planner::PlannerOptions& opts,
+                                    uint64_t memory_budget_bytes) {
   AnalysisReport report;
 
   // Phase 1: parse.
@@ -110,8 +112,12 @@ Result<AnalysisReport> AnalyzeQuery(const std::string& src,
   report.explanation = q.explanation;
   if (q.plan != nullptr) report.plan_tree = planner::PlanToString(q.plan);
 
-  // Phases 4 + 5: DAG invariants, then the lint rules.
-  const PlanGraph graph = PlanGraph::FromQuery(q);
+  // Phases 4 + 5: DAG invariants, then the lint rules. The env var wins
+  // over the configured budget, mirroring the engine's runtime behavior,
+  // so `SAC_MEM_BUDGET=... sac_lint ...` previews the out-of-core
+  // warnings any binary would run under.
+  const PlanGraph graph = PlanGraph::FromQuery(
+      q, &binds, runtime::memory::BudgetFromEnv(memory_budget_bytes));
   Status verified = VerifyPlan(graph);
   if (!verified.ok()) {
     report.diagnostics.push_back(

@@ -43,9 +43,14 @@ struct AnalysisReport {
 ///   5. lint        -- registered plan rules (SAC-W..)
 /// The Result is only an error Status for internal failures; user-level
 /// problems always land in the report's diagnostics.
+///
+/// `memory_budget_bytes` feeds the SAC-W06 resident-set rule (0 =
+/// unlimited, rule off); the SAC_MEM_BUDGET env var overrides it, exactly
+/// as it overrides the engine's runtime budget.
 Result<AnalysisReport> AnalyzeQuery(
     const std::string& src, const planner::Bindings& binds,
-    const planner::PlannerOptions& opts = planner::PlannerOptions());
+    const planner::PlannerOptions& opts = planner::PlannerOptions(),
+    uint64_t memory_budget_bytes = 0);
 
 }  // namespace sac::analysis
 

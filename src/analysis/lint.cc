@@ -247,6 +247,82 @@ class LoopShuffleChainRule : public LintRule {
 };
 SAC_REGISTER_LINT_RULE(LoopShuffleChainRule);
 
+// ---------------------------------------------------------------------------
+// SAC-W06: estimated resident set exceeds the memory budget, no cut
+// ---------------------------------------------------------------------------
+
+class ResidentSetOverBudgetRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W06"; }
+  const char* summary() const override {
+    return "estimated resident set of the plan exceeds the configured "
+           "memory budget and no intermediate is cached or checkpointed; "
+           "the run will thrash through spill eviction";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    if (g.memory_budget_bytes == 0 || g.binds == nullptr) return;
+    // The engine evaluates eagerly, so every plan node's output is
+    // materialized at some point; the sum of per-node footprints is a
+    // (crude, dense) estimate of the run's resident set. Sources are
+    // sized from their bound shapes; a transformation's output is
+    // approximated by the largest of its inputs (element-wise ops
+    // preserve footprint; reductions shrink it, so this over-estimates
+    // conservatively on the warning side).
+    std::unordered_map<const PlanNode*, uint64_t> size;
+    uint64_t total = 0;
+    bool has_cut = false;
+    for (const PlanNodePtr& n : g.nodes) {  // creation order = topological
+      uint64_t bytes = 0;
+      if (n->op == PlanNode::Op::kSource) {
+        bytes = SourceBytes(*g.binds, n->source);
+      } else {
+        for (const PlanNodePtr& in : n->inputs) {
+          auto it = size.find(in.get());
+          if (it != size.end() && it->second > bytes) bytes = it->second;
+        }
+        if (n->cached) has_cut = true;
+      }
+      size[n.get()] = bytes;
+      total += bytes;
+    }
+    if (total <= g.memory_budget_bytes || has_cut) return;
+    out->push_back(Warning(
+        code(),
+        "plan materializes an estimated " + std::to_string(total >> 20) +
+            " MiB against a memory budget of " +
+            std::to_string(g.memory_budget_bytes >> 20) +
+            " MiB with no cached or checkpointed intermediate; the run "
+            "stays correct (cold partitions spill and reload) but will "
+            "thrash -- cache a reused intermediate or checkpoint the loop "
+            "target to cut the resident set",
+        g.root != nullptr ? SpanOf(*g.root) : comp::Span{}));
+  }
+
+ private:
+  static uint64_t SourceBytes(const planner::Bindings& binds,
+                              const std::string& name) {
+    auto it = binds.find(name);
+    if (it == binds.end()) return 0;
+    const planner::Binding& b = it->second;
+    switch (b.kind) {
+      case planner::Binding::Kind::kTiled:
+        return static_cast<uint64_t>(b.tiled.rows) *
+               static_cast<uint64_t>(b.tiled.cols) * sizeof(double);
+      case planner::Binding::Kind::kBlockVector:
+        return static_cast<uint64_t>(b.vec.size) * sizeof(double);
+      case planner::Binding::Kind::kCoo:
+        // Dense-content COO: one ((i,j),v) record per element.
+        return static_cast<uint64_t>(b.coo.rows) *
+               static_cast<uint64_t>(b.coo.cols) * 3 * sizeof(double);
+      case planner::Binding::Kind::kScalar:
+      case planner::Binding::Kind::kLocal:
+        return 0;  // driver-side, not part of the distributed resident set
+    }
+    return 0;
+  }
+};
+SAC_REGISTER_LINT_RULE(ResidentSetOverBudgetRule);
+
 }  // namespace
 
 }  // namespace sac::analysis

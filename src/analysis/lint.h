@@ -11,9 +11,13 @@
 //   SAC-W03  shuffle whose target partitioning already matches its
 //            producer's (redundant repartition)
 //   SAC-W04  dataset computed but never used (dead plan node)
+//   SAC-W05  chained in-loop shuffles with nothing cutting the lineage
+//   SAC-W06  estimated resident set exceeds the configured memory budget
+//            with no cache/checkpoint cut; expect eviction thrash
 #ifndef SAC_ANALYSIS_LINT_H_
 #define SAC_ANALYSIS_LINT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/analysis/diagnostic.h"
@@ -22,13 +26,23 @@
 namespace sac::analysis {
 
 /// A plan DAG plus the full creation record (plan_nodes may contain nodes
-/// unreachable from root -- exactly what SAC-W04 looks for).
+/// unreachable from root -- exactly what SAC-W04 looks for). Bindings and
+/// the memory budget are optional context: rules that need them (SAC-W06
+/// sizes source nodes from their bound shapes) skip silently when they
+/// are absent.
 struct PlanGraph {
   planner::PlanNodePtr root;
   std::vector<planner::PlanNodePtr> nodes;
+  const planner::Bindings* binds = nullptr;
+  uint64_t memory_budget_bytes = 0;  // 0 = unlimited (SAC-W06 is off)
 
   static PlanGraph FromQuery(const planner::CompiledQuery& q) {
     return PlanGraph{q.plan, q.plan_nodes};
+  }
+  static PlanGraph FromQuery(const planner::CompiledQuery& q,
+                             const planner::Bindings* binds,
+                             uint64_t memory_budget_bytes) {
+    return PlanGraph{q.plan, q.plan_nodes, binds, memory_budget_bytes};
   }
 };
 

@@ -88,7 +88,8 @@ Result<CompiledQuery> Sac::Compile(const std::string& src) {
 }
 
 Result<analysis::AnalysisReport> Sac::Analyze(const std::string& src) {
-  return analysis::AnalyzeQuery(src, binds_, options_);
+  return analysis::AnalyzeQuery(src, binds_, options_,
+                                engine_->config().memory_budget_bytes);
 }
 
 Result<std::string> Sac::Explain(const std::string& src) {
@@ -198,6 +199,21 @@ Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
         break;
       default:
         return Status::RuntimeError("loop assignment produced a scalar");
+    }
+    if (u.in_loop) {
+      // The rebound loop target is read again next iteration no matter
+      // what: give its blocks admission priority so a tight memory
+      // budget evicts one-shot intermediates before the loop state.
+      auto bound = binds_.find(u.target);
+      if (bound != binds_.end()) {
+        const planner::Binding& b = bound->second;
+        if (b.kind == planner::Binding::Kind::kTiled && b.tiled.tiles) {
+          engine_->block_store().SetPriority(b.tiled.tiles.get(), true);
+        } else if (b.kind == planner::Binding::Kind::kBlockVector &&
+                   b.vec.blocks) {
+          engine_->block_store().SetPriority(b.vec.blocks.get(), true);
+        }
+      }
     }
     // Auto-checkpoint: each rebind of an in-loop target stacks another
     // layer of lineage on top of the previous binding; every K-th rebind

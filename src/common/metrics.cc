@@ -37,6 +37,16 @@ std::string MetricsSnapshot::ToString() const {
        << " ckpt_in=" << checkpoint_restore_bytes / (1024.0 * 1024.0)
        << "MB";
   }
+  if (evictions > 0 || bytes_reloaded > 0 || reload_recomputes > 0) {
+    os << " evictions=" << evictions
+       << " evicted=" << bytes_evicted / (1024.0 * 1024.0) << "MB"
+       << " reloaded=" << bytes_reloaded / (1024.0 * 1024.0) << "MB"
+       << " reload_recomputes=" << reload_recomputes;
+  }
+  if (peak_resident_bytes > 0) {
+    os << " peak_resident=" << peak_resident_bytes / (1024.0 * 1024.0)
+       << "MB";
+  }
   return os.str();
 }
 
@@ -54,6 +64,11 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.faults_injected = faults_injected();
   s.checkpoint_bytes = checkpoint_bytes();
   s.checkpoint_restore_bytes = checkpoint_restore_bytes();
+  s.evictions = evictions();
+  s.bytes_evicted = bytes_evicted();
+  s.bytes_reloaded = bytes_reloaded();
+  s.reload_recomputes = reload_recomputes();
+  s.peak_resident_bytes = peak_resident_bytes();
   return s;
 }
 
@@ -125,19 +140,20 @@ size_t StageRegistry::size() const {
 std::string StageRegistry::ReportString() const {
   const std::vector<StageStatsSnapshot> stages = Snapshot();
   std::ostringstream os;
-  char line[448];
+  char line[512];
   std::snprintf(line, sizeof(line),
                 "%-5s %-24s %-9s %6s %12s %12s %10s %10s %7s %7s %6s %10s "
-                "%8s %9s %12s\n",
+                "%8s %8s %9s %9s %12s\n",
                 "stage", "label", "kind", "tasks", "records_in",
                 "shuffle_KB", "cross_KB", "local_KB", "recomp", "retries",
-                "faults", "backoff_ms", "ckpt_KB", "wall_ms", "task_p95_us");
+                "faults", "backoff_ms", "ckpt_KB", "evict_KB", "reload_KB",
+                "wall_ms", "task_p95_us");
   os << line;
   for (const StageStatsSnapshot& s : stages) {
     std::snprintf(
         line, sizeof(line),
         "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %10.1f %7llu %7llu "
-        "%6llu %10.1f %8.1f %9.2f %12llu\n",
+        "%6llu %10.1f %8.1f %8.1f %9.1f %9.2f %12llu\n",
         s.id, s.label.substr(0, 24).c_str(), s.kind.c_str(),
         static_cast<unsigned long long>(s.counters.tasks_run),
         static_cast<unsigned long long>(s.counters.records_processed),
@@ -150,7 +166,8 @@ std::string StageRegistry::ReportString() const {
         s.counters.retry_wait_us / 1000.0,
         (s.counters.checkpoint_bytes + s.counters.checkpoint_restore_bytes) /
             1024.0,
-        s.wall_ms,
+        s.counters.bytes_evicted / 1024.0,
+        s.counters.bytes_reloaded / 1024.0, s.wall_ms,
         static_cast<unsigned long long>(s.task_us.Percentile(0.95)));
     os << line;
   }

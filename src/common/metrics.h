@@ -55,6 +55,16 @@ struct MetricsSnapshot {
   uint64_t faults_injected = 0;
   uint64_t checkpoint_bytes = 0;
   uint64_t checkpoint_restore_bytes = 0;
+  // Memory subsystem (docs/MEMORY_MODEL.md): partitions pushed out to
+  // spill files by budget pressure, bytes written out / read back by
+  // eviction+reload, reloads that had to fall back to lineage
+  // recomputation (unreadable spill), and the high-water mark of
+  // resident partition bytes (engine-wide gauge, not per-stage).
+  uint64_t evictions = 0;
+  uint64_t bytes_evicted = 0;
+  uint64_t bytes_reloaded = 0;
+  uint64_t reload_recomputes = 0;
+  uint64_t peak_resident_bytes = 0;
 
   std::string ToString() const;
 };
@@ -78,7 +88,12 @@ class Metrics {
       s.faults_injected = 0;
       s.checkpoint_bytes = 0;
       s.checkpoint_restore_bytes = 0;
+      s.evictions = 0;
+      s.bytes_evicted = 0;
+      s.bytes_reloaded = 0;
+      s.reload_recomputes = 0;
     }
+    peak_resident_bytes_.store(0, std::memory_order_relaxed);
   }
 
   void AddShuffle(uint64_t bytes, uint64_t records, bool cross_executor) {
@@ -108,6 +123,24 @@ class Metrics {
   void AddCheckpointRestore(uint64_t bytes) {
     Bump(Local().checkpoint_restore_bytes, bytes);
   }
+  /// One partition evicted to a spill file under budget pressure.
+  void AddEviction(uint64_t bytes) {
+    Shard& s = Local();
+    Bump(s.evictions, 1);
+    Bump(s.bytes_evicted, bytes);
+  }
+  /// One evicted partition reloaded from its spill file.
+  void AddReload(uint64_t bytes) { Bump(Local().bytes_reloaded, bytes); }
+  /// One reload whose spill file was unreadable, forcing recomputation.
+  void AddReloadRecompute() { Bump(Local().reload_recomputes, 1); }
+  /// Monotone max-update of the resident-partition-bytes high-water mark.
+  void UpdatePeakResident(uint64_t resident_bytes) {
+    uint64_t prev = peak_resident_bytes_.load(std::memory_order_relaxed);
+    while (prev < resident_bytes &&
+           !peak_resident_bytes_.compare_exchange_weak(
+               prev, resident_bytes, std::memory_order_relaxed)) {
+    }
+  }
 
   uint64_t shuffle_bytes() const { return Fold(&Shard::shuffle_bytes); }
   uint64_t shuffle_records() const { return Fold(&Shard::shuffle_records); }
@@ -128,6 +161,15 @@ class Metrics {
   uint64_t checkpoint_bytes() const { return Fold(&Shard::checkpoint_bytes); }
   uint64_t checkpoint_restore_bytes() const {
     return Fold(&Shard::checkpoint_restore_bytes);
+  }
+  uint64_t evictions() const { return Fold(&Shard::evictions); }
+  uint64_t bytes_evicted() const { return Fold(&Shard::bytes_evicted); }
+  uint64_t bytes_reloaded() const { return Fold(&Shard::bytes_reloaded); }
+  uint64_t reload_recomputes() const {
+    return Fold(&Shard::reload_recomputes);
+  }
+  uint64_t peak_resident_bytes() const {
+    return peak_resident_bytes_.load(std::memory_order_relaxed);
   }
 
   MetricsSnapshot Snapshot() const;
@@ -151,6 +193,10 @@ class Metrics {
     std::atomic<uint64_t> faults_injected{0};
     std::atomic<uint64_t> checkpoint_bytes{0};
     std::atomic<uint64_t> checkpoint_restore_bytes{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> bytes_evicted{0};
+    std::atomic<uint64_t> bytes_reloaded{0};
+    std::atomic<uint64_t> reload_recomputes{0};
   };
 
   static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
@@ -170,6 +216,10 @@ class Metrics {
   }
 
   Shard shards_[kShards];
+  // Gauge high-water mark, not a sharded counter: a max cannot be folded
+  // by summation, so it lives outside the shards (writes are rare --
+  // once per publish/reload, not per record).
+  std::atomic<uint64_t> peak_resident_bytes_{0};
 };
 
 /// Copyable per-stage view (see StageStats).
@@ -235,6 +285,18 @@ class StageStats {
   void AddCheckpointRestore(uint64_t bytes) {
     local_.AddCheckpointRestore(bytes);
     if (totals_) totals_->AddCheckpointRestore(bytes);
+  }
+  void AddEviction(uint64_t bytes) {
+    local_.AddEviction(bytes);
+    if (totals_) totals_->AddEviction(bytes);
+  }
+  void AddReload(uint64_t bytes) {
+    local_.AddReload(bytes);
+    if (totals_) totals_->AddReload(bytes);
+  }
+  void AddReloadRecompute() {
+    local_.AddReloadRecompute();
+    if (totals_) totals_->AddReloadRecompute();
   }
   void RecordTaskMicros(uint64_t us) { task_us_.Record(us); }
   void AddWallMicros(uint64_t us) {

@@ -40,6 +40,7 @@ class VectorPool {
     ++reuses_;
     std::vector<T> v = std::move(free_.back());
     free_.pop_back();
+    free_bytes_ -= v.capacity() * sizeof(T);
     return v;
   }
 
@@ -49,7 +50,10 @@ class VectorPool {
     v.clear();
     std::lock_guard<std::mutex> lock(mu_);
     if (outstanding_ > 0) --outstanding_;
-    if (free_.size() < max_free_) free_.push_back(std::move(v));
+    if (free_.size() < max_free_) {
+      free_bytes_ += v.capacity() * sizeof(T);
+      free_.push_back(std::move(v));
+    }
   }
 
   // ---- introspection (tests / reports) --------------------------------
@@ -61,12 +65,17 @@ class VectorPool {
   size_t outstanding() const { return Locked(outstanding_); }
   /// Vectors currently parked on the freelist.
   size_t free_count() const { return Locked(free_.size()); }
+  /// Heap bytes pinned by the freelist (sum of parked capacities). The
+  /// memory budget counts these as reclaimable: BlockStore trims pools
+  /// before evicting partitions (docs/MEMORY_MODEL.md).
+  size_t free_bytes() const { return Locked(free_bytes_); }
 
   /// Drops the freelist and zeroes the stats (not the outstanding count:
   /// live checkouts still return here afterwards).
   void Trim() {
     std::lock_guard<std::mutex> lock(mu_);
     free_.clear();
+    free_bytes_ = 0;
     acquires_ = 0;
     reuses_ = 0;
   }
@@ -84,6 +93,7 @@ class VectorPool {
   size_t acquires_ = 0;
   size_t reuses_ = 0;
   size_t outstanding_ = 0;
+  size_t free_bytes_ = 0;
 };
 
 /// RAII checkout of a pooled vector. Movable, not copyable; the wrapped

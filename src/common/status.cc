@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : int8_t {
   kNotImplemented = 6,    // feature documented as future work
   kIoError = 7,           // (de)serialization failure
   kCancelled = 8,         // task killed by fault injection
+  kDataLoss = 9,          // stored bytes unreadable (truncated/corrupt spill)
 };
 
 /// Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -75,8 +75,8 @@ bool FastPathFromEnv() {
   return !(s == "off" || s == "0" || s == "false");
 }
 
-/// Directory for checkpoint spill files when neither the call nor the
-/// config names one.
+/// Base directory for spill files when neither the call nor the config
+/// names one.
 std::string DefaultSpillDir() {
   const char* t = std::getenv("TMPDIR");
   return (t != nullptr && *t != '\0') ? std::string(t) : std::string("/tmp");
@@ -85,7 +85,16 @@ std::string DefaultSpillDir() {
 }  // namespace
 
 DatasetImpl::~DatasetImpl() {
+  if (store_) store_->Unregister(this);
   for (const std::string& p : spill_paths_) storage::RemoveSpill(p);
+}
+
+void DatasetImpl::InvalidatePartition(int i) {
+  available_[i] = 0;
+  // Drop the block registration (and any eviction spill) too: a spilled
+  // copy of an "invalidated" partition would defeat the point of forcing
+  // lineage recovery.
+  if (store_) store_->Discard(this, i);
 }
 
 Engine::Engine(ClusterConfig config)
@@ -100,6 +109,113 @@ Engine::Engine(ClusterConfig config)
   SetLogLevelFromEnv();
   shuffle_fast_path_ = FastPathFromEnv();
   fault_plan_ = recovery::FaultPlan::FromEnv();
+
+  // Effective budget: SAC_MEM_BUDGET wins over the config field; the
+  // config reflects the effective value so callers (and SAC-W06) see it.
+  config_.memory_budget_bytes =
+      memory::BudgetFromEnv(config_.memory_budget_bytes);
+  const std::string base = !config_.spill_dir.empty() ? config_.spill_dir
+                           : !config_.checkpoint_dir.empty()
+                               ? config_.checkpoint_dir
+                               : DefaultSpillDir();
+  // Unique per process + engine so concurrent engines (tests) never
+  // collide, and ~Engine can reclaim the whole directory.
+  static std::atomic<uint64_t> next_engine{0};
+  spill_dir_ = base + "/sac-spill-" + std::to_string(::getpid()) + "-" +
+               std::to_string(
+                   next_engine.fetch_add(1, std::memory_order_relaxed));
+  memory::BlockStore::Options store_opts;
+  store_opts.budget_bytes = config_.memory_budget_bytes;
+  store_opts.spill_dir = spill_dir_;
+  store_ = std::make_shared<memory::BlockStore>(std::move(store_opts));
+  store_->set_event_sink(
+      [this](const memory::BlockEvent& ev) { MeterBlockEvent(ev); });
+  // The shuffle buffer pools return their freelist bytes to the same
+  // budget: under pressure they are trimmed before any partition spills.
+  store_->set_reclaimable(
+      [this] {
+        return static_cast<uint64_t>(byte_pool_.free_bytes()) +
+               static_cast<uint64_t>(row_pool_.free_bytes());
+      },
+      [this] {
+        byte_pool_.Trim();
+        row_pool_.Trim();
+      });
+}
+
+Engine::~Engine() {
+  store_->Shutdown();
+  // Checkpoints written without an explicit dir land in spill_dir_ too,
+  // so this reclaims every file the engine ever spilled.
+  storage::RemoveSpillDir(spill_dir_);
+}
+
+void Engine::MeterBlockEvent(const memory::BlockEvent& ev) {
+  StageStats* stats = stages_.Get(ev.stage);
+  switch (ev.kind) {
+    case memory::BlockEvent::Kind::kEvict:
+      if (stats) {
+        stats->AddEviction(ev.bytes);
+      } else {
+        metrics_.AddEviction(ev.bytes);
+      }
+      tracer_.Instant("evict:" + ev.label, "memory", 0,
+                      {{"partition", ev.part},
+                       {"bytes", static_cast<int64_t>(ev.bytes)}});
+      break;
+    case memory::BlockEvent::Kind::kReload:
+      if (stats) {
+        stats->AddReload(ev.bytes);
+      } else {
+        metrics_.AddReload(ev.bytes);
+      }
+      tracer_.Instant("reload:" + ev.label, "memory", 0,
+                      {{"partition", ev.part},
+                       {"bytes", static_cast<int64_t>(ev.bytes)}});
+      break;
+    case memory::BlockEvent::Kind::kReloadRecompute:
+      if (stats) {
+        stats->AddReloadRecompute();
+      } else {
+        metrics_.AddReloadRecompute();
+      }
+      tracer_.Instant("reload:" + ev.label, "memory", 0,
+                      {{"partition", ev.part}, {"recompute", 1}});
+      break;
+  }
+}
+
+Result<Engine::PartitionPin> Engine::PinPartition(DatasetImpl* ds, int i) {
+  // Up to three rounds: a missing partition recomputes (round 1), an
+  // unreadable eviction spill drops the block and recomputes (round 2),
+  // and the freshly published block might -- under extreme concurrent
+  // pressure -- be evicted again before we re-pin (round 3, reloading
+  // from its now-valid spill).
+  for (int round = 0; round < 3; ++round) {
+    if (!ds->IsAvailable(i)) SAC_RETURN_NOT_OK(RecomputePartition(ds, i));
+    SAC_ASSIGN_OR_RETURN(memory::PinOutcome outcome, store_->Pin(ds, i));
+    if (outcome != memory::PinOutcome::kNeedsRecompute) {
+      SyncPeakResident();
+      return PartitionPin(store_.get(), ds, i, &ds->parts_[i]);
+    }
+    // The store dropped the block (spill unreadable, metered as a
+    // reload_recompute); treat it as a lost partition.
+    ds->available_[i] = 0;
+  }
+  return Status::RuntimeError("partition " + std::to_string(i) + " of '" +
+                              ds->label_ +
+                              "' could not be pinned: spill reloads kept "
+                              "failing after recomputation");
+}
+
+Status Engine::PublishPartition(DatasetImpl* ds, int i, Partition rows) {
+  ds->parts_[i] = std::move(rows);
+  ds->available_[i] = 1;
+  const uint64_t bytes = SerializedSizeOf(ds->parts_[i]);
+  Status st = store_->Publish(ds, i, &ds->parts_[i], bytes, ds->stage_,
+                              ds->label_);
+  SyncPeakResident();
+  return st;
 }
 
 void Engine::ResetStats() {
@@ -110,6 +226,10 @@ void Engine::ResetStats() {
   metrics_.Reset();
   stages_.Reset();
   tracer_.Reset();
+  // Blocks resident before the reset are still resident; restart the
+  // high-water mark from there instead of from zero.
+  store_->RearmPeak();
+  SyncPeakResident();
 }
 
 Status Engine::WriteChromeTrace(const std::string& path) const {
@@ -166,6 +286,7 @@ Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
   ds->parts_.resize(num_partitions);
   ds->available_.assign(num_partitions, false);
   ds->stage_ = stages_.NewStage(ds->label_, KindName(kind));
+  ds->store_ = store_;
   return ds;
 }
 
@@ -263,6 +384,17 @@ Dataset Engine::Parallelize(ValueVec rows, int num_partitions) {
     ds->parts_[i % num_partitions].push_back(std::move(rows[i]));
   }
   ds->available_.assign(num_partitions, true);
+  for (int i = 0; i < num_partitions; ++i) {
+    // Budget registration; an eviction spill-write failure here leaves
+    // the data resident (over budget) rather than losing it -- sources
+    // created from caller rows have no lineage to recompute from.
+    Status st =
+        store_->Publish(ds.get(), i, &ds->parts_[i],
+                        SerializedSizeOf(ds->parts_[i]), ds->stage_,
+                        ds->label_);
+    if (!st.ok()) SAC_LOG(Warn) << "parallelize: " << st.ToString();
+  }
+  SyncPeakResident();
   if (StageStats* stats = StatsFor(ds.get())) {
     stats->AddWallMicros(sw.ElapsedMicros());
   }
@@ -276,11 +408,11 @@ Result<Dataset> Engine::GeneratePartitions(
   Dataset ds =
       NewDataset(DatasetImpl::OpKind::kSource, label, {}, num_partitions);
   // Sources regenerate themselves on recovery.
-  ds->wide_fn_ = [gen](Engine*, DatasetImpl* self, int out_part) -> Status {
-    self->parts_[out_part].clear();
-    SAC_RETURN_NOT_OK(gen(out_part, &self->parts_[out_part]));
-    self->available_[out_part] = true;
-    return Status::OK();
+  ds->wide_fn_ = [gen](Engine* eng, DatasetImpl* self,
+                       int out_part) -> Status {
+    Partition tmp;
+    SAC_RETURN_NOT_OK(gen(out_part, &tmp));
+    return eng->PublishPartition(self, out_part, std::move(tmp));
   };
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
   Stopwatch sw;
@@ -293,9 +425,7 @@ Result<Dataset> Engine::GeneratePartitions(
         SAC_RETURN_NOT_OK(gen(i, &tmp));
         SAC_RETURN_NOT_OK(
             CheckFault(recovery::FaultPoint::kMidMap, ctx, i, attempt));
-        ds->parts_[i] = std::move(tmp);
-        ds->available_[i] = true;
-        return Status::OK();
+        return PublishPartition(ds.get(), i, std::move(tmp));
       }));
   if (StageStats* stats = StatsFor(ds.get())) {
     stats->AddWallMicros(sw.ElapsedMicros());
@@ -354,14 +484,14 @@ Result<Dataset> Engine::MapPartitions(const Dataset& in, PartitionFn fn,
         // Map into a scratch partition; publish (and meter records_in)
         // only once the attempt survived its mid-map fault check, so a
         // retried task neither sees partial output nor double-counts.
+        // The pin keeps the input resident for the whole attempt.
+        SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(in.get(), i));
         Partition tmp;
-        SAC_RETURN_NOT_OK(fn(in->parts_[i], &tmp));
+        SAC_RETURN_NOT_OK(fn(pin.rows(), &tmp));
         SAC_RETURN_NOT_OK(
             CheckFault(recovery::FaultPoint::kMidMap, ctx, i, attempt));
-        AddRecordsTo(stats, in->parts_[i].size());
-        ds->parts_[i] = std::move(tmp);
-        ds->available_[i] = true;
-        return Status::OK();
+        AddRecordsTo(stats, pin.rows().size());
+        return PublishPartition(ds.get(), i, std::move(tmp));
       }));
   if (stats) {
     stats->AddWallMicros(sw.ElapsedMicros());
@@ -377,22 +507,19 @@ Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
   const int n = a->num_partitions() + b->num_partitions();
   Dataset ds = NewDataset(DatasetImpl::OpKind::kUnion, "union", {a, b}, n);
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
-  for (int i = 0; i < a->num_partitions(); ++i) ds->parts_[i] = a->parts_[i];
-  for (int i = 0; i < b->num_partitions(); ++i) {
-    ds->parts_[a->num_partitions() + i] = b->parts_[i];
-  }
-  ds->available_.assign(n, true);
   const int na = a->num_partitions();
+  for (int i = 0; i < n; ++i) {
+    DatasetImpl* parent = i < na ? a.get() : b.get();
+    const int src = i < na ? i : i - na;
+    SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(parent, src));
+    SAC_RETURN_NOT_OK(PublishPartition(ds.get(), i, Partition(pin.rows())));
+  }
   ds->wide_fn_ = [na](Engine* eng, DatasetImpl* self, int out) -> Status {
     DatasetImpl* parent =
         out < na ? self->parents_[0].get() : self->parents_[1].get();
     const int src = out < na ? out : out - na;
-    if (!parent->IsAvailable(src)) {
-      SAC_RETURN_NOT_OK(eng->RecomputePartition(parent, src));
-    }
-    self->parts_[out] = parent->parts_[src];
-    self->available_[out] = true;
-    return Status::OK();
+    SAC_ASSIGN_OR_RETURN(PartitionPin pin, eng->PinPartition(parent, src));
+    return eng->PublishPartition(self, out, Partition(pin.rows()));
   };
   return ds;
 }
@@ -520,16 +647,15 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
     buckets[p].resize(num_src);
     SAC_RETURN_NOT_OK(ParallelParts(
         write_ctx, num_src, [&](int s, int attempt) -> Status {
-          // Each attempt re-runs the map-side combine from the (still
-          // materialized) parent partition, so a kill inside BucketRows
-          // replays cleanly; records_in and the buckets publish only on
-          // success.
-          SAC_ASSIGN_OR_RETURN(Partition combined,
-                               map_side(parent->parts_[s], p));
+          // Each attempt re-runs the map-side combine from the pinned
+          // parent partition, so a kill inside BucketRows replays
+          // cleanly; records_in and the buckets publish only on success.
+          SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(parent, s));
+          SAC_ASSIGN_OR_RETURN(Partition combined, map_side(pin.rows(), p));
           SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
                                BucketRows(write_ctx, std::move(combined), s,
                                           num_dest, attempt));
-          AddRecordsTo(stats, parent->parts_[s].size());
+          AddRecordsTo(stats, pin.rows().size());
           buckets[p][s] = std::move(bs);
           return Status::OK();
         }));
@@ -567,9 +693,7 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
     }
     Partition out;
     SAC_RETURN_NOT_OK(reduce_side(std::move(rows_a), std::move(rows_b), &out));
-    ds->parts_[d] = std::move(out);
-    ds->available_[d] = true;
-    return Status::OK();
+    return PublishPartition(ds, d, std::move(out));
   };
 
   Status st;
@@ -746,11 +870,13 @@ Result<ValueVec> Engine::Collect(const Dataset& in) {
   trace::ScopedSpan span(&tracer_, "collect:" + in->label_, "action");
   SAC_RETURN_NOT_OK(Recover(in));
   ValueVec out;
-  size_t total = 0;
-  for (const auto& p : in->parts_) total += p.size();
-  out.reserve(total);
-  for (const auto& p : in->parts_) {
-    out.insert(out.end(), p.begin(), p.end());
+  // One partition pinned at a time: under a tight budget, collecting a
+  // dataset larger than RAM streams partitions through memory (each
+  // reload may evict an already-copied one) instead of requiring the
+  // whole dataset resident at once.
+  for (int i = 0; i < in->num_partitions(); ++i) {
+    SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(in.get(), i));
+    out.insert(out.end(), pin.rows().begin(), pin.rows().end());
   }
   return out;
 }
@@ -758,7 +884,10 @@ Result<ValueVec> Engine::Collect(const Dataset& in) {
 Result<int64_t> Engine::Count(const Dataset& in) {
   SAC_RETURN_NOT_OK(Recover(in));
   int64_t total = 0;
-  for (const auto& p : in->parts_) total += static_cast<int64_t>(p.size());
+  for (int i = 0; i < in->num_partitions(); ++i) {
+    SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(in.get(), i));
+    total += static_cast<int64_t>(pin.rows().size());
+  }
   return total;
 }
 
@@ -778,9 +907,10 @@ Status Engine::Checkpoint(const Dataset& ds, const std::string& dir) {
   if (ds->checkpointed_) return Status::OK();  // idempotent
   SAC_RETURN_NOT_OK(Recover(ds));
 
-  std::string base = !dir.empty()                     ? dir
-                     : !config_.checkpoint_dir.empty() ? config_.checkpoint_dir
-                                                       : DefaultSpillDir();
+  // Checkpoints without an explicit dir land in the engine's own spill
+  // directory, so engine teardown reclaims them together with eviction
+  // spills (one cleanup path for all engine-written files).
+  const std::string base = !dir.empty() ? dir : spill_dir_;
   SAC_RETURN_NOT_OK(storage::EnsureSpillDir(base));
 
   // Unique per process + checkpoint so concurrent engines (tests) never
@@ -801,8 +931,9 @@ Status Engine::Checkpoint(const Dataset& ds, const std::string& dir) {
   std::atomic<uint64_t> total_bytes{0};
   Status st =
       ParallelParts(ctx, n, [&](int i, int) -> Status {
+        SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(ds.get(), i));
         SAC_ASSIGN_OR_RETURN(uint64_t bytes,
-                             storage::WriteSpill(paths[i], ds->parts_[i]));
+                             storage::WriteSpill(paths[i], pin.rows()));
         total_bytes.fetch_add(bytes, std::memory_order_relaxed);
         if (stats) {
           stats->AddCheckpointWrite(bytes);
@@ -824,6 +955,11 @@ Status Engine::Checkpoint(const Dataset& ds, const std::string& dir) {
   ds->narrow_fn_ = nullptr;
   ds->checkpointed_ = true;
   ds->spill_paths_ = paths;
+  // A checkpointed node is a lineage cut for everything downstream:
+  // give its blocks admission priority so the budget evicts ordinary
+  // intermediates first (restoring it costs a disk read regardless, but
+  // losing it costs every downstream recompute).
+  store_->SetPriority(ds.get(), true);
   ds->wide_fn_ = [paths](Engine* eng, DatasetImpl* self,
                          int out) -> Status {
     uint64_t bytes = 0;
@@ -834,9 +970,7 @@ Status Engine::Checkpoint(const Dataset& ds, const std::string& dir) {
     } else {
       eng->metrics_.AddCheckpointRestore(bytes);
     }
-    self->parts_[out] = std::move(rows);
-    self->available_[out] = true;
-    return Status::OK();
+    return eng->PublishPartition(self, out, std::move(rows));
   };
   if (stats) stats->AddWallMicros(sw.ElapsedMicros());
   span.AddArg("checkpoint_bytes",
@@ -955,19 +1089,18 @@ Status Engine::RecomputePartition(DatasetImpl* ds, int i) {
     }
     case DatasetImpl::OpKind::kNarrow: {
       DatasetImpl* parent = ds->parents_[0].get();
-      if (!parent->IsAvailable(i)) {
-        SAC_RETURN_NOT_OK(RecomputePartition(parent, i));
-      }
       const TaskContext ctx{StatsFor(ds), 0, ds->label_, "recompute"};
       return RunTaskWithRetry(
           ctx, i, [&](int part, int attempt) -> Status {
+            // PinPartition recomputes the parent if it is unavailable
+            // and reloads it if it was evicted.
+            SAC_ASSIGN_OR_RETURN(PartitionPin pin,
+                                 PinPartition(parent, part));
             Partition tmp;
-            SAC_RETURN_NOT_OK(ds->narrow_fn_(parent->parts_[part], &tmp));
+            SAC_RETURN_NOT_OK(ds->narrow_fn_(pin.rows(), &tmp));
             SAC_RETURN_NOT_OK(CheckFault(recovery::FaultPoint::kMidMap, ctx,
                                          part, attempt));
-            ds->parts_[part] = std::move(tmp);
-            ds->available_[part] = true;
-            return Status::OK();
+            return PublishPartition(ds, part, std::move(tmp));
           });
     }
     case DatasetImpl::OpKind::kShuffle:

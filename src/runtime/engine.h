@@ -28,6 +28,13 @@
 //    lineage so iterative loops don't grow unbounded recompute chains.
 //  * Reduce-side folds iterate buckets in source-partition order, so
 //    results are deterministic regardless of thread scheduling.
+//  * Materialized partitions live in a budgeted block store
+//    (src/runtime/memory.h, docs/MEMORY_MODEL.md): each registers its
+//    serialized footprint against ClusterConfig::memory_budget_bytes /
+//    SAC_MEM_BUDGET; under pressure cold partitions spill to disk (LRU)
+//    and reload transparently on next access, so working sets larger
+//    than the budget run out-of-core with byte-identical results. Task
+//    reads hold pins so in-flight partitions are never evicted.
 #ifndef SAC_RUNTIME_ENGINE_H_
 #define SAC_RUNTIME_ENGINE_H_
 
@@ -42,6 +49,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/common/trace.h"
+#include "src/runtime/memory.h"
 #include "src/runtime/recovery.h"
 #include "src/runtime/value.h"
 
@@ -68,6 +76,20 @@ struct ClusterConfig {
   // Directory for checkpoint spill files; "" = the system temp dir.
   std::string checkpoint_dir = "";
 
+  // ---- Memory / out-of-core (DESIGN.md section 10, MEMORY_MODEL.md) ---
+  // Cap on resident materialized-partition bytes, engine-wide, metered
+  // via Value::SerializedSize. 0 = unlimited. Under pressure the block
+  // store trims the shuffle buffer pools, then evicts least-recently-
+  // used unpinned partitions to spill files; they reload transparently
+  // on next access (or recompute from lineage if the spill is lost).
+  // The SAC_MEM_BUDGET env var ("256M", "1G", plain bytes) overrides
+  // this at engine construction.
+  uint64_t memory_budget_bytes = 0;
+  // Base directory under which this engine creates its private spill
+  // directory (eviction + default-located checkpoint files, removed on
+  // engine destruction); "" = checkpoint_dir, then the system temp dir.
+  std::string spill_dir = "";
+
   int TotalCores() const { return num_executors * cores_per_executor; }
 };
 
@@ -93,14 +115,18 @@ class DatasetImpl {
 
   /// Drop the materialized data of one partition (tests / coarse fault
   /// injection; mid-task failures go through the engine's FaultPlan).
-  void InvalidatePartition(int i) { available_[i] = 0; }
+  /// Also discards the partition's block-store registration and any
+  /// eviction spill, so recovery really recomputes from lineage.
+  void InvalidatePartition(int i);
   bool IsAvailable(int i) const { return available_[i] != 0; }
 
   /// True once Engine::Checkpoint truncated this node's lineage: it is a
   /// source whose partitions restore from spill files, not from parents.
   bool checkpointed() const { return checkpointed_; }
 
-  ~DatasetImpl();  // removes this node's checkpoint spill files
+  // Unregisters from the block store (dropping eviction spills) and
+  // removes this node's checkpoint spill files.
+  ~DatasetImpl();
 
  private:
   friend class Engine;
@@ -124,6 +150,11 @@ class DatasetImpl {
   // reloads partition i from spill_paths_[i] instead of recomputing.
   bool checkpointed_ = false;
   std::vector<std::string> spill_paths_;
+
+  // The owning engine's block store (shared so teardown order between
+  // engine and datasets is a non-issue); every materialized partition is
+  // registered here against the memory budget.
+  std::shared_ptr<memory::BlockStore> store_;
 };
 
 using Dataset = std::shared_ptr<DatasetImpl>;
@@ -144,11 +175,22 @@ class Engine {
 
   explicit Engine(ClusterConfig config = ClusterConfig());
 
+  /// Shuts the block store down (SAC_CHECKing that no partition is still
+  /// pinned) and removes this engine's spill directory -- eviction
+  /// spills, default-located checkpoint spills, and the directory itself.
+  ~Engine();
+
   const ClusterConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
   StageRegistry& stages() { return stages_; }
   trace::Tracer& tracer() { return tracer_; }
   ThreadPool& pool() { return pool_; }
+
+  /// The memory manager + block store enforcing
+  /// config().memory_budget_bytes over every materialized partition
+  /// (docs/MEMORY_MODEL.md). Exposed for admission-priority hints
+  /// (Sac::EvalLoop), tests, and reports.
+  memory::BlockStore& block_store() { return *store_; }
 
   // ---- Shuffle hot path ----------------------------------------------
   /// Executor-local zero-copy routing: records whose destination partition
@@ -354,6 +396,68 @@ class Engine {
 
   Status RecomputePartition(DatasetImpl* ds, int i);
 
+  // ---- Memory / out-of-core (docs/MEMORY_MODEL.md) --------------------
+  /// RAII pin on one partition's rows: while alive, the block store will
+  /// not evict them. Obtained only through PinPartition, which also
+  /// reloads evicted partitions (or recomputes them when their spill is
+  /// unreadable) before pinning.
+  class PartitionPin {
+   public:
+    PartitionPin() = default;
+    PartitionPin(memory::BlockStore* store, DatasetImpl* ds, int part,
+                 const Partition* rows)
+        : store_(store), ds_(ds), part_(part), rows_(rows) {}
+    ~PartitionPin() {
+      if (store_) store_->Unpin(ds_, part_);
+    }
+    PartitionPin(PartitionPin&& o) noexcept
+        : store_(o.store_), ds_(o.ds_), part_(o.part_), rows_(o.rows_) {
+      o.store_ = nullptr;
+    }
+    PartitionPin& operator=(PartitionPin&& o) noexcept {
+      if (this != &o) {
+        if (store_) store_->Unpin(ds_, part_);
+        store_ = o.store_;
+        ds_ = o.ds_;
+        part_ = o.part_;
+        rows_ = o.rows_;
+        o.store_ = nullptr;
+      }
+      return *this;
+    }
+    PartitionPin(const PartitionPin&) = delete;
+    PartitionPin& operator=(const PartitionPin&) = delete;
+
+    const Partition& rows() const { return *rows_; }
+
+   private:
+    memory::BlockStore* store_ = nullptr;
+    DatasetImpl* ds_ = nullptr;
+    int part_ = -1;
+    const Partition* rows_ = nullptr;
+  };
+
+  /// The only sanctioned read access to a materialized partition:
+  /// recomputes it if unavailable, reloads it if evicted (falling back
+  /// to lineage recomputation when the spill file is unreadable), and
+  /// pins it for the lifetime of the returned handle.
+  Result<PartitionPin> PinPartition(DatasetImpl* ds, int i);
+
+  /// The only sanctioned write: installs `rows` as partition `i` of
+  /// `ds`, marks it available, and registers its footprint with the
+  /// block store (which may evict cold partitions to stay on budget).
+  Status PublishPartition(DatasetImpl* ds, int i, Partition rows);
+
+  /// Block-store event sink: attributes evictions/reloads to the owning
+  /// stage's metrics and emits "evict:"/"reload:" trace instants.
+  void MeterBlockEvent(const memory::BlockEvent& ev);
+
+  /// Mirrors the store's resident-bytes high-water mark into Metrics
+  /// (called after publish/pin, the only points residency grows).
+  void SyncPeakResident() {
+    metrics_.UpdatePeakResident(store_->peak_resident_bytes());
+  }
+
   // Map-side shuffle helper: routes `rows` of source partition src_part
   // into per-destination buckets, accounting metrics. Destinations on the
   // same executor receive the Values themselves (zero-copy fast path,
@@ -402,6 +506,10 @@ class Engine {
   std::atomic<int64_t> in_flight_{0};
   bool shuffle_fast_path_ = true;
   recovery::FaultPlan fault_plan_;
+  // Shared with every DatasetImpl so dataset teardown can unregister in
+  // any destruction order; ~Engine shuts it down.
+  std::shared_ptr<memory::BlockStore> store_;
+  std::string spill_dir_;  // this engine's private spill directory
 };
 
 }  // namespace sac::runtime

@@ -1,5 +1,6 @@
 #include "src/storage/spill.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <cerrno>
@@ -16,8 +17,11 @@ using runtime::ValueVec;
 
 namespace {
 
-constexpr uint64_t kMagic = 0x5341435350494C4CULL;  // "SACSPILL"
-constexpr uint32_t kVersion = 1;
+constexpr uint64_t kMagic = 0x5341435350494C4CULL;        // "SACSPILL"
+constexpr uint64_t kFooterMagic = 0x53414353464F4F54ULL;  // "SACSFOOT"
+constexpr uint32_t kVersion = 2;
+// footer = checksum + total file size + footer magic, 8 bytes each.
+constexpr size_t kFooterBytes = 24;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -25,6 +29,21 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// FNV-1a over a byte range. Not cryptographic — it only has to catch
+/// torn writes, truncation, and bit rot, cheaply and dependency-free.
+uint64_t Fnv1a(const uint8_t* data, size_t len) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Status Corrupt(const std::string& path, const std::string& why) {
+  return Status::DataLoss("spill '" + path + "' " + why);
+}
 
 }  // namespace
 
@@ -49,6 +68,10 @@ Result<uint64_t> WriteSpill(const std::string& path, const ValueVec& rows) {
   w.PutU32(kVersion);
   w.PutU64(rows.size());
   for (const Value& row : rows) row.Serialize(&w);
+  const uint64_t checksum = Fnv1a(w.buffer().data(), w.size());
+  w.PutU64(checksum);
+  w.PutU64(static_cast<uint64_t>(w.size()) + 16);  // size incl. this footer
+  w.PutU64(kFooterMagic);
 
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IoError("cannot open spill '" + path + "' for writing");
@@ -68,6 +91,40 @@ Result<ValueVec> ReadSpill(const std::string& path, uint64_t* bytes_read) {
   std::vector<uint8_t> buf(static_cast<size_t>(size));
   if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
     return Status::IoError("short read from spill '" + path + "'");
+  }
+
+  // Header magic first: a file that never was a SAC spill is a caller
+  // bug (kIoError), not recoverable data loss. Anything after the magic
+  // is covered by the footer checks below.
+  if (buf.size() >= 8) {
+    ByteReader hdr(buf.data(), 8);
+    SAC_ASSIGN_OR_RETURN(uint64_t magic, hdr.GetU64());
+    if (magic != kMagic) {
+      return Status::IoError("'" + path + "' is not a SAC spill file");
+    }
+  }
+  // Validate the footer before trusting a single payload byte: a torn or
+  // truncated file must surface as kDataLoss, not as a deserializer error.
+  if (buf.size() < kFooterBytes + 20) {  // 20 = header (magic+ver+count)
+    return Corrupt(path, "is truncated (shorter than header + footer)");
+  }
+  {
+    ByteReader ftr(buf.data() + buf.size() - kFooterBytes, kFooterBytes);
+    SAC_ASSIGN_OR_RETURN(uint64_t stored_checksum, ftr.GetU64());
+    SAC_ASSIGN_OR_RETURN(uint64_t stored_size, ftr.GetU64());
+    SAC_ASSIGN_OR_RETURN(uint64_t footer_magic, ftr.GetU64());
+    if (footer_magic != kFooterMagic) {
+      return Corrupt(path, "has no footer (truncated or overwritten)");
+    }
+    if (stored_size != buf.size()) {
+      return Corrupt(path, "length mismatch: footer says " +
+                               std::to_string(stored_size) + " bytes, file has " +
+                               std::to_string(buf.size()));
+    }
+    const uint64_t checksum = Fnv1a(buf.data(), buf.size() - kFooterBytes);
+    if (checksum != stored_checksum) {
+      return Corrupt(path, "checksum mismatch (corrupted payload)");
+    }
   }
 
   ByteReader r(buf);
@@ -93,6 +150,23 @@ Result<ValueVec> ReadSpill(const std::string& path, uint64_t* bytes_read) {
 
 void RemoveSpill(const std::string& path) {
   std::remove(path.c_str());
+}
+
+void RemoveSpillDir(const std::string& dir) {
+  if (dir.empty()) return;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace sac::storage

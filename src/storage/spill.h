@@ -1,8 +1,19 @@
-// Checkpoint spill files: one file per dataset partition, holding the
-// partition's rows in the standard Value wire format. Written by
-// Engine::Checkpoint when it truncates a dataset's lineage; read back by
-// the dataset's replacement recompute closure when a checkpointed
-// partition is dropped.
+// Spill files: one file per dataset partition, holding the partition's
+// rows in the standard Value wire format. Written by Engine::Checkpoint
+// (lineage truncation) and by the runtime BlockStore when the memory
+// budget forces a partition out of RAM; read back by the checkpoint
+// restore closure and by BlockStore reloads.
+//
+// Format (v2):
+//   header   u64 magic "SACSPILL" | u32 version | u64 row count
+//   payload  `count` serialized Values
+//   footer   u64 FNV-1a checksum of header+payload | u64 total file size
+//            | u64 footer magic "SACSFOOT"
+//
+// The footer lets the reader detect truncated or corrupted files and
+// report them as StatusCode::kDataLoss — a distinct code so callers with
+// lineage (the BlockStore) can route to recomputation instead of failing
+// the query. Other I/O problems (missing file, wrong magic) stay kIoError.
 //
 // Deliberately a leaf module: it depends only on runtime/value.h and the
 // byte codecs, so engine.cc can include it without creating a cycle with
@@ -22,17 +33,23 @@ namespace sac::storage {
 Status EnsureSpillDir(const std::string& dir);
 
 /// Writes `rows` to `path`, replacing any existing file. Returns the
-/// file size in bytes (for checkpoint-write metering).
+/// file size in bytes (for spill-write metering).
 Result<uint64_t> WriteSpill(const std::string& path,
                             const runtime::ValueVec& rows);
 
 /// Reads a spill file back. On success, `*bytes_read` (if non-null) is
-/// set to the file size in bytes (for checkpoint-restore metering).
+/// set to the file size in bytes (for restore metering). Truncated or
+/// corrupted files fail with StatusCode::kDataLoss.
 Result<runtime::ValueVec> ReadSpill(const std::string& path,
                                     uint64_t* bytes_read = nullptr);
 
 /// Best-effort unlink, for DatasetImpl teardown. Missing files are fine.
 void RemoveSpill(const std::string& path);
+
+/// Best-effort removal of a spill directory and every regular file in it
+/// (non-recursive, matching EnsureSpillDir's one-level contract). Used by
+/// Engine teardown to reclaim its private spill directory.
+void RemoveSpillDir(const std::string& dir);
 
 }  // namespace sac::storage
 

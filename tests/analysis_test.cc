@@ -292,12 +292,50 @@ TEST(PlanLint, W05SilentOutsideLoopsOrWhenChainIsCut) {
   EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
-TEST(PlanLint, RegistryHasAllFiveRules) {
+TEST(PlanLint, W06FiresWhenResidentSetExceedsBudget) {
+  // A 512x512 dense source is 2 MiB; source + two derived nodes estimate
+  // ~6 MiB resident, far over a 1 MiB budget, and nothing is cached.
+  Bindings binds;
+  binds.emplace("A", Matrix(512, 512));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", src, 2);
+  PlanNodePtr root = pb.Narrow(PlanNode::Op::kMap, "shift", mid, 2);
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{root, pb.TakeNodes(), &binds, 1 << 20}, &ds);
+  ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W06"});
+  EXPECT_NE(ds[0].message.find("memory budget"), std::string::npos);
+}
+
+TEST(PlanLint, W06SilentWithoutBudgetOrWithACacheCut) {
+  Bindings binds;
+  binds.emplace("A", Matrix(512, 512));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", src, 2);
+  PlanNodePtr root = pb.Narrow(PlanNode::Op::kMap, "shift", mid, 2);
+
+  std::vector<Diagnostic> ds;
+  // No budget configured: out-of-core analysis is off.
+  LintPlan(PlanGraph{root, pb.nodes(), &binds, 0}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+
+  // Roomy budget: the estimate fits.
+  LintPlan(PlanGraph{root, pb.nodes(), &binds, 64 << 20}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+
+  // Tight budget but a cached intermediate cuts the resident set.
+  mid->cached = true;
+  LintPlan(PlanGraph{root, pb.TakeNodes(), &binds, 1 << 20}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+}
+
+TEST(PlanLint, RegistryHasAllSixRules) {
   std::vector<std::string> codes;
   for (const LintRule* r : LintRules()) codes.push_back(r->code());
-  EXPECT_EQ(codes.size(), 5u);
+  EXPECT_EQ(codes.size(), 6u);
   for (const char* want :
-       {"SAC-W01", "SAC-W02", "SAC-W03", "SAC-W04", "SAC-W05"}) {
+       {"SAC-W01", "SAC-W02", "SAC-W03", "SAC-W04", "SAC-W05", "SAC-W06"}) {
     EXPECT_NE(std::find(codes.begin(), codes.end(), want), codes.end())
         << want << " not registered";
   }

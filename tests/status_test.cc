@@ -31,7 +31,7 @@ TEST(StatusTest, WithContextOnOkIsNoop) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= 8; ++c) {
+  for (int c = 0; c <= 9; ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
 }
