@@ -13,7 +13,10 @@
 // plus the per-stage metrics snapshot (shuffle bytes/records per
 // operator), so the perf trajectory is auditable across PRs. Pass
 // `--trace <file>` to also dump a Chrome trace-event JSON of every
-// timed run (open in chrome://tracing or https://ui.perfetto.dev).
+// timed run (open in chrome://tracing or https://ui.perfetto.dev), and
+// `--profile <file>` to write the profiler's profile.json for the last
+// captured query (summarize/diff it with tools/sac_prof; see
+// docs/PROFILING.md).
 #ifndef SAC_BENCH_BENCH_COMMON_H_
 #define SAC_BENCH_BENCH_COMMON_H_
 
@@ -124,6 +127,8 @@ class BenchReporter {
       };
       if (const char* v = value("--trace")) {
         trace_path_ = v;
+      } else if (const char* v = value("--profile")) {
+        profile_path_ = v;
       } else if (const char* v = value("--out")) {
         out_path_ = v;
       }
@@ -133,11 +138,23 @@ class BenchReporter {
   ~BenchReporter() { Write(); }
 
   bool tracing() const { return !trace_path_.empty(); }
+  bool profiling() const { return !profile_path_.empty(); }
 
   /// Prints the stdout row and records it for the JSON report.
   void Report(const Row& row) {
     PrintRow(row);
     rows_.push_back(row);
+  }
+
+  /// Builds the profiler's profile.json from `ctx`'s current trace and
+  /// stage stats, anchored to `row`'s measured wall time. Call BEFORE
+  /// CaptureTrace (which drains the span buffers); the last capture
+  /// wins. Cheap no-op when --profile was not given.
+  void CaptureProfile(sac::Sac* ctx, const Row& row) {
+    if (!profiling()) return;
+    profile_json_ = ctx->ProfileJson(
+        row.time_ms,
+        row.figure + ":" + row.series + ":n=" + std::to_string(row.n));
   }
 
   /// Moves the spans traced so far out of `ctx` into the bench trace
@@ -160,31 +177,27 @@ class BenchReporter {
       std::fprintf(stderr, "trace written to %s (%zu spans)\n",
                    trace_path_.c_str(), spans_.size());
     }
+    if (profiling() && !profile_json_.empty()) {
+      std::ofstream out(profile_path_, std::ios::binary | std::ios::trunc);
+      out << profile_json_;
+      std::fprintf(stderr, "profile written to %s\n", profile_path_.c_str());
+    }
   }
 
  private:
+  // Every MetricsSnapshot counter under its canonical field name, so
+  // the report schema tracks the snapshot (and docs/OPERATIONS.md
+  // glossary) automatically.
   static void AppendCounters(std::string* out, const MetricsSnapshot& c) {
-    *out += "\"shuffle_bytes\":" + std::to_string(c.shuffle_bytes) +
-            ",\"shuffle_records\":" + std::to_string(c.shuffle_records) +
-            ",\"cross_executor_bytes\":" +
-            std::to_string(c.cross_executor_bytes) +
-            ",\"local_shuffle_bytes\":" +
-            std::to_string(c.local_shuffle_bytes) +
-            ",\"tasks\":" + std::to_string(c.tasks_run) +
-            ",\"recomputed\":" + std::to_string(c.tasks_recomputed) +
-            ",\"records_in\":" + std::to_string(c.records_processed) +
-            ",\"retried\":" + std::to_string(c.tasks_retried) +
-            ",\"retry_wait_us\":" + std::to_string(c.retry_wait_us) +
-            ",\"faults_injected\":" + std::to_string(c.faults_injected) +
-            ",\"checkpoint_bytes\":" + std::to_string(c.checkpoint_bytes) +
-            ",\"checkpoint_restore_bytes\":" +
-            std::to_string(c.checkpoint_restore_bytes) +
-            ",\"evictions\":" + std::to_string(c.evictions) +
-            ",\"bytes_evicted\":" + std::to_string(c.bytes_evicted) +
-            ",\"bytes_reloaded\":" + std::to_string(c.bytes_reloaded) +
-            ",\"reload_recomputes\":" + std::to_string(c.reload_recomputes) +
-            ",\"peak_resident_bytes\":" +
-            std::to_string(c.peak_resident_bytes);
+    bool first = true;
+    c.ForEachCounter([&](const char* name, uint64_t v) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"';
+      *out += name;
+      *out += "\":";
+      *out += std::to_string(v);
+    });
   }
 
   void WriteJsonReport() const {
@@ -234,6 +247,8 @@ class BenchReporter {
   std::string name_;
   std::string out_path_;
   std::string trace_path_;
+  std::string profile_path_;
+  std::string profile_json_;
   std::vector<Row> rows_;
   std::vector<trace::SpanRecord> spans_;
   bool written_ = false;

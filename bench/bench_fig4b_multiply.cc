@@ -47,9 +47,11 @@ int main(int argc, char** argv) {
       auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
       auto ml_a = baseline::BlockMatrix::FromTiled(a);
       auto ml_b = baseline::BlockMatrix::FromTiled(b);
-      reporter.Report(TimeQuery(&ctx, "fig4b", "MLlib", n, n * n, [&] {
+      const Row row = TimeQuery(&ctx, "fig4b", "MLlib", n, n * n, [&] {
         SAC_BENCH_CHECK(ml_a.Multiply(&ctx.engine(), ml_b));
-      }));
+      });
+      reporter.Report(row);
+      reporter.CaptureProfile(&ctx, row);
       reporter.CaptureTrace(&ctx);
     }
     // SAC without the group-by-join rule: join + group-by (5.3).
@@ -57,9 +59,11 @@ int main(int argc, char** argv) {
       Sac ctx(BenchCluster(), no_gbj);
       auto a = ctx.RandomMatrix(n, n, block, 201, 0.0, 10.0).value();
       auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
-      reporter.Report(TimeQuery(&ctx, "fig4b", "SAC", n, n * n, [&] {
+      const Row row = TimeQuery(&ctx, "fig4b", "SAC", n, n * n, [&] {
         SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
-      }));
+      });
+      reporter.Report(row);
+      reporter.CaptureProfile(&ctx, row);
       reporter.CaptureTrace(&ctx);
     }
     // SAC with the group-by-join (SUMMA).
@@ -67,9 +71,11 @@ int main(int argc, char** argv) {
       Sac ctx(BenchCluster(), with_gbj);
       auto a = ctx.RandomMatrix(n, n, block, 201, 0.0, 10.0).value();
       auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
-      reporter.Report(TimeQuery(&ctx, "fig4b", "SAC GBJ", n, n * n, [&] {
+      const Row row = TimeQuery(&ctx, "fig4b", "SAC GBJ", n, n * n, [&] {
         SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
-      }));
+      });
+      reporter.Report(row);
+      reporter.CaptureProfile(&ctx, row);
       reporter.CaptureTrace(&ctx);
     }
   }

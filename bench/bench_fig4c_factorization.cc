@@ -44,11 +44,13 @@ int main(int argc, char** argv) {
       baseline::FactorizationState st{baseline::BlockMatrix::FromTiled(p),
                                       baseline::BlockMatrix::FromTiled(q)};
       auto ml_r = baseline::BlockMatrix::FromTiled(r);
-      reporter.Report(TimeQuery(&ctx, "fig4c", "MLlib", n, n * n, [&] {
+      const Row row = TimeQuery(&ctx, "fig4c", "MLlib", n, n * n, [&] {
         SAC_BENCH_CHECK(
             baseline::FactorizationStep(&ctx.engine(), ml_r, st, gamma,
                                         lambda));
-      }));
+      });
+      reporter.Report(row);
+      reporter.CaptureProfile(&ctx, row);
       reporter.CaptureTrace(&ctx);
     }
     {
@@ -57,10 +59,12 @@ int main(int argc, char** argv) {
       auto p = ctx.RandomMatrix(n, k, block, 302, 0.0, 1.0).value();
       auto q = ctx.RandomMatrix(n, k, block, 303, 0.0, 1.0).value();
       algo::Factorization st{p, q};
-      reporter.Report(TimeQuery(&ctx, "fig4c", "SAC GBJ", n, n * n, [&] {
+      const Row row = TimeQuery(&ctx, "fig4c", "SAC GBJ", n, n * n, [&] {
         SAC_BENCH_CHECK(
             algo::FactorizationStep(&ctx, r, st, gamma, lambda));
-      }));
+      });
+      reporter.Report(row);
+      reporter.CaptureProfile(&ctx, row);
       reporter.CaptureTrace(&ctx);
     }
   }

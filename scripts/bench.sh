@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Runs the figure-reproduction benches and the shuffle-path + memory
-# ablations, writing machine-readable reports at the repo root:
+# Runs the figure-reproduction benches and the shuffle-path + memory +
+# sampler ablations, writing machine-readable reports at the repo root:
 #   BENCH_fig4a.json  BENCH_fig4b.json  BENCH_fig4c.json
 #   BENCH_abl_shuffle_path.json  BENCH_abl_memory.json
-# These are committed alongside code changes so the perf trajectory is
-# auditable across PRs (compare with the BENCH_*.baseline.json files).
+#   BENCH_abl_sampler.json
+# Each fig4 bench also emits a profiler artifact
+# (BENCH_<name>.profile.json, summarize with tools/sac_prof; see
+# docs/PROFILING.md). Reports are committed alongside code changes so
+# the perf trajectory is auditable across PRs; scripts/bench_diff.sh
+# gates them against the BENCH_*.baseline.json files.
 #
 # Usage: scripts/bench.sh [scale] [reps]
 #   scale: tiny | small | full   (default: small)
@@ -19,18 +23,21 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target \
   bench_fig4a_addition bench_fig4b_multiply bench_fig4c_factorization \
-  bench_abl_shuffle_path bench_abl_memory
+  bench_abl_shuffle_path bench_abl_memory bench_abl_sampler sac_prof
 
 export SAC_BENCH_SCALE="$scale" SAC_BENCH_REPS="$reps"
 
 echo "==> fig4a (addition), scale=$scale reps=$reps"
-./build/bench/bench_fig4a_addition --out BENCH_fig4a.json
+./build/bench/bench_fig4a_addition --out BENCH_fig4a.json \
+  --profile BENCH_fig4a.profile.json
 
 echo "==> fig4b (multiplication)"
-./build/bench/bench_fig4b_multiply --out BENCH_fig4b.json
+./build/bench/bench_fig4b_multiply --out BENCH_fig4b.json \
+  --profile BENCH_fig4b.profile.json
 
 echo "==> fig4c (factorization)"
-./build/bench/bench_fig4c_factorization --out BENCH_fig4c.json
+./build/bench/bench_fig4c_factorization --out BENCH_fig4c.json \
+  --profile BENCH_fig4c.profile.json
 
 echo "==> ablation: shuffle fast path vs serialize path"
 ./build/bench/bench_abl_shuffle_path --out BENCH_abl_shuffle_path.json
@@ -38,4 +45,10 @@ echo "==> ablation: shuffle fast path vs serialize path"
 echo "==> ablation: unlimited vs 25% memory budget (out-of-core)"
 ./build/bench/bench_abl_memory --out BENCH_abl_memory.json
 
-echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json"
+echo "==> ablation: time-series sampler overhead"
+./build/bench/bench_abl_sampler --out BENCH_abl_sampler.json
+
+echo "==> regression gate: reports vs baselines"
+scripts/bench_diff.sh
+
+echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json BENCH_abl_sampler.json (+ fig4 *.profile.json)"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regression gate over the committed bench reports: diffs every
+# BENCH_<name>.json at the repo root against its
+# BENCH_<name>.baseline.json with tools/sac_prof (noise-aware
+# thresholds: a metric regresses only when it worsens by BOTH the
+# relative and the absolute bar). Exits non-zero when any wall-clock or
+# shuffle-volume regression is found, so check.sh fails before a perf
+# regression lands unnoticed.
+#
+# Usage: scripts/bench_diff.sh [--prof <path-to-sac_prof>]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prof="build/tools/sac_prof"
+if [[ "${1:-}" == "--prof" ]]; then
+  prof="${2:?--prof needs a path}"
+fi
+if [[ ! -x "$prof" ]]; then
+  echo "bench_diff: $prof not built (cmake --build build --target sac_prof)" >&2
+  exit 2
+fi
+
+status=0
+found=0
+for base in BENCH_*.baseline.json; do
+  [[ -e "$base" ]] || continue
+  cur="${base%.baseline.json}.json"
+  if [[ ! -e "$cur" ]]; then
+    echo "bench_diff: skipping $base (no $cur)" >&2
+    continue
+  fi
+  found=1
+  echo "==> $cur vs $base"
+  "$prof" diff "$base" "$cur" || status=1
+done
+
+if [[ "$found" == 0 ]]; then
+  echo "bench_diff: no BENCH_*.baseline.json files found" >&2
+  exit 2
+fi
+exit "$status"

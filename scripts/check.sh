@@ -13,14 +13,24 @@
 #   6. out-of-core: bench_abl_memory --smoke (fig4b multiply under a
 #      memory budget a quarter of its working set must evict, reload,
 #      and still produce a byte-identical product with bounded slowdown)
-#   7. docs: scripts/check_docs_links.sh (no *.md relative link may point
-#      at a missing file)
-#   8. asan: AddressSanitizer+UBSan build, full test suite
-#   9. tsan: ThreadSanitizer build of the concurrency-sensitive tests
+#   7. profiler: fig4c at tiny scale with --profile; sac_prof check must
+#      find a non-empty critical path covering >= 80% of wall-clock, and
+#      sac_prof diff of the profile against itself must report zero
+#      regressions
+#   8. sampler: bench_abl_sampler --smoke (time-series sampler at the
+#      1 ms interval must cost <= 3% vs sampler-off and actually sample)
+#   9. bench regression gate: scripts/bench_diff.sh (committed
+#      BENCH_*.json vs BENCH_*.baseline.json via sac_prof diff)
+#  10. docs: scripts/check_docs_links.sh (no *.md relative link may point
+#      at a missing file) + scripts/check_metrics_glossary.sh (every
+#      MetricsSnapshot counter documented in docs/OPERATIONS.md)
+#  11. asan: AddressSanitizer+UBSan build, full test suite
+#  12. tsan: ThreadSanitizer build of the concurrency-sensitive tests
 #      (engine, trace, thread pool, shuffle pools, sharded metrics, the
-#      block store / memory budget, and the recovery/retry path), since
-#      the trace/metrics buffers, fault counters, and budget accounting
-#      are written from pool threads
+#      block store / memory budget, the recovery/retry path, and the
+#      sampler/profile machinery), since the trace/metrics buffers,
+#      fault counters, budget accounting, and sampler counters are
+#      written from pool/background threads
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
@@ -66,8 +76,30 @@ if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
     ./build/bench/bench_abl_memory --smoke \
     --out build/BENCH_abl_memory.smoke.json
 
+  echo "==> profiler: fig4c profile + critical-path gate"
+  # One rep so the profiled trace and the reported wall time describe
+  # the same run (TimeQuery keeps the last rep's trace, reports the mean).
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 \
+    ./build/bench/bench_fig4c_factorization \
+    --out build/BENCH_fig4c.prof-smoke.json \
+    --profile build/fig4c.profile.json
+  ./build/tools/sac_prof build/fig4c.profile.json
+  ./build/tools/sac_prof check build/fig4c.profile.json --min-coverage 80
+  ./build/tools/sac_prof diff build/fig4c.profile.json build/fig4c.profile.json
+
+  echo "==> sampler: overhead gate (<= 3% vs sampler-off)"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=2 \
+    ./build/bench/bench_abl_sampler --smoke \
+    --out build/BENCH_abl_sampler.smoke.json
+
+  echo "==> bench regression gate: committed reports vs baselines"
+  scripts/bench_diff.sh
+
   echo "==> docs: markdown relative-link check"
   scripts/check_docs_links.sh
+
+  echo "==> docs: metrics glossary drift check"
+  scripts/check_metrics_glossary.sh
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--asan-only" ]]; then
@@ -84,7 +116,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" --target sac_tests
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
-    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*'
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*:*Sampler*:*Profile*'
 fi
 
 echo "==> all checks passed"

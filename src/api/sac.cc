@@ -98,7 +98,14 @@ Result<std::string> Sac::Explain(const std::string& src) {
 }
 
 Result<QueryResult> Sac::Eval(const std::string& src) {
-  SAC_ASSIGN_OR_RETURN(CompiledQuery q, Compile(src));
+  // Traced as a root span so the profiler's critical path accounts for
+  // planner time, not just engine stages.
+  Result<CompiledQuery> compiled = [&] {
+    trace::ScopedSpan span(&engine_->tracer(), "compile", "compile");
+    return Compile(src);
+  }();
+  SAC_RETURN_NOT_OK(compiled.status());
+  CompiledQuery q = std::move(compiled).value();
   // Catch planner bugs before any tile is materialized: the symbolic DAG
   // must satisfy the structural invariants (debug builds additionally
   // assert, but the check is cheap enough to keep on everywhere).
@@ -181,8 +188,13 @@ Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
           return it != binds.end() &&
                  it->second.kind != planner::Binding::Kind::kScalar;
         }));
-    SAC_ASSIGN_OR_RETURN(CompiledQuery q,
-                         planner::CompileQuery(norm, binds_, options_));
+    Result<CompiledQuery> loop_compiled = [&] {
+      trace::ScopedSpan span(&engine_->tracer(), "compile:" + u.target,
+                             "compile");
+      return planner::CompileQuery(norm, binds_, options_);
+    }();
+    SAC_RETURN_NOT_OK(loop_compiled.status());
+    CompiledQuery q = std::move(loop_compiled).value();
     if (u.in_loop) {
       // Loop-body plans recompile and re-run every iteration; the
       // analyzer's cache rules (SAC-W02) key off this flag.

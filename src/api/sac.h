@@ -49,6 +49,20 @@ class Sac {
   Status WriteChromeTrace(const std::string& path) const {
     return engine_->WriteChromeTrace(path);
   }
+  /// Versioned profile JSON built from everything traced so far: stage
+  /// tree with self/total/task time, critical-path attribution, joined
+  /// per-stage counters and sampler time series (docs/PROFILING.md).
+  /// `wall_ms_hint` anchors wall-clock percentages to an externally
+  /// measured duration (0 = use the trace extent); `query` is echoed
+  /// into the profile for identification.
+  std::string ProfileJson(double wall_ms_hint = 0,
+                          const std::string& query = "") const {
+    return engine_->ProfileJson(wall_ms_hint, query);
+  }
+  Status WriteProfile(const std::string& path, double wall_ms_hint = 0,
+                      const std::string& query = "") const {
+    return engine_->WriteProfile(path, wall_ms_hint, query);
+  }
 
   // ---- data ---------------------------------------------------------------
   /// Dense random tiled matrix, uniform in [lo, hi), deterministic per seed.

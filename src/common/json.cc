@@ -1,0 +1,206 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sac::json {
+
+const Value& Value::At(const std::string& key) const {
+  static const Value kNullValue;
+  if (!is_object()) return kNullValue;
+  auto it = object.find(key);
+  return it == object.end() ? kNullValue : it->second;
+}
+
+double Value::GetNum(const std::string& key, double dflt) const {
+  const Value& v = At(key);
+  return v.is_number() ? v.number : dflt;
+}
+
+int64_t Value::GetInt(const std::string& key, int64_t dflt) const {
+  const Value& v = At(key);
+  return v.is_number() ? v.Int() : dflt;
+}
+
+uint64_t Value::GetUInt(const std::string& key, uint64_t dflt) const {
+  const Value& v = At(key);
+  return v.is_number() ? v.UInt() : dflt;
+}
+
+std::string Value::GetStr(const std::string& key,
+                          const std::string& dflt) const {
+  const Value& v = At(key);
+  return v.is_string() ? v.str : dflt;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Status Parse(Value* out) {
+    SkipWs();
+    SAC_RETURN_NOT_OK(ParseValue(out));
+    SkipWs();
+    if (pos_ != s_.size()) return Error("trailing data");
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = Value::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = Value::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      out->kind = Value::Kind::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Value* out) {
+    out->kind = Value::Kind::kObject;
+    if (!Consume('{')) return Error("expected '{'");
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      std::string key;
+      SkipWs();
+      SAC_RETURN_NOT_OK(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Value v;
+      SAC_RETURN_NOT_OK(ParseValue(&v));
+      out->object.emplace(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    out->kind = Value::Kind::kArray;
+    if (!Consume('[')) return Error("expected '['");
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Value v;
+      SAC_RETURN_NOT_OK(ParseValue(&v));
+      out->array.push_back(std::move(v));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return Error("expected '\"'");
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return Error("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Error("truncated \\u escape");
+          // Our writers only emit \u00xx for control characters; keep
+          // the low byte.
+          char* end = nullptr;
+          const std::string hex = s_.substr(pos_, 4);
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return Error("bad \\u escape");
+          pos_ += 4;
+          *out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    char* end = nullptr;
+    const std::string num = s_.substr(start, pos_ - start);
+    out->number = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    out->kind = Value::Kind::kNumber;
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status Parse(const std::string& text, Value* out) {
+  return Parser(text).Parse(out);
+}
+
+}  // namespace sac::json

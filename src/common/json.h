@@ -1,0 +1,65 @@
+// Minimal JSON value + recursive-descent parser for the library side:
+// reading back our own machine-readable artifacts (profile.json, bench
+// report JSON) in sac_prof and profile::ParseProfile without an external
+// dependency. Supports exactly what our writers emit -- objects, arrays,
+// strings with the escapes trace::JsonEscape produces, numbers,
+// true/false/null. This intentionally stays a subset of JSON (no
+// surrogate pairs, no duplicate-key semantics beyond first-wins); the
+// tests' independent parser (tests/test_json.h) stays separate so the
+// exporters are still validated by code that does not share this
+// implementation.
+#ifndef SAC_COMMON_JSON_H_
+#define SAC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sac::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  bool Has(const std::string& key) const {
+    return is_object() && object.count(key) > 0;
+  }
+  /// Member lookup; a missing key (or non-object) yields a null Value, so
+  /// chained lookups over optional fields read cleanly.
+  const Value& At(const std::string& key) const;
+
+  int64_t Int() const { return static_cast<int64_t>(number); }
+  uint64_t UInt() const {
+    return number <= 0 ? 0 : static_cast<uint64_t>(number);
+  }
+  double Num() const { return number; }
+
+  /// Typed lookups with defaults for optional fields.
+  double GetNum(const std::string& key, double dflt = 0) const;
+  int64_t GetInt(const std::string& key, int64_t dflt = 0) const;
+  uint64_t GetUInt(const std::string& key, uint64_t dflt = 0) const;
+  std::string GetStr(const std::string& key,
+                     const std::string& dflt = "") const;
+};
+
+/// Parses `text` into *out. Errors name the byte offset they were
+/// detected at.
+Status Parse(const std::string& text, Value* out);
+
+}  // namespace sac::json
+
+#endif  // SAC_COMMON_JSON_H_

@@ -37,6 +37,29 @@
 
 namespace sac {
 
+/// Every MetricsSnapshot counter, in declaration order. Single source of
+/// truth for serialized counter names: bench report JSON, profile.json,
+/// and the docs glossary drift check (scripts/check_metrics_glossary.sh)
+/// all key off these strings. Extend this when adding a field.
+#define SAC_METRICS_FOR_EACH_COUNTER(X) \
+  X(shuffle_bytes)                      \
+  X(shuffle_records)                    \
+  X(cross_executor_bytes)               \
+  X(local_shuffle_bytes)                \
+  X(tasks_run)                          \
+  X(tasks_recomputed)                   \
+  X(records_processed)                  \
+  X(tasks_retried)                      \
+  X(retry_wait_us)                      \
+  X(faults_injected)                    \
+  X(checkpoint_bytes)                   \
+  X(checkpoint_restore_bytes)           \
+  X(evictions)                          \
+  X(bytes_evicted)                      \
+  X(bytes_reloaded)                     \
+  X(reload_recomputes)                  \
+  X(peak_resident_bytes)
+
 /// Plain, copyable view of the counters, folded once across shards --
 /// use this instead of reading individual getters non-atomically mid-run.
 struct MetricsSnapshot {
@@ -65,6 +88,22 @@ struct MetricsSnapshot {
   uint64_t bytes_reloaded = 0;
   uint64_t reload_recomputes = 0;
   uint64_t peak_resident_bytes = 0;
+
+  /// Invokes fn(name, value) for every counter, in declaration order
+  /// (names from SAC_METRICS_FOR_EACH_COUNTER). The mutable overload
+  /// passes the field by reference -- used by the profile JSON parser.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+#define SAC_METRICS_APPLY(name) fn(#name, name);
+    SAC_METRICS_FOR_EACH_COUNTER(SAC_METRICS_APPLY)
+#undef SAC_METRICS_APPLY
+  }
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) {
+#define SAC_METRICS_APPLY(name) fn(#name, name);
+    SAC_METRICS_FOR_EACH_COUNTER(SAC_METRICS_APPLY)
+#undef SAC_METRICS_APPLY
+  }
 
   std::string ToString() const;
 };

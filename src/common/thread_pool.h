@@ -26,6 +26,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks currently executing plus tasks still queued -- the engine
+  /// sampler's in-flight gauge. Takes the pool mutex; cheap at
+  /// millisecond-scale sampling intervals.
+  size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_ + queue_.size();
+  }
+
   /// Enqueues a task. Tasks must not throw.
   void Submit(std::function<void()> task);
 
@@ -55,7 +63,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;        // wakes workers
   std::condition_variable idle_cv_;   // wakes Wait()
   size_t active_ = 0;

@@ -74,9 +74,12 @@ std::string JsonEscape(const std::string& s) {
 
 namespace {
 /// Bucket 0 holds v == 0; bucket i >= 1 holds 2^(i-1) <= v < 2^i.
+/// Values >= 2^63 saturate into bucket 63 (64 - clz would index past
+/// the array).
 int BucketOf(uint64_t v) {
   if (v == 0) return 0;
-  return 64 - __builtin_clzll(v);
+  const int b = 64 - __builtin_clzll(v);
+  return b > 63 ? 63 : b;
 }
 }  // namespace
 
@@ -121,7 +124,12 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
   for (size_t i = 0; i < buckets.size(); ++i) {
     seen += buckets[i];
     if (seen >= rank) {
-      return i == 0 ? 0 : (uint64_t{1} << i) - 1;  // bucket upper bound
+      if (i == 0) return 0;
+      // Bucket upper bound, clamped to the observed max: tighter for the
+      // bucket the max lives in, and the top bucket holds saturated
+      // values >= 2^63 whose nominal bound would overflow the shift.
+      const uint64_t bound = i >= 63 ? max : (uint64_t{1} << i) - 1;
+      return std::min(bound, max);
     }
   }
   return max;
@@ -157,7 +165,12 @@ Tracer::Buffer* Tracer::ThreadBuffer() {
 void Tracer::Record(SpanRecord rec) {
   if (!enabled()) return;
   Buffer* buf = ThreadBuffer();
+  const size_t cap = buffer_capacity_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->records.size() >= cap) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buf->records.push_back(std::move(rec));
 }
 
@@ -173,6 +186,19 @@ void Tracer::Instant(std::string name, std::string category, uint64_t parent,
   rec.dur_us = 0;
   rec.tid = CurrentTid();
   rec.instant = true;
+  rec.args = std::move(args);
+  Record(std::move(rec));
+}
+
+void Tracer::Counter(std::string name, std::vector<SpanArg> args) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.id = NextId();
+  rec.name = std::move(name);
+  rec.category = "counter";
+  rec.start_us = NowMicros();
+  rec.tid = CurrentTid();
+  rec.counter = true;
   rec.args = std::move(args);
   Record(std::move(rec));
 }
@@ -213,7 +239,10 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
   return out;
 }
 
-void Tracer::Reset() { (void)Drain(); }
+void Tracer::Reset() {
+  (void)Drain();
+  dropped_.store(0, std::memory_order_relaxed);
+}
 
 size_t Tracer::size() const {
   size_t n = 0;
@@ -225,24 +254,41 @@ size_t Tracer::size() const {
   return n;
 }
 
-std::string Tracer::ToChromeJson(const std::vector<SpanRecord>& spans) {
+std::string Tracer::ToChromeJson(const std::vector<SpanRecord>& spans,
+                                 uint64_t dropped_events) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const SpanRecord& s : spans) {
     if (!first) os << ",";
     first = false;
+    const char* ph = s.counter ? "C" : (s.instant ? "i" : "X");
     os << "\n{\"name\":\"" << JsonEscape(s.name) << "\",\"cat\":\""
-       << JsonEscape(s.category) << "\",\"ph\":\"" << (s.instant ? "i" : "X")
+       << JsonEscape(s.category) << "\",\"ph\":\"" << ph
        << "\",\"ts\":" << s.start_us;
-    if (!s.instant) os << ",\"dur\":" << s.dur_us;
+    if (!s.instant && !s.counter) os << ",\"dur\":" << s.dur_us;
     if (s.instant) os << ",\"s\":\"t\"";  // thread-scoped instant
-    os << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{\"id\":" << s.id;
-    if (s.parent != 0) os << ",\"parent\":" << s.parent;
+    os << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{";
+    bool first_arg = true;
+    if (!s.counter) {
+      // Counter tracks render every arg as a series; id/parent would
+      // pollute the plot, so they are span/instant-only.
+      os << "\"id\":" << s.id;
+      if (s.parent != 0) os << ",\"parent\":" << s.parent;
+      first_arg = false;
+    }
     for (const SpanArg& a : s.args) {
-      os << ",\"" << JsonEscape(a.key) << "\":" << a.value;
+      if (!first_arg) os << ",";
+      first_arg = false;
+      os << "\"" << JsonEscape(a.key) << "\":" << a.value;
     }
     os << "}}";
+  }
+  if (dropped_events > 0) {
+    if (!first) os << ",";
+    os << "\n{\"name\":\"trace:dropped_events\",\"cat\":\"meta\",\"ph\":\"C\""
+       << ",\"ts\":" << NowMicros() << ",\"pid\":1,\"tid\":0"
+       << ",\"args\":{\"dropped_events\":" << dropped_events << "}}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

@@ -91,6 +91,7 @@ struct SpanRecord {
   uint64_t dur_us = 0;
   uint32_t tid = 0;  // small dense thread id (process-wide)
   bool instant = false;
+  bool counter = false;  // time-series sample; args are the series values
   std::vector<SpanArg> args;
 };
 
@@ -122,6 +123,10 @@ class Tracer {
   void Instant(std::string name, std::string category, uint64_t parent,
                std::vector<SpanArg> args = {});
 
+  /// Records a counter sample ("C" phase in the Chrome export): each arg
+  /// becomes one series on a timeline track named `name`.
+  void Counter(std::string name, std::vector<SpanArg> args);
+
   /// Moves out every recorded span (merged across threads, sorted by
   /// start time). Buffers stay registered; recording continues.
   std::vector<SpanRecord> Drain();
@@ -133,9 +138,28 @@ class Tracer {
 
   size_t size() const;
 
+  /// Per-thread span buffer capacity. Once a thread's buffer is full,
+  /// further records on that thread are dropped (counted in
+  /// dropped_events()) instead of growing trace memory without bound.
+  /// Drain()/Reset() free the space again.
+  static constexpr size_t kDefaultBufferCapacity = 1u << 18;
+  void set_buffer_capacity(size_t cap) {
+    buffer_capacity_.store(cap, std::memory_order_relaxed);
+  }
+  size_t buffer_capacity() const {
+    return buffer_capacity_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Renders spans as a Chrome trace-event JSON document ("X" complete
-  /// events; instants as "i"). Parent ids are carried in args.parent.
-  static std::string ToChromeJson(const std::vector<SpanRecord>& spans);
+  /// events; instants as "i"; counter samples as "C"). Parent ids are
+  /// carried in args.parent. A nonzero dropped_events count is exported
+  /// as a trailing "trace:dropped_events" counter so truncation is
+  /// visible on the timeline rather than silent.
+  static std::string ToChromeJson(const std::vector<SpanRecord>& spans,
+                                  uint64_t dropped_events = 0);
 
  private:
   struct Buffer {
@@ -147,6 +171,8 @@ class Tracer {
   const uint64_t uid_;  // process-unique, never reused (thread cache key)
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> next_id_{0};
+  std::atomic<size_t> buffer_capacity_{kDefaultBufferCapacity};
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;  // guards buffers_ growth
   std::vector<std::unique_ptr<Buffer>> buffers_;
 };

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/common/profile.h"
 #include "src/common/serialize.h"
 #include "src/storage/spill.h"
 
@@ -82,6 +84,30 @@ std::string DefaultSpillDir() {
   return (t != nullptr && *t != '\0') ? std::string(t) : std::string("/tmp");
 }
 
+/// SAC_SAMPLE_INTERVAL_US: non-negative integer microseconds overriding
+/// ClusterConfig::sample_interval_us (0 = sampler off). Unset or
+/// unparseable keeps the config value.
+int SampleIntervalFromEnv(int fallback) {
+  const char* v = std::getenv("SAC_SAMPLE_INTERVAL_US");
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0) return fallback;
+  return static_cast<int>(parsed);
+}
+
+/// SAC_TRACE=<path>: auto-write the Chrome trace at engine teardown.
+/// Each engine after the first in one process gets "<path>.<k>" so
+/// multi-engine runs (benches, tests) keep every trace.
+std::string TracePathFromEnv() {
+  const char* v = std::getenv("SAC_TRACE");
+  if (v == nullptr || *v == '\0') return "";
+  static std::atomic<uint64_t> seq{0};
+  const uint64_t k = seq.fetch_add(1, std::memory_order_relaxed);
+  return k == 0 ? std::string(v)
+                : std::string(v) + "." + std::to_string(k);
+}
+
 }  // namespace
 
 DatasetImpl::~DatasetImpl() {
@@ -109,6 +135,9 @@ Engine::Engine(ClusterConfig config)
   SetLogLevelFromEnv();
   shuffle_fast_path_ = FastPathFromEnv();
   fault_plan_ = recovery::FaultPlan::FromEnv();
+  config_.sample_interval_us =
+      SampleIntervalFromEnv(config_.sample_interval_us);
+  auto_trace_path_ = TracePathFromEnv();
 
   // Effective budget: SAC_MEM_BUDGET wins over the config field; the
   // config reflects the effective value so callers (and SAC-W06) see it.
@@ -141,13 +170,68 @@ Engine::Engine(ClusterConfig config)
         byte_pool_.Trim();
         row_pool_.Trim();
       });
+  StartSampler();
 }
 
 Engine::~Engine() {
+  // Sampler first: nothing may touch the store/pools/tracer mid-teardown.
+  StopSampler();
+  if (!auto_trace_path_.empty()) {
+    Status st = WriteChromeTrace(auto_trace_path_);
+    if (!st.ok()) {
+      SAC_LOG(Warn) << "SAC_TRACE: " << st.ToString();
+    } else {
+      SAC_LOG(Info) << "SAC_TRACE: wrote " << auto_trace_path_;
+    }
+  }
   store_->Shutdown();
   // Checkpoints written without an explicit dir land in spill_dir_ too,
   // so this reclaims every file the engine ever spilled.
   storage::RemoveSpillDir(spill_dir_);
+}
+
+void Engine::StartSampler() {
+  if (config_.sample_interval_us <= 0) return;
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void Engine::StopSampler() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void Engine::SamplerLoop() {
+  const auto interval =
+      std::chrono::microseconds(config_.sample_interval_us);
+  std::unique_lock<std::mutex> lock(sampler_mu_);
+  while (!sampler_stop_) {
+    if (sampler_cv_.wait_for(lock, interval,
+                             [this] { return sampler_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void Engine::SampleOnce() {
+  tracer_.Counter(
+      "engine",
+      {{"resident_bytes", static_cast<int64_t>(store_->resident_bytes())},
+       {"spilled_bytes", static_cast<int64_t>(store_->spilled_bytes())},
+       {"pool_bytes",
+        static_cast<int64_t>(byte_pool_.free_bytes() +
+                             row_pool_.free_bytes())},
+       {"in_flight_tasks", static_cast<int64_t>(pool_.in_flight())},
+       {"evictions", static_cast<int64_t>(metrics_.evictions())},
+       {"shuffle_bytes",
+        static_cast<int64_t>(metrics_.shuffle_bytes() +
+                             metrics_.local_shuffle_bytes())}});
 }
 
 void Engine::MeterBlockEvent(const memory::BlockEvent& ev) {
@@ -242,6 +326,33 @@ Status Engine::WriteChromeTrace(const std::string& path) const {
   out.close();
   if (!out) {
     return Status::RuntimeError("failed writing trace to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::string Engine::ProfileJson(double wall_ms_hint,
+                                const std::string& query) const {
+  profile::ProfileInputs in;
+  in.spans = tracer_.Snapshot();
+  in.stage_stats = stages_.Snapshot();
+  in.totals = metrics_.Snapshot();
+  in.wall_ms_hint = wall_ms_hint;
+  in.dropped_trace_events = tracer_.dropped_events();
+  in.query = query;
+  return profile::BuildProfile(std::move(in)).ToJson();
+}
+
+Status Engine::WriteProfile(const std::string& path, double wall_ms_hint,
+                            const std::string& query) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::RuntimeError("cannot open profile output file '" + path +
+                                "'");
+  }
+  out << ProfileJson(wall_ms_hint, query);
+  out.close();
+  if (!out) {
+    return Status::RuntimeError("failed writing profile to '" + path + "'");
   }
   return Status::OK();
 }
@@ -379,6 +490,7 @@ Dataset Engine::Parallelize(ValueVec rows, int num_partitions) {
   Dataset ds = NewDataset(DatasetImpl::OpKind::kSource, "parallelize", {},
                           num_partitions);
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  span.AddArg("stage", static_cast<int64_t>(ds->stage_.id));
   Stopwatch sw;
   for (size_t i = 0; i < rows.size(); ++i) {
     ds->parts_[i % num_partitions].push_back(std::move(rows[i]));
@@ -415,6 +527,7 @@ Result<Dataset> Engine::GeneratePartitions(
     return eng->PublishPartition(self, out_part, std::move(tmp));
   };
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  span.AddArg("stage", static_cast<int64_t>(ds->stage_.id));
   Stopwatch sw;
   const TaskContext ctx = ContextFor(ds.get(), span.id());
   SAC_RETURN_NOT_OK(ParallelParts(
@@ -477,6 +590,7 @@ Result<Dataset> Engine::MapPartitions(const Dataset& in, PartitionFn fn,
   ds->narrow_fn_ = fn;
   StageStats* stats = StatsFor(ds.get());
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  span.AddArg("stage", static_cast<int64_t>(ds->stage_.id));
   Stopwatch sw;
   const TaskContext ctx = ContextFor(ds.get(), span.id());
   SAC_RETURN_NOT_OK(ParallelParts(
@@ -507,6 +621,7 @@ Result<Dataset> Engine::Union(const Dataset& a, const Dataset& b) {
   const int n = a->num_partitions() + b->num_partitions();
   Dataset ds = NewDataset(DatasetImpl::OpKind::kUnion, "union", {a, b}, n);
   trace::ScopedSpan span(&tracer_, ds->label_, "stage");
+  span.AddArg("stage", static_cast<int64_t>(ds->stage_.id));
   const int na = a->num_partitions();
   for (int i = 0; i < n; ++i) {
     DatasetImpl* parent = i < na ? a.get() : b.get();
@@ -630,6 +745,7 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
   trace::ScopedSpan stage_span(
       &tracer_, only_dest < 0 ? ds->label_ : ds->label_ + ":recover",
       "stage");
+  stage_span.AddArg("stage", static_cast<int64_t>(ds->stage_.id));
   Stopwatch stage_sw;
 
   InFlightScope running(this);
@@ -926,6 +1042,7 @@ Status Engine::Checkpoint(const Dataset& ds, const std::string& dir) {
 
   StageStats* stats = StatsFor(ds.get());
   trace::ScopedSpan span(&tracer_, ds->label_ + ":checkpoint", "stage");
+  span.AddArg("stage", static_cast<int64_t>(ds->stage_.id));
   Stopwatch sw;
   const TaskContext ctx = ContextFor(ds.get(), span.id(), "checkpoint");
   std::atomic<uint64_t> total_bytes{0};

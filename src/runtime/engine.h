@@ -39,9 +39,12 @@
 #define SAC_RUNTIME_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/metrics.h"
@@ -89,6 +92,15 @@ struct ClusterConfig {
   // directory (eviction + default-located checkpoint files, removed on
   // engine destruction); "" = checkpoint_dir, then the system temp dir.
   std::string spill_dir = "";
+
+  // ---- Profiling (docs/PROFILING.md) ----------------------------------
+  // Time-series sampler period in microseconds; 0 (default) = off. When
+  // set, a background thread records resident/spilled/pool bytes,
+  // in-flight tasks and cumulative evictions/shuffle bytes as trace
+  // counter events every interval, so memory behavior lands on the same
+  // Perfetto timeline as the spans. The SAC_SAMPLE_INTERVAL_US env var
+  // overrides this at engine construction.
+  int sample_interval_us = 0;
 
   int TotalCores() const { return num_executors * cores_per_executor; }
 };
@@ -224,8 +236,19 @@ class Engine {
   /// corrupting per-stage stats).
   void ResetStats();
 
-  /// Human-readable per-stage metrics table (one row per operator run).
-  std::string ReportString() const { return stages_.ReportString(); }
+  /// Human-readable per-stage metrics table (one row per operator run),
+  /// plus a trailing truncation notice when the trace span buffers
+  /// overflowed (so a silently clipped trace never masquerades as a
+  /// complete one).
+  std::string ReportString() const {
+    std::string s = stages_.ReportString();
+    if (const uint64_t d = tracer_.dropped_events(); d > 0) {
+      s += "trace: dropped_events=" + std::to_string(d) +
+           " (per-thread span buffer cap reached; raise "
+           "Tracer::set_buffer_capacity)\n";
+    }
+    return s;
+  }
 
   /// Prints the lineage DAG of `ds` with the observed per-node metrics
   /// (shuffle bytes, records, tasks, recomputes) inline.
@@ -234,10 +257,22 @@ class Engine {
   /// Chrome trace-event JSON of everything traced so far (load in
   /// chrome://tracing or Perfetto). Does not clear the buffer.
   std::string ChromeTraceJson() const {
-    return trace::Tracer::ToChromeJson(tracer_.Snapshot());
+    return trace::Tracer::ToChromeJson(tracer_.Snapshot(),
+                                       tracer_.dropped_events());
   }
   /// Writes ChromeTraceJson() to `path`.
   Status WriteChromeTrace(const std::string& path) const;
+
+  /// Versioned machine-readable profile (docs/PROFILING.md) of
+  /// everything traced so far: stage tree, critical path, per-stage
+  /// counters, sampler time-series. `wall_ms_hint` is the externally
+  /// measured wall-clock the coverage is reported against (0 = trace
+  /// extent); `query` tags the document. Does not clear the buffer.
+  std::string ProfileJson(double wall_ms_hint = 0,
+                          const std::string& query = "") const;
+  /// Writes ProfileJson() to `path`.
+  Status WriteProfile(const std::string& path, double wall_ms_hint = 0,
+                      const std::string& query = "") const;
 
   // ---- Sources ------------------------------------------------------
   /// Distributes `rows` round-robin over `num_partitions` partitions
@@ -496,6 +531,18 @@ class Engine {
     return partition % config_.num_executors;
   }
 
+  // ---- Time-series sampler (ClusterConfig::sample_interval_us) --------
+  /// Starts the sampler thread when the configured interval is > 0.
+  void StartSampler();
+  /// Stops and joins the sampler thread (idempotent; called first in
+  /// ~Engine so no sample races member teardown).
+  void StopSampler();
+  void SamplerLoop();
+  /// Records one "engine" counter event (resident/spilled/pool bytes,
+  /// in-flight tasks, cumulative evictions + shuffle bytes). All reads
+  /// are lock-free gauges or short-critical-section accessors.
+  void SampleOnce();
+
   ClusterConfig config_;
   ThreadPool pool_;
   Metrics metrics_;
@@ -510,6 +557,15 @@ class Engine {
   // any destruction order; ~Engine shuts it down.
   std::shared_ptr<memory::BlockStore> store_;
   std::string spill_dir_;  // this engine's private spill directory
+
+  // SAC_TRACE destination (Chrome trace auto-written at teardown);
+  // subsequent engines in one process get a numbered suffix so they
+  // don't clobber each other. Empty = disabled.
+  std::string auto_trace_path_;
+  std::thread sampler_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;  // guarded by sampler_mu_
 };
 
 }  // namespace sac::runtime

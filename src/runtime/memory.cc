@@ -62,6 +62,7 @@ Status BlockStore::Publish(const void* owner, int part, ValueVec* slot,
     // The block was recomputed; whatever the old spill holds is stale.
     storage::RemoveSpill(e.spill_path);
     e.spill_valid = false;
+    spilled_bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
   }
   e.slot = slot;
   e.bytes = bytes;
@@ -99,6 +100,7 @@ Result<PinOutcome> BlockStore::Pin(const void* owner, int part) {
     BlockEvent ev{BlockEvent::Kind::kReloadRecompute, e.stage, e.label, part,
                   e.bytes};
     storage::RemoveSpill(e.spill_path);
+    spilled_bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
     blocks_.erase(it);
     Emit(ev);
     return PinOutcome::kNeedsRecompute;
@@ -185,6 +187,9 @@ void BlockStore::DropLocked(const Key& k, Entry* e) {
   (void)k;
   if (e->resident) mgr_.Release(e->bytes);
   if (!e->spill_path.empty()) storage::RemoveSpill(e->spill_path);
+  if (e->spill_valid) {
+    spilled_bytes_.fetch_sub(e->bytes, std::memory_order_relaxed);
+  }
   e->resident = false;
   e->spill_valid = false;
 }
@@ -254,6 +259,7 @@ Status BlockStore::EvictLocked(const Key& k, Entry* e) {
                                        " partition " +
                                        std::to_string(k.second)));
     e->spill_valid = true;
+    spilled_bytes_.fetch_add(e->bytes, std::memory_order_relaxed);
   }
   ValueVec().swap(*e->slot);  // actually frees the heap, not just size=0
   e->resident = false;

@@ -190,6 +190,11 @@ class BlockStore {
   // ---- introspection (tests / reports) --------------------------------
   uint64_t resident_bytes() const { return mgr_.resident_bytes(); }
   uint64_t peak_resident_bytes() const { return mgr_.peak_resident_bytes(); }
+  /// Bytes currently sitting in valid eviction spill files -- the
+  /// out-of-core complement of resident_bytes. Lock-free (sampler-safe).
+  uint64_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
   bool IsRegistered(const void* owner, int part) const;
   bool IsEvicted(const void* owner, int part) const;
   size_t registered_blocks() const;
@@ -246,6 +251,8 @@ class BlockStore {
   std::function<void()> reclaim_;
   uint64_t evictions_ = 0;
   uint64_t reloads_ = 0;
+  // Gauge, not guarded by mu_: read by the engine sampler thread.
+  std::atomic<uint64_t> spilled_bytes_{0};
 };
 
 }  // namespace sac::runtime::memory

@@ -48,6 +48,52 @@ TEST(HistogramTest, ZeroGoesToBucketZero) {
   EXPECT_EQ(s.Percentile(0.99), 0u);
 }
 
+TEST(HistogramTest, PercentileEdgeCases) {
+  // Empty histogram: every percentile is 0.
+  Histogram empty;
+  EXPECT_EQ(empty.Snapshot().Percentile(0.0), 0u);
+  EXPECT_EQ(empty.Snapshot().Percentile(0.5), 0u);
+  EXPECT_EQ(empty.Snapshot().Percentile(1.0), 0u);
+
+  // Single value: the bucket bound clamps to the observed max, so every
+  // percentile reports the value exactly (p outside [0,1] clamps too).
+  Histogram one;
+  one.Record(37);
+  const HistogramSnapshot s = one.Snapshot();
+  EXPECT_EQ(s.Percentile(0.0), 37u);
+  EXPECT_EQ(s.Percentile(0.5), 37u);
+  EXPECT_EQ(s.Percentile(1.0), 37u);
+  EXPECT_EQ(s.Percentile(-1.0), 37u);
+  EXPECT_EQ(s.Percentile(2.0), 37u);
+
+  // v == 0 lands in bucket 0 and reports 0 at every percentile.
+  Histogram zero;
+  zero.Record(0);
+  EXPECT_EQ(zero.Snapshot().Percentile(0.0), 0u);
+  EXPECT_EQ(zero.Snapshot().Percentile(1.0), 0u);
+}
+
+TEST(HistogramTest, MaxBucketSaturation) {
+  // Values >= 2^63 saturate into the top bucket instead of indexing past
+  // the array, and percentiles clamp to the observed max instead of
+  // computing the top bucket's (overflowing) nominal bound.
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(uint64_t{1} << 63);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.buckets[63], 2u);
+  EXPECT_EQ(s.min, uint64_t{1} << 63);
+  EXPECT_EQ(s.max, UINT64_MAX);
+  EXPECT_EQ(s.Percentile(0.0), UINT64_MAX);  // both live in bucket 63
+  EXPECT_EQ(s.Percentile(1.0), UINT64_MAX);
+
+  // A large-but-not-saturating value still gets a finite bucket bound.
+  Histogram big;
+  big.Record((uint64_t{1} << 62) + 1);
+  EXPECT_EQ(big.Snapshot().Percentile(1.0), (uint64_t{1} << 62) + 1);
+}
+
 TEST(HistogramTest, ConcurrentRecordsAllLand) {
   Histogram h;
   std::vector<std::thread> threads;
@@ -184,7 +230,9 @@ TEST(TracerTest, ChromeJsonParsesAndRoundTripsSpans) {
     ASSERT_TRUE(e.Has("args"));
     const std::string ph = e.At("ph").str;
     ASSERT_TRUE(ph == "X" || ph == "i");
-    if (ph == "X") ASSERT_TRUE(e.Has("dur"));
+    if (ph == "X") {
+      ASSERT_TRUE(e.Has("dur"));
+    }
     if (ph == "i") saw_instant = true;
     if (e.At("name").str == "stage \"quoted\\name\"\n") saw_escaped = true;
     if (e.At("args").Has("shuffle_bytes")) {
@@ -195,6 +243,90 @@ TEST(TracerTest, ChromeJsonParsesAndRoundTripsSpans) {
   EXPECT_TRUE(saw_escaped);
   EXPECT_TRUE(saw_instant);
   EXPECT_TRUE(saw_arg);
+}
+
+TEST(TracerTest, BoundedBuffersDropAndCount) {
+  Tracer tracer;
+  tracer.set_buffer_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span(&tracer, "s" + std::to_string(i), "stage");
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+
+  // The drop count is exported as a trailing Chrome counter event so
+  // truncation is visible on the timeline.
+  const std::string json =
+      Tracer::ToChromeJson(tracer.Snapshot(), tracer.dropped_events());
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::ParseJson(json, &doc)) << json;
+  const auto& events = doc.At("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+  const auto& last = events.back();
+  EXPECT_EQ(last.At("name").str, "trace:dropped_events");
+  EXPECT_EQ(last.At("ph").str, "C");
+  EXPECT_EQ(last.At("args").At("dropped_events").Int(), 6);
+
+  // Draining frees buffer space; Reset also clears the drop counter.
+  (void)tracer.Drain();
+  { ScopedSpan span(&tracer, "fits-again", "stage"); }
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+  tracer.Reset();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(TracerTest, CounterEventsExportAsChromeCounterPhase) {
+  Tracer tracer;
+  tracer.Counter("engine", {{"resident_bytes", 123}, {"in_flight_tasks", 4}});
+  std::vector<SpanRecord> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].counter);
+  EXPECT_EQ(spans[0].category, "counter");
+  ASSERT_EQ(spans[0].args.size(), 2u);
+
+  const std::string json = Tracer::ToChromeJson(spans);
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::ParseJson(json, &doc)) << json;
+  const auto& events = doc.At("traceEvents").array;
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].At("ph").str, "C");
+  EXPECT_EQ(events[0].At("name").str, "engine");
+  EXPECT_FALSE(events[0].Has("dur"));
+  // Counter args are the series values only -- no id/parent bookkeeping.
+  EXPECT_EQ(events[0].At("args").At("resident_bytes").Int(), 123);
+  EXPECT_EQ(events[0].At("args").At("in_flight_tasks").Int(), 4);
+  EXPECT_FALSE(events[0].At("args").Has("id"));
+  EXPECT_FALSE(events[0].At("args").Has("parent"));
+}
+
+TEST(StageRegistryTest, ReportStringGoldenLayout) {
+  // Pins the report's column layout: operators grep these headers, and
+  // Engine::ReportString is documented in docs/OPERATIONS.md. Update the
+  // golden string AND the docs together, deliberately.
+  Metrics totals;
+  StageRegistry registry(&totals);
+  const std::string report = registry.ReportString();
+  const std::string expected_header =
+      "stage label                    kind       tasks   records_in "
+      "  shuffle_KB   cross_KB   local_KB  recomp retries faults "
+      "backoff_ms  ckpt_KB evict_KB reload_KB   wall_ms  task_p95_us\n";
+  ASSERT_EQ(report.substr(0, expected_header.size()), expected_header);
+
+  // One populated row keeps the value formatting pinned too.
+  StageRef ref = registry.NewStage("golden", "shuffle");
+  StageStats* stats = registry.Get(ref);
+  ASSERT_NE(stats, nullptr);
+  stats->AddTask();
+  stats->AddShuffle(2048, 4, /*cross_executor=*/true);
+  const std::string row = registry.ReportString().substr(
+      expected_header.size());
+  EXPECT_EQ(row,
+            "0     golden                   shuffle        1            0 "
+            "         2.0        2.0        0.0       0       0      0 "
+            "       0.0      0.0      0.0       0.0      0.00            "
+            "0\n");
 }
 
 TEST(MetricsSnapshotTest, PlainCopyMatchesAtomics) {
