@@ -1,0 +1,101 @@
+// Ablation -- cost-driven multiply strategy selection (docs/COST_MODEL.md).
+//
+// Three series over the Figure 4.B matmul sizes:
+//   forced-5.3  -- tile join + reduceByKey (group-by-join rule disabled)
+//   forced-5.4  -- group-by-join / SUMMA pinned on
+//   auto        -- PlannerOptions.auto_strategy (the default): the cost
+//                  model compares both synthesized plans per query and
+//                  keeps the cheaper one
+//
+// Unlike the figure benches this binary is a GATE, not just a report: at
+// every size the strategy auto picked (identified by its shuffle volume,
+// which fingerprints the plan exactly) must be one whose FORCED run lands
+// within 5% (plus a small absolute jitter floor) of the better forced
+// plan, otherwise the advisor picked the wrong strategy and the run exits
+// non-zero. Judging the choice through the forced runs keeps run-to-run
+// timer noise between identical plans out of the gate. scripts/bench.sh
+// runs it alongside the figures; scripts/check.sh smoke-runs it at tiny
+// scale.
+#include "bench/bench_common.h"
+
+#include "src/api/algorithms.h"
+
+int main(int argc, char** argv) {
+  using namespace sac;           // NOLINT
+  using namespace sac::bench;    // NOLINT
+
+  std::vector<int64_t> sizes;
+  int64_t block = 64;
+  const std::string scale = Scale();
+  if (scale == "tiny") {
+    sizes = {128, 192};
+  } else if (scale == "full") {
+    sizes = {128, 256, 384, 512, 640};
+  } else {
+    sizes = {128, 256, 384, 512};
+  }
+
+  PrintHeader(
+      "Ablation: multiply strategy -- forced 5.3 vs forced 5.4 vs "
+      "cost-model auto");
+  BenchReporter reporter("abl_strategy", argc, argv);
+
+  planner::PlannerOptions forced53;
+  forced53.enable_group_by_join = false;
+  forced53.auto_strategy = false;
+  planner::PlannerOptions forced54;
+  forced54.auto_strategy = false;
+  planner::PlannerOptions autosel;  // defaults: auto_strategy = true
+
+  // The chosen strategy's forced time may trail the best forced time by
+  // up to 5% before the choice counts as wrong; the absolute floor
+  // absorbs timer jitter at tiny sizes.
+  const double kRelSlack = 1.05;
+  const double kAbsSlackMs = 2.0;
+
+  auto moved_bytes = [](const Row& r) {
+    return static_cast<double>(r.totals.shuffle_bytes +
+                               r.totals.local_shuffle_bytes);
+  };
+
+  int violations = 0;
+  for (int64_t n : sizes) {
+    auto run = [&](const char* series,
+                   const planner::PlannerOptions& opts) -> Row {
+      Sac ctx(BenchCluster(), opts);
+      auto a = ctx.RandomMatrix(n, n, block, 201, 0.0, 10.0).value();
+      auto b = ctx.RandomMatrix(n, n, block, 202, 0.0, 10.0).value();
+      const Row row = TimeQuery(&ctx, "abl_strategy", series, n, n * n, [&] {
+        SAC_BENCH_CHECK(algo::Multiply(&ctx, a, b));
+      });
+      reporter.Report(row);
+      reporter.CaptureProfile(&ctx, row);
+      reporter.CaptureTrace(&ctx);
+      return row;
+    };
+    const Row r53 = run("forced-5.3", forced53);
+    const Row r54 = run("forced-5.4", forced54);
+    const Row rauto = run("auto", autosel);
+
+    // The shuffle volume fingerprints the plan: auto ran whichever forced
+    // plan it matches byte-for-byte.
+    const bool picked_53 = std::abs(moved_bytes(rauto) - moved_bytes(r53)) <=
+                           std::abs(moved_bytes(rauto) - moved_bytes(r54));
+    const double picked_ms = picked_53 ? r53.time_ms : r54.time_ms;
+    const double best = std::min(r53.time_ms, r54.time_ms);
+    if (picked_ms > best * kRelSlack + kAbsSlackMs) {
+      std::fprintf(stderr,
+                   "GATE FAIL: n=%lld auto picked %s (forced %.1f ms) but "
+                   "the best forced plan took %.1f ms (bound %.1f ms) -- "
+                   "cost model picked the wrong strategy\n",
+                   static_cast<long long>(n), picked_53 ? "5.3" : "5.4",
+                   picked_ms, best, best * kRelSlack + kAbsSlackMs);
+      ++violations;
+    }
+  }
+  if (violations == 0) {
+    std::printf("gate: auto's choice within 5%% of the best forced "
+                "strategy at every size\n");
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,11 @@ struct Row {
   // of the last timed repetition.
   MetricsSnapshot totals;
   std::vector<StageStatsSnapshot> stages;
+  // Cost-model predictions for the same repetition: total shuffle bytes
+  // per engine stage label, recorded at compile time (Sac::
+  // predicted_shuffle_bytes). `sac_prof predcheck` holds these within 2x
+  // of the measured per-label counters (docs/COST_MODEL.md).
+  std::map<std::string, double> predicted;
 };
 
 inline void PrintHeader(const char* title) {
@@ -102,6 +108,10 @@ Row TimeQuery(sac::Sac* ctx, const std::string& figure,
   row.time_ms = total_ms / reps;
   row.totals = ctx->metrics().Snapshot();
   row.stages = ctx->stages().Snapshot();
+  // ResetStats cleared earlier reps' predictions, so this is exactly the
+  // last repetition's compile-time estimate — same window as the stage
+  // snapshot above.
+  row.predicted = ctx->predicted_shuffle_bytes();
   row.shuffle_mb =
       static_cast<double>(row.totals.shuffle_bytes) / (1024.0 * 1024.0);
   return row;
@@ -235,7 +245,15 @@ class BenchReporter {
              ",\"p95\":" + std::to_string(st.task_us.Percentile(0.95)) +
              ",\"max\":" + std::to_string(st.task_us.max) + "}}";
       }
-      j += "]}";
+      j += "],\"predicted\":{";
+      bool first_pred = true;
+      for (const auto& [label, bytes] : r.predicted) {
+        if (!first_pred) j += ',';
+        first_pred = false;
+        std::snprintf(buf, sizeof(buf), "%.0f", bytes);
+        j += "\"" + trace::JsonEscape(label) + "\":" + buf;
+      }
+      j += "}}";
     }
     j += "\n]}\n";
     std::ofstream out(out_path_, std::ios::binary | std::ios::trunc);

@@ -35,9 +35,15 @@ int main(int argc, char** argv) {
       "SAC GBJ (5.4)");
   BenchReporter reporter("fig4b", argc, argv);
 
+  // Both SAC series pin their strategy: the whole point of the figure is
+  // comparing forced 5.3 against forced 5.4, so the cost model must not
+  // silently switch either plan (and the committed baselines stay
+  // comparable across runs).
   planner::PlannerOptions with_gbj;
+  with_gbj.auto_strategy = false;
   planner::PlannerOptions no_gbj;
   no_gbj.enable_group_by_join = false;
+  no_gbj.auto_strategy = false;
 
   for (int64_t n : sizes) {
     // MLlib baseline.

@@ -3,7 +3,7 @@
 # sampler ablations, writing machine-readable reports at the repo root:
 #   BENCH_fig4a.json  BENCH_fig4b.json  BENCH_fig4c.json
 #   BENCH_abl_shuffle_path.json  BENCH_abl_memory.json
-#   BENCH_abl_sampler.json
+#   BENCH_abl_sampler.json  BENCH_abl_strategy.json
 # Each fig4 bench also emits a profiler artifact
 # (BENCH_<name>.profile.json, summarize with tools/sac_prof; see
 # docs/PROFILING.md). Reports are committed alongside code changes so
@@ -23,7 +23,8 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target \
   bench_fig4a_addition bench_fig4b_multiply bench_fig4c_factorization \
-  bench_abl_shuffle_path bench_abl_memory bench_abl_sampler sac_prof
+  bench_abl_shuffle_path bench_abl_memory bench_abl_sampler \
+  bench_abl_strategy sac_prof
 
 export SAC_BENCH_SCALE="$scale" SAC_BENCH_REPS="$reps"
 
@@ -48,7 +49,15 @@ echo "==> ablation: unlimited vs 25% memory budget (out-of-core)"
 echo "==> ablation: time-series sampler overhead"
 ./build/bench/bench_abl_sampler --out BENCH_abl_sampler.json
 
+echo "==> ablation: cost-driven multiply strategy (self-gating)"
+./build/bench/bench_abl_strategy --out BENCH_abl_strategy.json
+
+echo "==> cost-model gate: predicted vs measured shuffle bytes (2x)"
+./build/tools/sac_prof predcheck BENCH_fig4a.json
+./build/tools/sac_prof predcheck BENCH_fig4b.json
+./build/tools/sac_prof predcheck BENCH_fig4c.json
+
 echo "==> regression gate: reports vs baselines"
 scripts/bench_diff.sh
 
-echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json BENCH_abl_sampler.json (+ fig4 *.profile.json)"
+echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json BENCH_abl_sampler.json BENCH_abl_strategy.json (+ fig4 *.profile.json)"

@@ -2,7 +2,9 @@
 # CI-style check:
 #   1. tier-1: build (warnings-as-errors) + full ctest
 #   2. sac_lint gate: the analyzer accepts every examples/lint/*_ok.sac
-#      and rejects every *_err.sac with located diagnostics
+#      and rejects every *_err.sac with located diagnostics; the SARIF
+#      renderer over all examples must emit parseable JSON
+#      (--format=sarif), and --json analysis reports must round-trip
 #   3. clang-tidy via scripts/lint.sh (skips when not installed)
 #   4. perf-smoke: bench_abl_shuffle_path --smoke at tiny scale (shuffle
 #      fast path must not be slower than the serialize path by >10%, and
@@ -19,6 +21,11 @@
 #      regressions
 #   8. sampler: bench_abl_sampler --smoke (time-series sampler at the
 #      1 ms interval must cost <= 3% vs sampler-off and actually sample)
+#   8b. strategy: bench_abl_strategy at tiny scale (the multiply plan
+#      the cost model picks must be within 5% of the best forced plan),
+#      then sac_prof predcheck holds the compile-time shuffle-byte
+#      predictions within 2x of the measured counters on fig4a/b/c
+#      (docs/COST_MODEL.md)
 #   9. bench regression gate: scripts/bench_diff.sh (committed
 #      BENCH_*.json vs BENCH_*.baseline.json via sac_prof diff)
 #  10. docs: scripts/check_docs_links.sh (no *.md relative link may point
@@ -57,6 +64,32 @@ if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
     fi
   done
 
+  echo "==> sac_lint: SARIF + analysis.json renderers"
+  # The example set includes *_err.sac files, so the lint exit code is 1
+  # by design; the gate is that both renderers emit parseable JSON.
+  ./build/tools/sac_lint --format=sarif examples/lint/*.sac \
+    > build/lint.sarif || true
+  ./build/tools/sac_lint --json=build/lint.analysis.json \
+    examples/lint/*.sac >/dev/null || true
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool build/lint.sarif >/dev/null \
+      || { echo "sac_lint --format=sarif emitted invalid JSON"; exit 1; }
+    python3 -m json.tool build/lint.analysis.json >/dev/null \
+      || { echo "sac_lint --json emitted invalid JSON"; exit 1; }
+    python3 - <<'EOF'
+import json
+sarif = json.load(open("build/lint.sarif"))
+assert sarif["version"] == "2.1.0", "sarif version"
+assert sarif["runs"][0]["results"], "sarif has no results"
+analysis = json.load(open("build/lint.analysis.json"))
+assert analysis["analysis_version"] == 1, "analysis_version"
+assert len(analysis["files"]) >= 5, "expected >=5 analyzed files"
+EOF
+  else
+    [[ -s build/lint.sarif && -s build/lint.analysis.json ]] \
+      || { echo "sac_lint SARIF/json output missing"; exit 1; }
+  fi
+
   scripts/lint.sh
 
   echo "==> perf-smoke: shuffle fast path vs serialize path"
@@ -91,6 +124,23 @@ if [[ "$mode" == "all" || "$mode" == "--tier1-only" ]]; then
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=2 \
     ./build/bench/bench_abl_sampler --smoke \
     --out build/BENCH_abl_sampler.smoke.json
+
+  echo "==> strategy: auto vs forced multiply plans (cost-model gate)"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=3 \
+    ./build/bench/bench_abl_strategy \
+    --out build/BENCH_abl_strategy.smoke.json
+
+  echo "==> cost model: predicted vs measured shuffle bytes (2x gate)"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 \
+    ./build/bench/bench_fig4a_addition \
+    --out build/BENCH_fig4a.pred-smoke.json
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 \
+    ./build/bench/bench_fig4b_multiply \
+    --out build/BENCH_fig4b.pred-smoke.json
+  ./build/tools/sac_prof predcheck build/BENCH_fig4a.pred-smoke.json
+  ./build/tools/sac_prof predcheck build/BENCH_fig4b.pred-smoke.json
+  # fig4c was already run at tiny scale by the profiler stage above.
+  ./build/tools/sac_prof predcheck build/BENCH_fig4c.prof-smoke.json
 
   echo "==> bench regression gate: committed reports vs baselines"
   scripts/bench_diff.sh

@@ -1,8 +1,10 @@
 #include "src/analysis/analysis.h"
 
 #include <cctype>
+#include <sstream>
 #include <utility>
 
+#include "src/common/trace.h"
 #include "src/comp/parser.h"
 #include "src/comp/rewrite.h"
 #include "src/runtime/memory.h"
@@ -56,7 +58,68 @@ std::string AnalysisReport::Render(const std::string& file) const {
       start = end + 1;
     }
   }
+  if (has_cost && !cost_table.empty()) out += cost_table;
   return out;
+}
+
+std::string RenderAnalysisJson(const AnalysisReport& report,
+                               const std::string& file) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"analysis_version\":1";
+  os << ",\"file\":\"" << trace::JsonEscape(file) << "\"";
+  os << ",\"strategy\":\"" << trace::JsonEscape(report.strategy) << "\"";
+  os << ",\"explanation\":\"" << trace::JsonEscape(report.explanation)
+     << "\"";
+  os << ",\"diagnostics\":[";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) os << ",";
+    os << "{\"code\":\"" << trace::JsonEscape(d.code) << "\"";
+    os << ",\"severity\":\"" << SeverityName(d.severity) << "\"";
+    os << ",\"line\":" << d.span.begin.line;
+    os << ",\"col\":" << d.span.begin.col;
+    os << ",\"message\":\"" << trace::JsonEscape(d.message) << "\"";
+    if (d.estimated_bytes > 0) {
+      os << ",\"estimated_bytes\":" << d.estimated_bytes;
+    }
+    os << "}";
+  }
+  os << "]";
+  if (report.has_cost) {
+    os << ",\"cost\":{\"exact\":" << (report.cost_exact ? "true" : "false");
+    os << ",\"est_ms\":" << report.est_ms;
+    os << ",\"resident_bytes\":" << report.resident_bytes;
+    os << ",\"shuffle_bytes\":" << report.shuffle_bytes;
+    os << ",\"cross_executor_bytes\":" << report.cross_bytes;
+    os << ",\"tasks\":" << report.tasks;
+    os << ",\"flops\":" << report.flops;
+    os << ",\"nodes\":[";
+    for (size_t i = 0; i < report.cost_rows.size(); ++i) {
+      const AnalysisReport::CostRow& r = report.cost_rows[i];
+      if (i > 0) os << ",";
+      os << "{\"node\":\"" << trace::JsonEscape(r.node) << "\"";
+      os << ",\"known\":" << (r.known ? "true" : "false");
+      os << ",\"records\":" << r.records;
+      os << ",\"output_bytes\":" << r.output_bytes;
+      os << ",\"local_shuffle_bytes\":" << r.local_bytes;
+      os << ",\"cross_executor_bytes\":" << r.cross_bytes;
+      os << ",\"tasks\":" << r.tasks;
+      os << ",\"flops\":" << r.flops;
+      os << ",\"num_partitions\":" << r.num_partitions << "}";
+    }
+    os << "]";
+    os << ",\"predicted_shuffle_by_label\":{";
+    bool first = true;
+    for (const auto& [label, bytes] : report.predicted_shuffle_by_label) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << trace::JsonEscape(label) << "\":" << bytes;
+    }
+    os << "}}";
+  }
+  os << "}\n";
+  return os.str();
 }
 
 Result<AnalysisReport> AnalyzeQuery(const std::string& src,
@@ -117,13 +180,49 @@ Result<AnalysisReport> AnalyzeQuery(const std::string& src,
   // so `SAC_MEM_BUDGET=... sac_lint ...` previews the out-of-core
   // warnings any binary would run under.
   const PlanGraph graph = PlanGraph::FromQuery(
-      q, &binds, runtime::memory::BudgetFromEnv(memory_budget_bytes));
+      q, &binds, runtime::memory::BudgetFromEnv(memory_budget_bytes),
+      opts.cluster);
   Status verified = VerifyPlan(graph);
   if (!verified.ok()) {
     report.diagnostics.push_back(
         Error("SAC-E007", verified.message(), SpanOf(query)));
   }
   LintPlan(graph, &report.diagnostics);
+
+  // Cost model over the symbolic plan (plain data only; the report must
+  // not keep pointers into the plan it outlives).
+  if (!graph.nodes.empty()) {
+    const CostEstimate est = EstimateCost(graph);
+    report.has_cost = true;
+    report.cost_exact = est.exact;
+    report.est_ms = est.est_ms;
+    report.resident_bytes = est.resident_bytes;
+    report.shuffle_bytes = est.totals.shuffle_bytes;
+    report.cross_bytes = est.totals.cross_bytes;
+    report.tasks = est.totals.tasks;
+    report.flops = est.totals.flops;
+    report.predicted_shuffle_by_label = est.shuffle_by_engine_label;
+    report.cost_table = RenderCostTable(est);
+    for (const CostEstimate::Item& item : est.items) {
+      AnalysisReport::CostRow row;
+      if (item.node != nullptr) {
+        row.node = planner::PlanOpName(item.node->op);
+        const std::string& name = item.node->op == planner::PlanNode::Op::kSource
+                                      ? item.node->source
+                                      : item.node->label;
+        if (!name.empty()) row.node += " " + name;
+      }
+      row.known = item.shape.known;
+      row.records = item.shape.records;
+      row.output_bytes = item.cost.output_bytes;
+      row.local_bytes = item.cost.local_bytes;
+      row.cross_bytes = item.cost.cross_bytes;
+      row.tasks = item.cost.tasks;
+      row.flops = item.cost.flops;
+      row.num_partitions = item.shape.num_partitions;
+      report.cost_rows.push_back(std::move(row));
+    }
+  }
 
   SortDiagnostics(&report.diagnostics);
   return report;

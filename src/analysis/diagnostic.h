@@ -20,6 +20,10 @@ struct Diagnostic {
   std::string code;     // "SAC-E004", "SAC-W03", ...
   std::string message;  // one line, no trailing period needed
   comp::Span span;      // begin drives the file:line:col prefix
+  /// Bytes the finding is about (recomputed / shuffled / saved), when the
+  /// quantified rules could size it from the bindings; 0 = not sized.
+  /// Emitted as the `estimatedBytes` SARIF property.
+  double estimated_bytes = 0;
 
   /// "file:line:col: error [SAC-E004] message" (or "file: ..." when the
   /// span is unknown).

@@ -1,8 +1,14 @@
 #include "src/analysis/lint.h"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "src/analysis/cost.h"
+#include "src/analysis/shape.h"
 
 namespace sac::analysis {
 
@@ -35,6 +41,18 @@ void LintPlan(const PlanGraph& g, std::vector<Diagnostic>* out) {
 namespace {
 
 comp::Span SpanOf(const PlanNode& n) { return comp::Span{n.pos, n.pos}; }
+
+/// Materiality threshold of the quantified rules: findings whose sized
+/// impact is below this stay silent (pattern-only findings, where the
+/// shape pass could not resolve extents, still fire).
+constexpr double kMaterialityBytes = 1.0 * 1024 * 1024;
+
+std::string HumanMiB(const double bytes) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << bytes / (1024.0 * 1024.0) << " MiB";
+  return os.str();
+}
 
 std::string NodeDesc(const PlanNode& n) {
   std::string s = planner::PlanOpName(n.op);
@@ -114,17 +132,28 @@ class UncachedLoopReuseRule : public LintRule {
   }
   void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
     const auto consumers = Consumers(g);
+    const ShapeMap shapes = InferShapes(g);
     for (const PlanNodePtr& n : g.nodes) {
       if (!n->in_loop || n->cached) continue;
       auto it = consumers.find(n.get());
       if (it == consumers.end() || it->second.size() < 2) continue;
-      out->push_back(Warning(
-          code(),
-          NodeDesc(*n) + " is read by " +
-              std::to_string(it->second.size()) +
-              " operators inside an iterative loop but is not cached; "
-              "each iteration recomputes it",
-          SpanOf(*n)));
+      // Quantified when the shape pass sized the node: the uncached
+      // dataset is rebuilt once per extra consumer, every iteration.
+      const auto sit = shapes.find(n.get());
+      const bool sized = sit != shapes.end() && sit->second.known;
+      const double recompute =
+          sized ? static_cast<double>(it->second.size() - 1) *
+                      sit->second.total_bytes()
+                : 0;
+      if (sized && recompute < kMaterialityBytes) continue;
+      std::string msg =
+          NodeDesc(*n) + " is read by " + std::to_string(it->second.size()) +
+          " operators inside an iterative loop but is not cached; "
+          "each iteration recomputes it";
+      if (sized) msg += " (~" + HumanMiB(recompute) + " per iteration)";
+      Diagnostic d = Warning(code(), std::move(msg), SpanOf(*n));
+      d.estimated_bytes = recompute;
+      out->push_back(std::move(d));
     }
   }
 };
@@ -142,11 +171,17 @@ class RedundantShuffleRule : public LintRule {
            "partitioning and key; the repartition moves no row";
   }
   void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    // Compare *resolved* partition counts: `-1` means the engine default,
+    // so hash(8) -> hash(default) is redundant when the default is 8, and
+    // hash(8) -> hash(16) is a real repartition, never flagged.
+    const int default_np =
+        g.default_parallelism > 0 ? g.default_parallelism : 8;
     for (const PlanNodePtr& n : g.nodes) {
       if (!n->is_shuffle() || n->inputs.empty()) continue;
       bool all_match = true;
       for (const PlanNodePtr& in : n->inputs) {
-        if (in == nullptr || !in->partitioning.Matches(n->partitioning) ||
+        if (in == nullptr ||
+            !in->partitioning.MatchesResolved(n->partitioning, default_np) ||
             in->key_arity != n->key_arity) {
           all_match = false;
           break;
@@ -207,6 +242,11 @@ class LoopShuffleChainRule : public LintRule {
   }
   void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
     const auto consumers = Consumers(g);
+    const CostEstimate est = EstimateCost(g);
+    std::unordered_map<const PlanNode*, const CostEstimate::Item*> items;
+    for (const CostEstimate::Item& item : est.items) {
+      items[item.node] = &item;
+    }
     for (const PlanNodePtr& n : g.nodes) {
       if (!n->in_loop || !n->is_shuffle() || n->cached) continue;
       // Walk downstream through uncached nodes; a cached node cuts the
@@ -234,14 +274,23 @@ class LoopShuffleChainRule : public LintRule {
         push_consumers(c);
       }
       if (hit == nullptr) continue;
-      out->push_back(Warning(
-          code(),
+      // Quantified when the shape pass resolved this shuffle: a replay
+      // re-moves its shuffled bytes, so immaterial chains stay silent.
+      const auto iit = items.find(n.get());
+      const bool sized = iit != items.end() && iit->second->shape.known &&
+                         iit->second->cost.shuffle_bytes > 0;
+      const double replay = sized ? iit->second->cost.shuffle_bytes : 0;
+      if (sized && replay < kMaterialityBytes) continue;
+      std::string msg =
           NodeDesc(*n) + " feeds " + NodeDesc(*hit) +
-              " inside an iterative loop with nothing cutting the lineage "
-              "between them; cache the intermediate or checkpoint the loop "
-              "target (ClusterConfig::checkpoint_interval) so recovery "
-              "does not replay the whole chain",
-          SpanOf(*n)));
+          " inside an iterative loop with nothing cutting the lineage "
+          "between them; cache the intermediate or checkpoint the loop "
+          "target (ClusterConfig::checkpoint_interval) so recovery "
+          "does not replay the whole chain";
+      if (sized) msg += " (~" + HumanMiB(replay) + " re-shuffled per replay)";
+      Diagnostic d = Warning(code(), std::move(msg), SpanOf(*n));
+      d.estimated_bytes = replay;
+      out->push_back(std::move(d));
     }
   }
 };
@@ -286,7 +335,13 @@ class ResidentSetOverBudgetRule : public LintRule {
       total += bytes;
     }
     if (total <= g.memory_budget_bytes || has_cut) return;
-    out->push_back(Warning(
+    // Materiality: a budget overshoot smaller than the threshold causes
+    // negligible eviction traffic and stays silent.
+    const double excess =
+        static_cast<double>(total) -
+        static_cast<double>(g.memory_budget_bytes);
+    if (excess < kMaterialityBytes) return;
+    Diagnostic d = Warning(
         code(),
         "plan materializes an estimated " + std::to_string(total >> 20) +
             " MiB against a memory budget of " +
@@ -295,7 +350,9 @@ class ResidentSetOverBudgetRule : public LintRule {
             "stays correct (cold partitions spill and reload) but will "
             "thrash -- cache a reused intermediate or checkpoint the loop "
             "target to cut the resident set",
-        g.root != nullptr ? SpanOf(*g.root) : comp::Span{}));
+        g.root != nullptr ? SpanOf(*g.root) : comp::Span{});
+    d.estimated_bytes = static_cast<double>(total);
+    out->push_back(std::move(d));
   }
 
  private:
@@ -322,6 +379,102 @@ class ResidentSetOverBudgetRule : public LintRule {
   }
 };
 SAC_REGISTER_LINT_RULE(ResidentSetOverBudgetRule);
+
+// ---------------------------------------------------------------------------
+// SAC-W07: multiply strategy suboptimal for the bound extents
+// ---------------------------------------------------------------------------
+
+class MultiplyStrategyRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W07"; }
+  const char* summary() const override {
+    return "matrix-multiply translation suboptimal for the bound extents; "
+           "the cost model estimates the other 5.3/5.4 plan cheaper";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    if (g.binds == nullptr) return;
+    const MultiplyAdvice adv = AdviseMultiply(g);
+    if (!adv.applicable) return;
+    // Materiality: the alternative must be at least 10% cheaper and save
+    // a material amount of shuffle traffic.
+    if (adv.alternative_ms >= adv.chosen_ms * 0.9) return;
+    if (adv.bytes_saved < kMaterialityBytes) return;
+    const char* chosen = adv.chosen_is_gbj
+                             ? "5.4 group-by-join (SUMMA)"
+                             : "5.3 join + reduceByKey";
+    const char* other = adv.chosen_is_gbj ? "5.3 join + reduceByKey"
+                                          : "5.4 group-by-join (SUMMA)";
+    std::ostringstream msg;
+    msg.precision(3);
+    msg << std::fixed << "multiply uses the " << chosen
+        << " plan, but for these extents the cost model estimates the "
+        << other << " translation at " << adv.alternative_ms << " ms vs "
+        << adv.chosen_ms << " ms, saving ~" << HumanMiB(adv.bytes_saved)
+        << " of shuffle; enable PlannerOptions::auto_strategy (or unset "
+           "SAC_AUTO_STRATEGY=off) to let the planner choose";
+    Diagnostic d = Warning(code(), msg.str(),
+                           g.root != nullptr ? SpanOf(*g.root) : comp::Span{});
+    d.estimated_bytes = adv.bytes_saved;
+    out->push_back(std::move(d));
+  }
+};
+SAC_REGISTER_LINT_RULE(MultiplyStrategyRule);
+
+// ---------------------------------------------------------------------------
+// SAC-W08: shuffle partition count badly sized for extents / cores
+// ---------------------------------------------------------------------------
+
+class PartitionSizingRule : public LintRule {
+ public:
+  const char* code() const override { return "SAC-W08"; }
+  const char* summary() const override {
+    return "shuffle partition count badly sized for the estimated record "
+           "count / cluster cores: empty partitions waste dispatch, too "
+           "few leave cores idle";
+  }
+  void Run(const PlanGraph& g, std::vector<Diagnostic>* out) const override {
+    if (g.binds == nullptr) return;
+    const int executors = g.num_executors > 0 ? g.num_executors : 4;
+    const int cores =
+        executors * (g.cores_per_executor > 0 ? g.cores_per_executor : 1);
+    const ShapeMap shapes = InferShapes(g);
+    for (const planner::PlanNodePtr& n : g.nodes) {
+      if (!n->is_shuffle()) continue;
+      const auto sit = shapes.find(n.get());
+      if (sit == shapes.end() || !sit->second.known) continue;
+      const SymbolicShape& s = sit->second;
+      if (s.records <= 0 || s.num_partitions <= 0) continue;
+      const double np = s.num_partitions;
+      if (np > 4.0 * s.records) {
+        const int64_t empty =
+            static_cast<int64_t>(np - std::min(s.records, np));
+        out->push_back(Warning(
+            code(),
+            NodeDesc(*n) + " reduces into " +
+                std::to_string(s.num_partitions) +
+                " partitions but the shape pass estimates only " +
+                std::to_string(static_cast<int64_t>(s.records)) +
+                " output records; ~" + std::to_string(empty) +
+                " partitions stay empty and their task dispatch is wasted "
+                "-- size num_partitions near the record count (or enable "
+                "auto_strategy)",
+            SpanOf(*n)));
+      } else if (np < cores && s.records >= 2.0 * cores) {
+        out->push_back(Warning(
+            code(),
+            NodeDesc(*n) + " squeezes an estimated " +
+                std::to_string(static_cast<int64_t>(s.records)) +
+                " records into " + std::to_string(s.num_partitions) +
+                " partitions on a cluster with " + std::to_string(cores) +
+                " cores; " + std::to_string(cores - s.num_partitions) +
+                " cores stay idle through the reduce -- raise "
+                "num_partitions to at least the core count",
+            SpanOf(*n)));
+      }
+    }
+  }
+};
+SAC_REGISTER_LINT_RULE(PartitionSizingRule);
 
 }  // namespace
 

@@ -14,6 +14,15 @@
 //   SAC-W05  chained in-loop shuffles with nothing cutting the lineage
 //   SAC-W06  estimated resident set exceeds the configured memory budget
 //            with no cache/checkpoint cut; expect eviction thrash
+//   SAC-W07  multiply strategy suboptimal for the bound extents (the
+//            cost model prefers the other 5.3/5.4 translation)
+//   SAC-W08  shuffle partition count badly sized for the estimated
+//            record count / cluster cores
+//
+// W02/W05/W06/W07/W08 are quantified: when the symbolic shape pass
+// (shape.h) can size the plan from the bindings they report estimated
+// bytes and stay silent below a materiality threshold; without bindings
+// they fall back to the pattern-match behaviour. See docs/COST_MODEL.md.
 #ifndef SAC_ANALYSIS_LINT_H_
 #define SAC_ANALYSIS_LINT_H_
 
@@ -26,15 +35,21 @@
 namespace sac::analysis {
 
 /// A plan DAG plus the full creation record (plan_nodes may contain nodes
-/// unreachable from root -- exactly what SAC-W04 looks for). Bindings and
-/// the memory budget are optional context: rules that need them (SAC-W06
-/// sizes source nodes from their bound shapes) skip silently when they
-/// are absent.
+/// unreachable from root -- exactly what SAC-W04 looks for). Bindings,
+/// the memory budget and the cluster shape are optional context: rules
+/// that need them (SAC-W06 sizes source nodes from their bound shapes,
+/// the quantified rules run the shape/cost pass) skip or degrade to
+/// pattern matching when they are absent.
 struct PlanGraph {
   planner::PlanNodePtr root;
   std::vector<planner::PlanNodePtr> nodes;
   const planner::Bindings* binds = nullptr;
   uint64_t memory_budget_bytes = 0;  // 0 = unlimited (SAC-W06 is off)
+  // Cluster shape for the cost model; 0 = unknown (model defaults apply:
+  // the ClusterConfig defaults of 4 executors x 1 core, parallelism 8).
+  int num_executors = 0;
+  int cores_per_executor = 0;
+  int default_parallelism = 0;
 
   static PlanGraph FromQuery(const planner::CompiledQuery& q) {
     return PlanGraph{q.plan, q.plan_nodes};
@@ -43,6 +58,15 @@ struct PlanGraph {
                              const planner::Bindings* binds,
                              uint64_t memory_budget_bytes) {
     return PlanGraph{q.plan, q.plan_nodes, binds, memory_budget_bytes};
+  }
+  static PlanGraph FromQuery(const planner::CompiledQuery& q,
+                             const planner::Bindings* binds,
+                             uint64_t memory_budget_bytes,
+                             const runtime::ClusterConfig& cluster) {
+    return PlanGraph{q.plan,  q.plan_nodes,
+                     binds,   memory_budget_bytes,
+                     cluster.num_executors, cluster.cores_per_executor,
+                     cluster.default_parallelism};
   }
 };
 

@@ -17,7 +17,22 @@ using runtime::ValueVec;
 
 Sac::Sac(runtime::ClusterConfig config, planner::PlannerOptions options)
     : engine_(std::make_unique<runtime::Engine>(config)),
-      options_(options) {}
+      options_(options) {
+  // The cost model plans against the engine's actual cluster shape.
+  options_.cluster = config;
+}
+
+void Sac::RecordPredictions(const CompiledQuery& q) {
+  if (q.plan == nullptr) return;
+  const analysis::CostEstimate est = analysis::EstimateCost(
+      analysis::PlanGraph::FromQuery(q, &binds_, 0, engine_->config()));
+  // Partial estimates under-count (unknown shapes predict 0 bytes), which
+  // would trip the 2x gate spuriously -- record exact plans only.
+  if (!est.exact) return;
+  for (const auto& [label, bytes] : est.shuffle_by_engine_label) {
+    predicted_shuffle_bytes_[label] += bytes;
+  }
+}
 
 Result<storage::TiledMatrix> Sac::RandomMatrix(int64_t rows, int64_t cols,
                                                int64_t block, uint64_t seed,
@@ -113,6 +128,7 @@ Result<QueryResult> Sac::Eval(const std::string& src) {
       analysis::VerifyPlan(analysis::PlanGraph::FromQuery(q));
   assert(plan_ok.ok() && "compiled plan failed invariant verification");
   SAC_RETURN_NOT_OK(plan_ok);
+  RecordPredictions(q);
   SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
   // Post-run: the result's lineage and stage attributions must line up.
   switch (r.kind) {
@@ -201,6 +217,7 @@ Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
       for (const planner::PlanNodePtr& n : q.plan_nodes) n->in_loop = true;
     }
     SAC_RETURN_NOT_OK(analysis::VerifyPlan(analysis::PlanGraph::FromQuery(q)));
+    RecordPredictions(q);
     SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
     switch (r.kind) {
       case QueryResult::Kind::kTiled:

@@ -15,6 +15,7 @@
 #ifndef SAC_API_SAC_H_
 #define SAC_API_SAC_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -40,8 +41,20 @@ class Sac {
   trace::Tracer& tracer() { return engine_->tracer(); }
 
   // ---- observability -------------------------------------------------------
-  /// Clears totals, per-stage stats and trace buffers between measured runs.
-  void ResetStats() { engine_->ResetStats(); }
+  /// Clears totals, per-stage stats, trace buffers and accumulated shuffle
+  /// predictions between measured runs.
+  void ResetStats() {
+    engine_->ResetStats();
+    predicted_shuffle_bytes_.clear();
+  }
+  /// Predicted total shuffle bytes per ENGINE stage label ("join",
+  /// "cogroup", "reduceByKey", ...), accumulated at compile time for every
+  /// Eval/EvalLoop update whose extents the shape pass fully resolved.
+  /// Comparable against the measured per-stage byte counters -- the
+  /// `sac_prof predcheck` gate (docs/COST_MODEL.md) holds them within 2x.
+  const std::map<std::string, double>& predicted_shuffle_bytes() const {
+    return predicted_shuffle_bytes_;
+  }
   /// Per-stage metrics table (see Engine::ReportString).
   std::string ReportString() const { return engine_->ReportString(); }
   /// Chrome trace-event JSON of everything traced so far.
@@ -154,9 +167,14 @@ class Sac {
   Result<runtime::Value> ReferenceEval(const std::string& src);
 
  private:
+  /// Folds the cost model's per-label shuffle prediction for a freshly
+  /// compiled plan into predicted_shuffle_bytes_ (exact shapes only).
+  void RecordPredictions(const planner::CompiledQuery& q);
+
   std::unique_ptr<runtime::Engine> engine_;
   planner::PlannerOptions options_;
   planner::Bindings binds_;
+  std::map<std::string, double> predicted_shuffle_bytes_;
   // Rebind count per in-loop target, driving auto-checkpointing across
   // EvalLoop calls (driver iterations).
   std::unordered_map<std::string, int> loop_update_counts_;

@@ -106,6 +106,18 @@ struct PlannerOptions {
   /// Use the deliberately generic "jvmlike" kernels inside tile operations
   /// (models a library baseline; the generated-code path keeps this off).
   bool use_jvmlike_kernels = false;
+  /// Cost-based planning (docs/COST_MODEL.md): when both the 5.3
+  /// reduceByKey and the 5.4 group-by-join translation apply, pick the one
+  /// the calibrated cost model estimates cheaper for the bound extents
+  /// (fig4b shows the right choice flips with n), and size reduce-side
+  /// partition counts from the distinct-key estimate instead of the
+  /// engine default. `SAC_AUTO_STRATEGY=off` overrides to disabled; the
+  /// forced bench series pin this off so their plans stay comparable.
+  bool auto_strategy = true;
+  /// Cluster shape the cost model evaluates against (executor count
+  /// drives the local/cross shuffle split, parallelism the task counts).
+  /// Sac's constructor copies its engine config here.
+  runtime::ClusterConfig cluster;
 };
 
 // ---------------------------------------------------------------------------
@@ -131,6 +143,18 @@ struct Partitioning {
   bool Matches(const Partitioning& other) const {
     return kind == Kind::kHashKey && other.kind == Kind::kHashKey &&
            num_partitions == other.num_partitions;
+  }
+  /// Matches() with `-1` on either side resolved to the engine default
+  /// parallelism first, so `hash(8)` and `hash(default)` compare equal
+  /// when the engine would create 8 partitions for both. This is the
+  /// comparison the redundant-shuffle lint (SAC-W03) wants: two
+  /// partitionings with different *resolved* counts place rows
+  /// differently and the repartition is real, not redundant.
+  bool MatchesResolved(const Partitioning& other, int default_np) const {
+    if (kind != Kind::kHashKey || other.kind != Kind::kHashKey) return false;
+    const int a = num_partitions > 0 ? num_partitions : default_np;
+    const int b = other.num_partitions > 0 ? other.num_partitions : default_np;
+    return a == b;
   }
   std::string ToString() const;
 };

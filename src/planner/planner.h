@@ -61,6 +61,10 @@ Result<CompiledQuery> LocalFallbackPlan(const comp::ExprPtr& query,
 
 // ---- shared helpers --------------------------------------------------------
 
+/// Whether cost-based planning is active: PlannerOptions::auto_strategy
+/// unless the SAC_AUTO_STRATEGY=off escape hatch overrides it.
+bool AutoStrategyEnabled(const PlannerOptions& opts);
+
 /// Evaluates a builder argument / scalar expression to an int64 using the
 /// scalar bindings.
 Result<int64_t> EvalScalarInt(const comp::ExprPtr& e, const Bindings& binds);

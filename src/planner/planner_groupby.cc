@@ -504,6 +504,19 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
     const TiledMatrix A = ba.tiled;
     const Binding B = bb;
 
+    // Cost-based partition sizing: one reduce partition per output tile,
+    // capped at the engine parallelism (docs/COST_MODEL.md).
+    int reduce_np = -1;
+    if (AutoStrategyEnabled(opts)) {
+      const int64_t out_tiles =
+          storage::CeilDiv(out_rows, block) *
+          (out_is_vector ? 1 : storage::CeilDiv(out_cols, block));
+      const int64_t par = opts.cluster.default_parallelism > 0
+                              ? opts.cluster.default_parallelism
+                              : 8;
+      reduce_np = static_cast<int>(std::clamp<int64_t>(out_tiles, 1, par));
+    }
+
     CompiledQuery q;
     q.strategy = Strategy::kReduceByKey;
     q.explanation = "5.3 tile join on the shared index, per-pair partial "
@@ -525,8 +538,9 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
       const int out_key = js.b_is_vector ? 1 : 2;
       PlanNodePtr partials =
           pb.Narrow(PlanNode::Op::kMap, "partialProducts", joined, out_key);
-      PlanNodePtr reduced = pb.Shuffle(PlanNode::Op::kReduceByKey,
-                                       "reduceTiles", {partials}, out_key);
+      PlanNodePtr reduced =
+          pb.Shuffle(PlanNode::Op::kReduceByKey, "reduceTiles", {partials},
+                     out_key, reduce_np);
       q.plan = pb.Narrow(PlanNode::Op::kMap, "finalize", reduced, out_key,
                          /*preserves_partitioning=*/true);
       q.plan_nodes = pb.TakeNodes();
@@ -601,8 +615,8 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
               },
               "partialProducts"));
       SAC_ASSIGN_OR_RETURN(Dataset reduced,
-                           eng->ReduceByKey(partials,
-                                            TupleTileCombine(ops)));
+                           eng->ReduceByKey(partials, TupleTileCombine(ops),
+                                            reduce_np));
       // Finalize.
       const ScalarFn fin = js.finalize;
       const bool identity = js.finalize_identity;
@@ -697,6 +711,17 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
     const std::vector<size_t> kpos = key_pos;
     const int64_t orows = out_rows, ocols = out_cols, N = block;
 
+    int reduce_np = -1;
+    if (AutoStrategyEnabled(opts)) {
+      const int64_t out_tiles =
+          storage::CeilDiv(orows, N) *
+          (vec_out ? 1 : storage::CeilDiv(ocols, N));
+      const int64_t par = opts.cluster.default_parallelism > 0
+                              ? opts.cluster.default_parallelism
+                              : 8;
+      reduce_np = static_cast<int>(std::clamp<int64_t>(out_tiles, 1, par));
+    }
+
     CompiledQuery q;
     q.strategy = Strategy::kReduceByKey;
     q.explanation = row_sums || col_sums
@@ -708,8 +733,9 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
       const int out_key = vec_out ? 1 : 2;
       PlanNodePtr partials = pb.Narrow(PlanNode::Op::kFlatMap,
                                        "partialAggregates", src_n, out_key);
-      PlanNodePtr reduced = pb.Shuffle(PlanNode::Op::kReduceByKey,
-                                       "reduceTiles", {partials}, out_key);
+      PlanNodePtr reduced =
+          pb.Shuffle(PlanNode::Op::kReduceByKey, "reduceTiles", {partials},
+                     out_key, reduce_np);
       q.plan = pb.Narrow(PlanNode::Op::kMap, "finalize", reduced, out_key,
                          /*preserves_partitioning=*/true);
       q.plan_nodes = pb.TakeNodes();
@@ -802,8 +828,8 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
               },
               "partialAggregates"));
       SAC_ASSIGN_OR_RETURN(Dataset reduced,
-                           eng->ReduceByKey(partials,
-                                            TupleTileCombine(ops)));
+                           eng->ReduceByKey(partials, TupleTileCombine(ops),
+                                            reduce_np));
       SAC_ASSIGN_OR_RETURN(
           Dataset out,
           eng->Map(

@@ -210,6 +210,43 @@ TEST(PlanLint, W02SilentOutsideLoopsOrWhenCached) {
   EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
+TEST(PlanLint, W02QuantifiesRecomputeBytesFromBindings) {
+  // With bindings the shape pass sizes the reused dataset: a 512x512
+  // matrix (64 tiles, ~2 MiB serialized) rebuilt once per extra consumer.
+  Bindings binds;
+  binds.emplace("A", Matrix(512, 512));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "normalize", src, 2);
+  PlanNodePtr c1 = pb.Narrow(PlanNode::Op::kMap, "left", mid, 2);
+  PlanNodePtr c2 = pb.Narrow(PlanNode::Op::kMap, "right", mid, 2);
+  PlanNodePtr root = pb.Collect({c1, c2});
+  for (const PlanNodePtr& n : pb.nodes()) n->in_loop = true;
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{root, pb.TakeNodes(), &binds, 0}, &ds);
+  ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W02"});
+  EXPECT_GT(ds[0].estimated_bytes, 1 << 20);
+  EXPECT_NE(ds[0].message.find("MiB per iteration"), std::string::npos)
+      << ds[0].message;
+}
+
+TEST(PlanLint, W02SilentWhenSizedRecomputeIsImmaterial) {
+  // Same pattern but the dataset is one 32 KiB tile: sized and below the
+  // materiality threshold, so the finding is suppressed.
+  Bindings binds;
+  binds.emplace("A", Matrix(64, 64));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "normalize", src, 2);
+  PlanNodePtr c1 = pb.Narrow(PlanNode::Op::kMap, "left", mid, 2);
+  PlanNodePtr c2 = pb.Narrow(PlanNode::Op::kMap, "right", mid, 2);
+  PlanNodePtr root = pb.Collect({c1, c2});
+  for (const PlanNodePtr& n : pb.nodes()) n->in_loop = true;
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{root, pb.TakeNodes(), &binds, 0}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+}
+
 TEST(PlanLint, W03FiresOnRedundantRepartition) {
   PlanBuilder pb;
   PlanNodePtr src = pb.Source("A", 2);
@@ -232,6 +269,29 @@ TEST(PlanLint, W03SilentWhenPartitioningActuallyChanges) {
       pb.Shuffle(PlanNode::Op::kPartitionBy, "repartition", {reduced}, 2, 16);
   std::vector<Diagnostic> ds;
   LintPlan(PlanGraph{widen, pb.TakeNodes()}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+}
+
+TEST(PlanLint, W03FiresWhenDefaultCountResolvesToProducerCount) {
+  // hash(8) -> hash(default) is redundant when the engine default is 8:
+  // the resolved counts compare equal (the false positive the resolved
+  // comparison fixes -- with Matches() the -1 never equalled 8).
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr reduced =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "reduceTiles", {src}, 2, 8);
+  PlanNodePtr again =
+      pb.Shuffle(PlanNode::Op::kPartitionBy, "repartition", {reduced}, 2);
+  PlanGraph g{again, pb.TakeNodes()};
+  g.default_parallelism = 8;
+  std::vector<Diagnostic> ds;
+  LintPlan(g, &ds);
+  EXPECT_EQ(Codes(ds), std::vector<std::string>{"SAC-W03"});
+
+  // Same plan on a cluster whose default is 16: the repartition is real.
+  g.default_parallelism = 16;
+  ds.clear();
+  LintPlan(g, &ds);
   EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
@@ -292,6 +352,45 @@ TEST(PlanLint, W05SilentOutsideLoopsOrWhenChainIsCut) {
   EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
+TEST(PlanLint, W05QuantifiesReplayBytesFromBindings) {
+  // With bindings the first shuffle is sized (~2 MiB of 512x512 tiles
+  // re-moved per replay) and the figure lands in the message.
+  Bindings binds;
+  binds.emplace("A", Matrix(512, 512));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr first =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "partial", {src}, 2, 8);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", first, 2);
+  PlanNodePtr second =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "combine", {mid}, 2, 16);
+  for (const PlanNodePtr& n : pb.nodes()) n->in_loop = true;
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{second, pb.TakeNodes(), &binds, 0}, &ds);
+  ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W05"});
+  EXPECT_GT(ds[0].estimated_bytes, 1 << 20);
+  EXPECT_NE(ds[0].message.find("re-shuffled per replay"), std::string::npos)
+      << ds[0].message;
+}
+
+TEST(PlanLint, W05SilentWhenSizedReplayIsImmaterial) {
+  // Nine tiles (~300 KiB) through the chain: sized, below materiality,
+  // silent -- the unsized variant of this exact plan fires (test above).
+  Bindings binds;
+  binds.emplace("A", Matrix(192, 192));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr first =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "partial", {src}, 2, 8);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", first, 2);
+  PlanNodePtr second =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "combine", {mid}, 2, 16);
+  for (const PlanNodePtr& n : pb.nodes()) n->in_loop = true;
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{second, pb.TakeNodes(), &binds, 0}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+}
+
 TEST(PlanLint, W06FiresWhenResidentSetExceedsBudget) {
   // A 512x512 dense source is 2 MiB; source + two derived nodes estimate
   // ~6 MiB resident, far over a 1 MiB budget, and nothing is cached.
@@ -305,6 +404,21 @@ TEST(PlanLint, W06FiresWhenResidentSetExceedsBudget) {
   LintPlan(PlanGraph{root, pb.TakeNodes(), &binds, 1 << 20}, &ds);
   ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W06"});
   EXPECT_NE(ds[0].message.find("memory budget"), std::string::npos);
+  EXPECT_GT(ds[0].estimated_bytes, 1 << 20);  // the estimated resident set
+}
+
+TEST(PlanLint, W06SilentWhenOvershootIsImmaterial) {
+  // 64x64 source: ~96 KiB resident against a 64 KiB budget. Over budget,
+  // but the overshoot is far below the materiality threshold.
+  Bindings binds;
+  binds.emplace("A", Matrix(64, 64));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr mid = pb.Narrow(PlanNode::Op::kMap, "scale", src, 2);
+  PlanNodePtr root = pb.Narrow(PlanNode::Op::kMap, "shift", mid, 2);
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{root, pb.TakeNodes(), &binds, 64 << 10}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
 TEST(PlanLint, W06SilentWithoutBudgetOrWithACacheCut) {
@@ -330,12 +444,99 @@ TEST(PlanLint, W06SilentWithoutBudgetOrWithACacheCut) {
   EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
 }
 
-TEST(PlanLint, RegistryHasAllSixRules) {
+TEST(PlanLint, W07FiresWhenPinnedStrategyIsSuboptimal) {
+  // At 1024^2 the cost model estimates the 5.3 join + reduceByKey plan
+  // well under the 5.4 SUMMA plan (the cogroup replicates ~2g^3 panels
+  // vs the join's 2g^2 tiles). With auto_strategy pinned off the planner
+  // keeps 5.4 and the lint quantifies what that leaves on the table.
+  Bindings binds;
+  binds.emplace("A", Matrix(1024, 1024));
+  binds.emplace("B", Matrix(1024, 1024));
+  binds.emplace("n", Binding::Scalar(runtime::Value::Int(1024)));
+  binds.emplace("m", Binding::Scalar(runtime::Value::Int(1024)));
+  planner::PlannerOptions opts;
+  opts.auto_strategy = false;
+  auto report = AnalyzeQuery(
+      "tiled(n,m)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, "
+      "kk == k, let v = a*b, group by (i,j) ]",
+      binds, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const AnalysisReport& r = report.value();
+  EXPECT_EQ(r.strategy, "GroupByJoin(5.4)");
+  ASSERT_EQ(Codes(r.diagnostics), std::vector<std::string>{"SAC-W07"})
+      << Rendered(r);
+  EXPECT_GT(r.diagnostics[0].estimated_bytes, 1 << 20);
+  EXPECT_NE(r.diagnostics[0].message.find("5.3 join + reduceByKey"),
+            std::string::npos)
+      << r.diagnostics[0].message;
+}
+
+TEST(PlanLint, W07SilentWhenAutoStrategyPicksTheCheaperPlan) {
+  // Same query and extents with cost-based planning on: the planner takes
+  // the 5.3 plan the model prefers, so there is nothing to warn about.
+  Bindings binds;
+  binds.emplace("A", Matrix(1024, 1024));
+  binds.emplace("B", Matrix(1024, 1024));
+  binds.emplace("n", Binding::Scalar(runtime::Value::Int(1024)));
+  binds.emplace("m", Binding::Scalar(runtime::Value::Int(1024)));
+  AnalysisReport r = Analyze(
+      "tiled(n,m)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, "
+      "kk == k, let v = a*b, group by (i,j) ]",
+      binds);
+  EXPECT_EQ(r.strategy, "ReduceByKey(5.3)");
+  EXPECT_NE(r.explanation.find("auto: cost model"), std::string::npos)
+      << r.explanation;
+  EXPECT_TRUE(r.diagnostics.empty()) << Rendered(r);
+}
+
+TEST(PlanLint, W08FiresOnMostlyEmptyPartitions) {
+  // 4 output tiles reduced into 64 partitions: ~60 stay empty.
+  Bindings binds;
+  binds.emplace("A", Matrix(128, 128));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr reduced =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "reduceTiles", {src}, 2, 64);
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{reduced, pb.TakeNodes(), &binds, 0}, &ds);
+  ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W08"});
+  EXPECT_NE(ds[0].message.find("stay empty"), std::string::npos)
+      << ds[0].message;
+}
+
+TEST(PlanLint, W08FiresWhenCoresOutnumberPartitions) {
+  // 1024 tiles squeezed into 2 partitions on a default 4-core cluster.
+  Bindings binds;
+  binds.emplace("A", Matrix(2048, 2048));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr reduced =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "reduceTiles", {src}, 2, 2);
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{reduced, pb.TakeNodes(), &binds, 0}, &ds);
+  ASSERT_EQ(Codes(ds), std::vector<std::string>{"SAC-W08"});
+  EXPECT_NE(ds[0].message.find("idle"), std::string::npos) << ds[0].message;
+}
+
+TEST(PlanLint, W08SilentWhenPartitionCountIsReasonable) {
+  Bindings binds;
+  binds.emplace("A", Matrix(128, 128));
+  PlanBuilder pb;
+  PlanNodePtr src = pb.Source("A", 2);
+  PlanNodePtr reduced =
+      pb.Shuffle(PlanNode::Op::kReduceByKey, "reduceTiles", {src}, 2, 8);
+  std::vector<Diagnostic> ds;
+  LintPlan(PlanGraph{reduced, pb.TakeNodes(), &binds, 0}, &ds);
+  EXPECT_TRUE(ds.empty()) << RenderAll(ds, "plan");
+}
+
+TEST(PlanLint, RegistryHasAllEightRules) {
   std::vector<std::string> codes;
   for (const LintRule* r : LintRules()) codes.push_back(r->code());
-  EXPECT_EQ(codes.size(), 6u);
+  EXPECT_EQ(codes.size(), 8u);
   for (const char* want :
-       {"SAC-W01", "SAC-W02", "SAC-W03", "SAC-W04", "SAC-W05", "SAC-W06"}) {
+       {"SAC-W01", "SAC-W02", "SAC-W03", "SAC-W04", "SAC-W05", "SAC-W06",
+        "SAC-W07", "SAC-W08"}) {
     EXPECT_NE(std::find(codes.begin(), codes.end(), want), codes.end())
         << want << " not registered";
   }

@@ -20,10 +20,17 @@
 // --Werror), 2 usage/input problems.
 //
 // Flags:
-//   --Werror       treat warnings as errors for the exit status
-//   --explain      also print the chosen strategy and symbolic plan
-//   --list-rules   print the lint-rule catalog and exit
+//   --Werror         treat warnings as errors for the exit status
+//   --explain        also print the chosen strategy and symbolic plan
+//   --cost           also print the cost-model table (docs/COST_MODEL.md)
+//   --format=sarif   emit one SARIF 2.1.0 log on stdout instead of text
+//   --json=PATH      also write {"analysis_version":1,"files":[...]} with
+//                    one machine-readable analysis object per input file
+//   --calibrate      treat FILE args as BENCH_*.json reports and fit the
+//                    cost-model constants to their measured counters
+//   --list-rules     print the lint-rule catalog and exit
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,7 +39,10 @@
 #include <vector>
 
 #include "src/analysis/analysis.h"
+#include "src/analysis/cost.h"
 #include "src/analysis/lint.h"
+#include "src/common/json.h"
+#include "src/common/trace.h"
 #include "src/planner/plan.h"
 #include "src/runtime/value.h"
 #include "src/storage/tiled.h"
@@ -131,6 +141,224 @@ bool LoadFile(const std::string& path, ParsedFile* out) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 output
+// ---------------------------------------------------------------------------
+
+const char* SarifLevel(Diagnostic::Severity s) {
+  switch (s) {
+    case Diagnostic::Severity::kError: return "error";
+    case Diagnostic::Severity::kWarning: return "warning";
+    case Diagnostic::Severity::kNote: return "note";
+  }
+  return "note";
+}
+
+/// One finding bound to the file it came from.
+struct FileDiagnostic {
+  std::string file;
+  Diagnostic diag;
+};
+
+/// Renders one SARIF 2.1.0 log covering every analyzed file: the tool's
+/// rule catalog (checker error codes + registered lint rules), then one
+/// result per diagnostic with its physical location and -- for the
+/// quantified rules -- an `estimatedBytes` property.
+std::string RenderSarif(const std::vector<FileDiagnostic>& findings) {
+  using sac::trace::JsonEscape;
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"sac_lint\",\"rules\":[";
+  bool first = true;
+  auto rule = [&](const std::string& id, const std::string& text) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"" << JsonEscape(id)
+       << "\",\"shortDescription\":{\"text\":\"" << JsonEscape(text)
+       << "\"}}";
+  };
+  rule("SAC-E000", "syntax error");
+  rule("SAC-E001", "unbound variable");
+  rule("SAC-E002", "generator iterates over a scalar");
+  rule("SAC-E003", "index arity mismatch");
+  rule("SAC-E004", "dimension conformance (inner-dimension mismatch)");
+  rule("SAC-E005", "scalar/tile confusion");
+  rule("SAC-E006", "no translation strategy applies");
+  rule("SAC-E007", "plan invariant violated (planner bug guard)");
+  for (const sac::analysis::LintRule* r : sac::analysis::LintRules()) {
+    rule(r->code(), r->summary());
+  }
+  os << "]}},\"results\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Diagnostic& d = findings[i].diag;
+    if (i > 0) os << ",";
+    os << "{\"ruleId\":\"" << JsonEscape(d.code) << "\",\"level\":\""
+       << SarifLevel(d.severity) << "\",\"message\":{\"text\":\""
+       << JsonEscape(d.message) << "\"},\"locations\":[{"
+       << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+       << JsonEscape(findings[i].file) << "\"}";
+    if (d.span.IsSet()) {
+      os << ",\"region\":{\"startLine\":" << d.span.begin.line
+         << ",\"startColumn\":" << d.span.begin.col << "}";
+    }
+    os << "}}]";
+    if (d.estimated_bytes > 0) {
+      os << ",\"properties\":{\"estimatedBytes\":" << d.estimated_bytes
+         << "}";
+    }
+    os << "}";
+  }
+  os << "]}]}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// --calibrate: fit the cost-model constants to committed BENCH reports
+// ---------------------------------------------------------------------------
+
+/// One bench row turned into a regression observation of
+///   time_ms = cross/1e6 * a + local/1e6 * b + tasks/1e3 * c + flops/1e6 * d.
+struct Observation {
+  double features[4] = {0, 0, 0, 0};
+  double time_ms = 0;
+  std::string label;
+};
+
+/// Extracts the rows the model is calibrated on: the SAC series of fig4a
+/// (elementwise addition, n^2 flops) and the SAC / SAC GBJ series of
+/// fig4b (dense multiply, 2n^3 flops). MLlib rows model a different
+/// kernel baseline and fig4c mixes whole-iteration loops; both excluded.
+bool CollectObservations(const std::string& path,
+                         std::vector<Observation>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  sac::json::Value root;
+  sac::Status st = sac::json::Parse(buf.str(), &root);
+  if (!st.ok()) {
+    std::cerr << path << ": " << st.ToString() << "\n";
+    return false;
+  }
+  for (const sac::json::Value& row : root.At("rows").array) {
+    const std::string figure = row.GetStr("figure");
+    const std::string series = row.GetStr("series");
+    const double n = row.GetNum("n");
+    double flops = 0;
+    if (figure == "fig4a" && series == "SAC") {
+      flops = n * n;
+    } else if (figure == "fig4b" &&
+               (series == "SAC" || series == "SAC GBJ")) {
+      flops = 2.0 * n * n * n;
+    } else {
+      continue;
+    }
+    const sac::json::Value& totals = row.At("totals");
+    const double shuffle = totals.GetNum("shuffle_bytes");
+    const double cross = totals.GetNum("cross_executor_bytes");
+    // Older reports counted tasks under "tasks_run".
+    const double tasks =
+        totals.Has("tasks") ? totals.GetNum("tasks")
+                            : totals.GetNum("tasks_run");
+    Observation ob;
+    ob.features[0] = cross / 1e6;
+    ob.features[1] = (shuffle - cross) / 1e6;
+    ob.features[2] = tasks / 1e3;
+    ob.features[3] = flops / 1e6;
+    ob.time_ms = row.GetNum("time_ms");
+    ob.label = figure + "/" + series + " n=" +
+               std::to_string(static_cast<int64_t>(n));
+    out->push_back(ob);
+  }
+  return true;
+}
+
+/// Non-negative least squares on the 4x4 normal equations via projected
+/// coordinate descent: each pass minimizes over one coefficient with the
+/// others held fixed, clamped at zero. Plain OLS turns the near-collinear
+/// byte columns (cross is a fixed fraction of total within one figure)
+/// into negative ns/byte rates; the non-negativity constraint is what
+/// keeps the fitted constants physically meaningful. Returns false when a
+/// feature column is entirely absent from the observations.
+bool FitConstants(const std::vector<Observation>& obs, double coef[4]) {
+  double ata[4][4] = {};
+  double atb[4] = {};
+  for (const Observation& ob : obs) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        ata[i][j] += ob.features[i] * ob.features[j];
+      }
+      atb[i] += ob.features[i] * ob.time_ms;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (ata[i][i] < 1e-12) return false;
+    coef[i] = 0;
+  }
+  for (int pass = 0; pass < 500; ++pass) {
+    double delta = 0;
+    for (int i = 0; i < 4; ++i) {
+      double num = atb[i];
+      for (int j = 0; j < 4; ++j) {
+        if (j != i) num -= ata[i][j] * coef[j];
+      }
+      const double next = std::max(0.0, num / ata[i][i]);
+      delta = std::max(delta, std::fabs(next - coef[i]));
+      coef[i] = next;
+    }
+    if (delta < 1e-9) break;
+  }
+  return true;
+}
+
+int RunCalibrate(const std::vector<std::string>& files) {
+  std::vector<Observation> obs;
+  for (const std::string& f : files) {
+    if (!CollectObservations(f, &obs)) return 2;
+  }
+  if (obs.size() < 4) {
+    std::cerr << "calibrate: only " << obs.size()
+              << " usable rows (need >= 4); pass BENCH_fig4a/BENCH_fig4b "
+                 "reports\n";
+    return 2;
+  }
+  double coef[4];
+  if (!FitConstants(obs, coef)) {
+    std::cerr << "calibrate: singular system; rows are not independent\n";
+    return 2;
+  }
+  const sac::analysis::CostModel shipped;
+  std::cout << "calibration over " << obs.size() << " rows:\n";
+  std::cout.precision(3);
+  std::cout << std::fixed;
+  std::cout << "  ns_per_cross_byte = " << coef[0] << "   (shipped "
+            << shipped.ns_per_cross_byte << ")\n"
+            << "  ns_per_local_byte = " << coef[1] << "   (shipped "
+            << shipped.ns_per_local_byte << ")\n"
+            << "  us_per_task       = " << coef[2] << "   (shipped "
+            << shipped.us_per_task << ")\n"
+            << "  ns_per_flop       = " << coef[3] << "   (shipped "
+            << shipped.ns_per_flop << ")\n";
+  double abs_err = 0;
+  double abs_y = 0;
+  for (const Observation& ob : obs) {
+    double pred = 0;
+    for (int i = 0; i < 4; ++i) pred += coef[i] * ob.features[i];
+    abs_err += std::fabs(pred - ob.time_ms);
+    abs_y += std::fabs(ob.time_ms);
+  }
+  std::cout << "  fit: mean |err| = " << abs_err / obs.size() << " ms ("
+            << (abs_y > 0 ? 100.0 * abs_err / abs_y : 0)
+            << "% of measured)\n";
+  return 0;
+}
+
 void PrintRuleCatalog() {
   std::cout << "comprehension checks (errors):\n"
             << "  SAC-E000  syntax error\n"
@@ -152,12 +380,24 @@ void PrintRuleCatalog() {
 int main(int argc, char** argv) {
   bool werror = false;
   bool explain = false;
+  bool cost = false;
+  bool sarif = false;
+  bool calibrate = false;
+  std::string json_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--Werror") == 0) {
       werror = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--cost") == 0) {
+      cost = true;
+    } else if (std::strcmp(argv[i], "--calibrate") == 0) {
+      calibrate = true;
+    } else if (std::strcmp(argv[i], "--format=sarif") == 0) {
+      sarif = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       PrintRuleCatalog();
       return 0;
@@ -169,13 +409,17 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: sac_lint [--Werror] [--explain] [--list-rules] "
-                 "FILE...\n";
+    std::cerr << "usage: sac_lint [--Werror] [--explain] [--cost] "
+                 "[--format=sarif] [--json=PATH] [--calibrate] "
+                 "[--list-rules] FILE...\n";
     return 2;
   }
+  if (calibrate) return RunCalibrate(files);
 
   bool any_error = false;
   bool any_warning = false;
+  std::vector<FileDiagnostic> findings;  // --format=sarif
+  std::string json_files;                // --json=PATH
   for (const std::string& file : files) {
     ParsedFile parsed;
     if (!LoadFile(file, &parsed)) return 2;
@@ -187,17 +431,39 @@ int main(int argc, char** argv) {
     }
     const AnalysisReport& r = report.value();
     for (const Diagnostic& d : r.diagnostics) {
-      std::cout << d.Render(file) << "\n";
+      if (sarif) {
+        findings.push_back(FileDiagnostic{file, d});
+      } else {
+        std::cout << d.Render(file) << "\n";
+      }
       if (d.severity == Diagnostic::Severity::kError) any_error = true;
       if (d.severity == Diagnostic::Severity::kWarning) any_warning = true;
     }
-    if (explain && !r.strategy.empty()) {
+    if (!json_path.empty()) {
+      std::string one = sac::analysis::RenderAnalysisJson(r, file);
+      while (!one.empty() && one.back() == '\n') one.pop_back();
+      if (!json_files.empty()) json_files += ",";
+      json_files += one;
+    }
+    if (!sarif && explain && !r.strategy.empty()) {
       std::cout << file << ": strategy: " << r.strategy << "\n";
       if (!r.explanation.empty()) {
         std::cout << file << ":   " << r.explanation << "\n";
       }
       if (!r.plan_tree.empty()) std::cout << r.plan_tree;
     }
+    if (!sarif && cost && r.has_cost) {
+      std::cout << file << ":\n" << r.cost_table;
+    }
+  }
+  if (sarif) std::cout << RenderSarif(findings);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << json_path << ": cannot write\n";
+      return 2;
+    }
+    out << "{\"analysis_version\":1,\"files\":[" << json_files << "]}\n";
   }
   if (any_error || (werror && any_warning)) return 1;
   return 0;

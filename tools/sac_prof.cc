@@ -20,12 +20,24 @@
 //       Flags: --time-pct --time-abs-ms --bytes-pct --bytes-abs
 //              --count-pct --count-abs
 //
+//   sac_prof predcheck <BENCH.json> [--max-ratio R]
+//       Cost-model accuracy gate: for every bench row carrying a
+//       "predicted" object (compile-time shuffle bytes per engine stage
+//       label), compares against the measured per-label stage counters
+//       (shuffle_bytes + local_shuffle_bytes) and fails when prediction
+//       and measurement disagree by more than --max-ratio (default 2.0)
+//       in either direction. Labels where both sides are under 64 KiB
+//       are skipped as noise. Exits non-zero on any violation, or when
+//       the report contains no predictions at all (a vacuous pass would
+//       hide a plumbing break). See docs/COST_MODEL.md.
+//
 // See docs/PROFILING.md for the profile schema and semantics.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,7 +56,8 @@ int Usage() {
       "       sac_prof check <profile.json> [--min-coverage <pct>]\n"
       "       sac_prof diff <base.json> <current.json>\n"
       "           [--time-pct P] [--time-abs-ms MS] [--bytes-pct P]\n"
-      "           [--bytes-abs B] [--count-pct P] [--count-abs C]\n");
+      "           [--bytes-abs B] [--count-pct P] [--count-abs C]\n"
+      "       sac_prof predcheck <BENCH.json> [--max-ratio R]\n");
   return 2;
 }
 
@@ -283,6 +296,79 @@ int DiffBenchReports(const json::Value& base, const json::Value& cur,
   return regressions == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// predcheck
+// ---------------------------------------------------------------------
+
+/// Compares each row's compile-time shuffle predictions against the
+/// measured per-label stage counters. Both sides are TOTAL moved bytes
+/// (executor-local + cross-executor); the local/cross split is a model
+/// assumption we deliberately do not gate on.
+int RunPredcheck(const std::string& text, double max_ratio) {
+  json::Value report;
+  Status st = json::Parse(text, &report);
+  if (!st.ok()) {
+    std::fprintf(stderr, "predcheck: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (!report.Has("rows")) {
+    std::fprintf(stderr,
+                 "predcheck: input is not a bench report (no \"rows\")\n");
+    return 2;
+  }
+  // Below this, serialization overheads and per-partition headers dominate
+  // and the ratio is meaningless noise.
+  constexpr double kFloorBytes = 64.0 * 1024.0;
+
+  int checked = 0, skipped = 0, failures = 0;
+  std::printf("%-34s %-14s %12s %12s %7s\n", "row", "label",
+              "predicted", "measured", "ratio");
+  for (const json::Value& row : report.At("rows").array) {
+    const std::string row_name = row.GetStr("figure") + "/" +
+                                 row.GetStr("series") + "/n=" +
+                                 std::to_string(row.GetInt("n"));
+    if (!row.Has("predicted") || row.At("predicted").object.empty()) {
+      continue;
+    }
+    for (const auto& [label, pred_val] : row.At("predicted").object) {
+      const double predicted = pred_val.number;
+      double measured = 0;
+      if (row.Has("stages")) {
+        for (const json::Value& stage : row.At("stages").array) {
+          if (stage.GetStr("label") != label) continue;
+          measured += static_cast<double>(stage.GetUInt("shuffle_bytes") +
+                                          stage.GetUInt("local_shuffle_bytes"));
+        }
+      }
+      if (predicted < kFloorBytes && measured < kFloorBytes) {
+        ++skipped;
+        continue;
+      }
+      ++checked;
+      const double hi = std::max(predicted, measured);
+      const double lo = std::min(predicted, measured);
+      const double ratio = lo > 0 ? hi / lo : std::numeric_limits<double>::infinity();
+      const bool bad = ratio > max_ratio;
+      std::printf("%-34s %-14s %12.0f %12.0f %6.2fx%s\n", row_name.c_str(),
+                  label.c_str(), predicted, measured, ratio,
+                  bad ? "  FAIL" : "");
+      if (bad) ++failures;
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr,
+                 "predcheck: no predictions above the %0.f KiB floor in "
+                 "this report (%d below-floor labels skipped) -- "
+                 "refusing a vacuous pass\n",
+                 kFloorBytes / 1024.0, skipped);
+    return 1;
+  }
+  std::printf("%d label(s) checked, %d below noise floor, %d violation(s) "
+              "of the %.1fx bound\n",
+              checked, skipped, failures, max_ratio);
+  return failures == 0 ? 0 : 1;
+}
+
 int RunDiff(const std::string& base_text, const std::string& cur_text,
             const profile::DiffThresholds& t) {
   json::Value base, cur;
@@ -327,7 +413,8 @@ int Main(int argc, char** argv) {
 
   std::string cmd = "summary";
   size_t i = 0;
-  if (args[0] == "summary" || args[0] == "check" || args[0] == "diff") {
+  if (args[0] == "summary" || args[0] == "check" || args[0] == "diff" ||
+      args[0] == "predcheck") {
     cmd = args[0];
     i = 1;
   }
@@ -335,6 +422,7 @@ int Main(int argc, char** argv) {
   // Positional paths + flags.
   std::vector<std::string> paths;
   double min_coverage = 80.0;
+  double max_ratio = 2.0;
   profile::DiffThresholds t;
   for (; i < args.size(); ++i) {
     auto flag_val = [&](const char* name, double* out) {
@@ -347,6 +435,7 @@ int Main(int argc, char** argv) {
       return true;
     };
     if (flag_val("--min-coverage", &min_coverage)) continue;
+    if (flag_val("--max-ratio", &max_ratio)) continue;
     if (flag_val("--time-pct", &t.time_pct)) continue;
     if (flag_val("--time-abs-ms", &t.time_abs_ms)) continue;
     if (flag_val("--bytes-pct", &t.bytes_pct)) continue;
@@ -380,6 +469,7 @@ int Main(int argc, char** argv) {
                  text.status().ToString().c_str());
     return 2;
   }
+  if (cmd == "predcheck") return RunPredcheck(text.value(), max_ratio);
   Result<profile::Profile> p = profile::ParseProfile(text.value());
   if (!p.ok()) {
     std::fprintf(stderr, "sac_prof: %s: %s\n", paths[0].c_str(),
