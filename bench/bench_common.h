@@ -26,6 +26,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/sac.h"
@@ -42,6 +43,16 @@ inline int Reps() {
 inline std::string Scale() {
   const char* s = std::getenv("SAC_BENCH_SCALE");
   return s ? s : "small";
+}
+
+/// CPUs available to this process, stamped into every report so
+/// sac_prof diff only hard-gates wall-clock against a baseline taken on
+/// the same machine shape (counters are shape-independent and always
+/// gate). Containerized runners resize CPU allocations between runs, and
+/// a 4-executor simulated cluster on 1 CPU times nothing like on 8.
+inline int HostCpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
 }
 
 /// The benchmark cluster shape: 4 simulated executors. (The paper used 8
@@ -214,7 +225,8 @@ class BenchReporter {
     std::string j = "{\n";
     j += "\"bench\":\"" + trace::JsonEscape(name_) + "\",";
     j += "\"scale\":\"" + trace::JsonEscape(Scale()) + "\",";
-    j += "\"reps\":" + std::to_string(Reps()) + ",\n";
+    j += "\"reps\":" + std::to_string(Reps()) + ",";
+    j += "\"host_cpus\":" + std::to_string(HostCpus()) + ",\n";
     j += "\"rows\":[";
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];

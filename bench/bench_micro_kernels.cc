@@ -5,6 +5,7 @@
 #include "src/common/rng.h"
 #include "src/la/jvmlike.h"
 #include "src/la/kernels.h"
+#include "src/la/packed_gemm.h"
 #include "src/runtime/engine.h"
 
 namespace {
@@ -28,7 +29,20 @@ void BM_GemmFast(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmFast)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmFast)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmPacked(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tile a = RandomTile(n, 1), b = RandomTile(n, 2), c(n, n);
+  for (auto _ : state) {
+    sac::la::PackedGemmAccum(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+// 64 forwards to the unpacked loop (below threshold); 128+ pack. The
+// 512 point is the backend-ablation gate's shape (docs/KERNELS.md).
+BENCHMARK(BM_GemmPacked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_GemmJvmlike(benchmark::State& state) {
   const int64_t n = state.range(0);

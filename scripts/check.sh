@@ -26,6 +26,10 @@
 #      then sac_prof predcheck holds the compile-time shuffle-byte
 #      predictions within 2x of the measured counters on fig4a/b/c
 #      (docs/COST_MODEL.md)
+#   8c. backends: bench_abl_backend at tiny scale (packed GEMM >= 1.3x
+#      generic at n=512, all three kernel backends byte-identical on
+#      fig4-shaped queries, fusion strictly reduces tile allocations;
+#      docs/KERNELS.md)
 #   9. bench regression gate: scripts/bench_diff.sh (committed
 #      BENCH_*.json vs BENCH_*.baseline.json via sac_prof diff)
 #  10. docs: scripts/check_docs_links.sh (no *.md relative link may point
@@ -129,6 +133,11 @@ EOF
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=3 \
     ./build/bench/bench_abl_strategy \
     --out build/BENCH_abl_strategy.smoke.json
+
+  echo "==> backends: packed GEMM speedup + byte-identity + fusion gate"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=2 \
+    ./build/bench/bench_abl_backend \
+    --out build/BENCH_abl_backend.smoke.json
 
   echo "==> cost model: predicted vs measured shuffle bytes (2x gate)"
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 \

@@ -102,6 +102,16 @@ bool IsTiledSource(const PlanGraph& g, const std::string& name) {
 
 }  // namespace
 
+CostModel CostModelForBackend(const std::string& backend_name) {
+  CostModel m;
+  if (backend_name == "packed") {
+    m.ns_per_flop = m.ns_per_flop_packed;
+  } else if (backend_name == "jvmlike") {
+    m.ns_per_flop = m.ns_per_flop_jvmlike;
+  }
+  return m;
+}
+
 const char* EngineShuffleLabel(const planner::PlanNode::Op op) {
   switch (op) {
     case PlanNode::Op::kJoin:

@@ -31,8 +31,19 @@ struct CostModel {
   double ns_per_cross_byte = 1.2;   // serialize + route + deserialize
   double ns_per_local_byte = 0.35;  // serialize + same-executor handoff
   double us_per_task = 18.0;        // scheduling + dispatch overhead
-  double ns_per_flop = 0.15;        // fused dense tile kernels
+  double ns_per_flop = 0.15;        // generic blocked tile kernels
+  /// Per-backend flop rates (docs/KERNELS.md): the packed microkernel
+  /// retires register-tiled FMAs, the jvmlike baseline pays a virtual
+  /// call per element access. Measured with bench_abl_backend.
+  double ns_per_flop_packed = 0.10;
+  double ns_per_flop_jvmlike = 1.1;
 };
+
+/// The cost model with ns_per_flop substituted for the named kernel
+/// backend ("generic" / "packed" / "jvmlike"; unknown or empty names keep
+/// the generic rate). The planner passes ClusterConfig::kernel_backend so
+/// strategy choice reflects the flop rate the plan will actually run at.
+[[nodiscard]] CostModel CostModelForBackend(const std::string& backend_name);
 
 /// Per-node cost components. Shuffle bytes are attributed to the shuffle
 /// node that moves them; flops to the node whose closure computes.

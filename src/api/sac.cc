@@ -18,8 +18,10 @@ using runtime::ValueVec;
 Sac::Sac(runtime::ClusterConfig config, planner::PlannerOptions options)
     : engine_(std::make_unique<runtime::Engine>(config)),
       options_(options) {
-  // The cost model plans against the engine's actual cluster shape.
-  options_.cluster = config;
+  // The cost model plans against the engine's actual cluster shape --
+  // engine_->config(), not the caller's `config`, so env-resolved fields
+  // (memory budget, kernel backend) reach the planner too.
+  options_.cluster = engine_->config();
 }
 
 void Sac::RecordPredictions(const CompiledQuery& q) {

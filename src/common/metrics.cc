@@ -47,6 +47,12 @@ std::string MetricsSnapshot::ToString() const {
     os << " peak_resident=" << peak_resident_bytes / (1024.0 * 1024.0)
        << "MB";
   }
+  if (flops_generic > 0 || flops_packed > 0 || flops_jvmlike > 0) {
+    os << " mflops_generic=" << flops_generic / 1e6
+       << " mflops_packed=" << flops_packed / 1e6
+       << " mflops_jvmlike=" << flops_jvmlike / 1e6;
+  }
+  if (tile_allocs > 0) os << " tile_allocs=" << tile_allocs;
   return os.str();
 }
 
@@ -69,6 +75,10 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.bytes_reloaded = bytes_reloaded();
   s.reload_recomputes = reload_recomputes();
   s.peak_resident_bytes = peak_resident_bytes();
+  s.flops_generic = flops_generic();
+  s.flops_packed = flops_packed();
+  s.flops_jvmlike = flops_jvmlike();
+  s.tile_allocs = tile_allocs();
   return s;
 }
 

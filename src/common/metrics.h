@@ -8,7 +8,10 @@
 //    invocation, keyed by the dataset node's label). Every stage-level
 //    increment forwards to the totals, so the registry is a strict
 //    refinement of Metrics: summing any counter over all stages
-//    reproduces the engine-wide value.
+//    reproduces the engine-wide value. Exception: the kernel-layer
+//    counters (flops_* and tile_allocs) are metered engine-wide from the
+//    planner's run closures, which execute outside any single stage's
+//    scope, so their per-stage values stay zero.
 //
 // Concurrency: Metrics is sharded. Writers land on a per-thread shard
 // (cache-line padded, relaxed atomics within the shard since several
@@ -58,7 +61,11 @@ namespace sac {
   X(bytes_evicted)                      \
   X(bytes_reloaded)                     \
   X(reload_recomputes)                  \
-  X(peak_resident_bytes)
+  X(peak_resident_bytes)                \
+  X(flops_generic)                      \
+  X(flops_packed)                       \
+  X(flops_jvmlike)                      \
+  X(tile_allocs)
 
 /// Plain, copyable view of the counters, folded once across shards --
 /// use this instead of reading individual getters non-atomically mid-run.
@@ -88,6 +95,14 @@ struct MetricsSnapshot {
   uint64_t bytes_reloaded = 0;
   uint64_t reload_recomputes = 0;
   uint64_t peak_resident_bytes = 0;
+  // Kernel layer (docs/KERNELS.md): floating-point operations credited to
+  // each kernel backend by the tile kernels the planner dispatched, and
+  // output/temporary tiles allocated by elementwise plan stages (the
+  // counter the fusion gate in bench_abl_backend watches).
+  uint64_t flops_generic = 0;
+  uint64_t flops_packed = 0;
+  uint64_t flops_jvmlike = 0;
+  uint64_t tile_allocs = 0;
 
   /// Invokes fn(name, value) for every counter, in declaration order
   /// (names from SAC_METRICS_FOR_EACH_COUNTER). The mutable overload
@@ -131,6 +146,10 @@ class Metrics {
       s.bytes_evicted = 0;
       s.bytes_reloaded = 0;
       s.reload_recomputes = 0;
+      s.flops_generic = 0;
+      s.flops_packed = 0;
+      s.flops_jvmlike = 0;
+      s.tile_allocs = 0;
     }
     peak_resident_bytes_.store(0, std::memory_order_relaxed);
   }
@@ -172,6 +191,12 @@ class Metrics {
   void AddReload(uint64_t bytes) { Bump(Local().bytes_reloaded, bytes); }
   /// One reload whose spill file was unreadable, forcing recomputation.
   void AddReloadRecompute() { Bump(Local().reload_recomputes, 1); }
+  /// Flops executed by the named kernel backend (docs/KERNELS.md).
+  void AddFlopsGeneric(uint64_t flops) { Bump(Local().flops_generic, flops); }
+  void AddFlopsPacked(uint64_t flops) { Bump(Local().flops_packed, flops); }
+  void AddFlopsJvmlike(uint64_t flops) { Bump(Local().flops_jvmlike, flops); }
+  /// One tile (output or temporary) allocated by an elementwise stage.
+  void AddTileAllocs(uint64_t n) { Bump(Local().tile_allocs, n); }
   /// Monotone max-update of the resident-partition-bytes high-water mark.
   void UpdatePeakResident(uint64_t resident_bytes) {
     uint64_t prev = peak_resident_bytes_.load(std::memory_order_relaxed);
@@ -210,6 +235,10 @@ class Metrics {
   uint64_t peak_resident_bytes() const {
     return peak_resident_bytes_.load(std::memory_order_relaxed);
   }
+  uint64_t flops_generic() const { return Fold(&Shard::flops_generic); }
+  uint64_t flops_packed() const { return Fold(&Shard::flops_packed); }
+  uint64_t flops_jvmlike() const { return Fold(&Shard::flops_jvmlike); }
+  uint64_t tile_allocs() const { return Fold(&Shard::tile_allocs); }
 
   MetricsSnapshot Snapshot() const;
   std::string ToString() const;
@@ -236,6 +265,10 @@ class Metrics {
     std::atomic<uint64_t> bytes_evicted{0};
     std::atomic<uint64_t> bytes_reloaded{0};
     std::atomic<uint64_t> reload_recomputes{0};
+    std::atomic<uint64_t> flops_generic{0};
+    std::atomic<uint64_t> flops_packed{0};
+    std::atomic<uint64_t> flops_jvmlike{0};
+    std::atomic<uint64_t> tile_allocs{0};
   };
 
   static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
@@ -336,6 +369,22 @@ class StageStats {
   void AddReloadRecompute() {
     local_.AddReloadRecompute();
     if (totals_) totals_->AddReloadRecompute();
+  }
+  void AddFlopsGeneric(uint64_t flops) {
+    local_.AddFlopsGeneric(flops);
+    if (totals_) totals_->AddFlopsGeneric(flops);
+  }
+  void AddFlopsPacked(uint64_t flops) {
+    local_.AddFlopsPacked(flops);
+    if (totals_) totals_->AddFlopsPacked(flops);
+  }
+  void AddFlopsJvmlike(uint64_t flops) {
+    local_.AddFlopsJvmlike(flops);
+    if (totals_) totals_->AddFlopsJvmlike(flops);
+  }
+  void AddTileAllocs(uint64_t n) {
+    local_.AddTileAllocs(n);
+    if (totals_) totals_->AddTileAllocs(n);
   }
   void RecordTaskMicros(uint64_t us) { task_us_.Record(us); }
   void AddWallMicros(uint64_t us) {

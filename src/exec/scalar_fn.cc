@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "src/exec/scalar_program.h"
 
 namespace sac::exec {
 
@@ -22,11 +25,12 @@ int FindArg(const std::vector<std::string>& args, const std::string& name) {
   return it == args.end() ? -1 : static_cast<int>(it - args.begin());
 }
 
-}  // namespace
-
-Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
-                                 const std::vector<std::string>& args,
-                                 const ConstEnv& consts) {
+/// Closure-tree compiler: one std::function per AST node. Kept as the
+/// fallback for expressions ScalarProgram rejects (e.g. ones deeper than
+/// its fixed evaluation stack).
+Result<ScalarFn> CompileTree(const ExprPtr& e,
+                             const std::vector<std::string>& args,
+                             const ConstEnv& consts) {
   switch (e->kind) {
     case Expr::Kind::kIntLit: {
       const double v = static_cast<double>(e->int_val);
@@ -51,14 +55,14 @@ Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
     case Expr::Kind::kUnary: {
       if (e->un_op != UnOp::kNeg) return Unsupported(e, "boolean negation");
       SAC_ASSIGN_OR_RETURN(ScalarFn f,
-                           CompileScalarFn(e->children[0], args, consts));
+                           CompileTree(e->children[0], args, consts));
       return ScalarFn([f](const double* a) { return -f(a); });
     }
     case Expr::Kind::kBinary: {
       SAC_ASSIGN_OR_RETURN(ScalarFn l,
-                           CompileScalarFn(e->children[0], args, consts));
+                           CompileTree(e->children[0], args, consts));
       SAC_ASSIGN_OR_RETURN(ScalarFn r,
-                           CompileScalarFn(e->children[1], args, consts));
+                           CompileTree(e->children[1], args, consts));
       switch (e->bin_op) {
         case BinOp::kAdd:
           return ScalarFn([l, r](const double* a) { return l(a) + r(a); });
@@ -108,9 +112,9 @@ Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
                 });
           }
           SAC_ASSIGN_OR_RETURN(ScalarFn l,
-                               CompileScalarFn(c->children[0], args, consts));
+                               CompileTree(c->children[0], args, consts));
           SAC_ASSIGN_OR_RETURN(ScalarFn r,
-                               CompileScalarFn(c->children[1], args, consts));
+                               CompileTree(c->children[1], args, consts));
           const BinOp op = c->bin_op;
           return std::function<bool(const double*)>(
               [l, r, op](const double* a) {
@@ -129,9 +133,9 @@ Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
         SAC_ASSIGN_OR_RETURN(pred, compile_pred(cond));
       }
       SAC_ASSIGN_OR_RETURN(ScalarFn t,
-                           CompileScalarFn(e->children[1], args, consts));
+                           CompileTree(e->children[1], args, consts));
       SAC_ASSIGN_OR_RETURN(ScalarFn f,
-                           CompileScalarFn(e->children[2], args, consts));
+                           CompileTree(e->children[2], args, consts));
       return ScalarFn(
           [pred, t, f](const double* a) { return pred(a) ? t(a) : f(a); });
     }
@@ -139,7 +143,7 @@ Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
       const std::string& fn = e->str_val;
       std::vector<ScalarFn> cargs;
       for (const auto& c : e->children) {
-        SAC_ASSIGN_OR_RETURN(ScalarFn f, CompileScalarFn(c, args, consts));
+        SAC_ASSIGN_OR_RETURN(ScalarFn f, CompileTree(c, args, consts));
         cargs.push_back(std::move(f));
       }
       if (fn == "abs" && cargs.size() == 1) {
@@ -179,6 +183,22 @@ Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
     default:
       return Unsupported(e, "expression");
   }
+}
+
+}  // namespace
+
+Result<ScalarFn> CompileScalarFn(const ExprPtr& e,
+                                 const std::vector<std::string>& args,
+                                 const ConstEnv& consts) {
+  // Program first: a flat postfix program costs one indirect call per
+  // element instead of one per AST node (src/exec/scalar_program.h). The
+  // closure tree only runs for expressions the program compiler rejects.
+  Result<ScalarProgram> prog = ScalarProgram::Compile(e, args, consts);
+  if (prog.ok()) {
+    auto p = std::make_shared<ScalarProgram>(std::move(prog).value());
+    return ScalarFn([p](const double* a) { return p->Eval(a); });
+  }
+  return CompileTree(e, args, consts);
 }
 
 Result<IntFn> CompileIntFn(const ExprPtr& e,

@@ -1,0 +1,122 @@
+#include "src/la/fused.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/la/kernels.h"
+
+namespace sac::la {
+
+namespace {
+
+constexpr int64_t kBlock = 32;  // same footprint as la::Transpose's tiles
+
+int64_t LogicalRows(const Tile& t, bool transposed) {
+  return transposed ? t.cols() : t.rows();
+}
+int64_t LogicalCols(const Tile& t, bool transposed) {
+  return transposed ? t.rows() : t.cols();
+}
+
+/// Element (i, j) of the logical (possibly transposed) view.
+inline double At(const Tile& t, bool transposed, int64_t i, int64_t j) {
+  return transposed ? t.data()[j * t.cols() + i]
+                    : t.data()[i * t.cols() + j];
+}
+
+/// Runs `body(i, j, out_row_ptr)` over the output in cache-blocked order
+/// (the transposed operand is read column-wise, so blocking keeps its
+/// working set resident the way la::Transpose's own blocking does).
+template <typename Body>
+void BlockedApply(int64_t rows, int64_t cols, Tile* out, Body&& body) {
+  if (out->rows() != rows || out->cols() != cols) *out = Tile(rows, cols);
+  double* po = out->data();
+  for (int64_t ii = 0; ii < rows; ii += kBlock) {
+    const int64_t iimax = std::min(ii + kBlock, rows);
+    for (int64_t jj = 0; jj < cols; jj += kBlock) {
+      const int64_t jjmax = std::min(jj + kBlock, cols);
+      for (int64_t i = ii; i < iimax; ++i) {
+        double* orow = po + i * cols;
+        for (int64_t j = jj; j < jjmax; ++j) body(i, j, &orow[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FusedZip(ZipOp op, double alpha, double beta, const Tile& a, bool a_t,
+              const Tile& b, bool b_t, Tile* out) {
+  const int64_t rows = LogicalRows(a, a_t), cols = LogicalCols(a, a_t);
+  SAC_CHECK_EQ(rows, LogicalRows(b, b_t));
+  SAC_CHECK_EQ(cols, LogicalCols(b, b_t));
+  if (!a_t && !b_t) {
+    // Straight case: the vectorized kernels are strictly better.
+    switch (op) {
+      case ZipOp::kAdd: Add(a, b, out); return;
+      case ZipOp::kSub: Sub(a, b, out); return;
+      case ZipOp::kMul: Mul(a, b, out); return;
+      case ZipOp::kAxpby: Axpby(alpha, a, beta, b, out); return;
+    }
+  }
+  switch (op) {
+    case ZipOp::kAdd:
+      BlockedApply(rows, cols, out, [&](int64_t i, int64_t j, double* o) {
+        *o = At(a, a_t, i, j) + At(b, b_t, i, j);
+      });
+      return;
+    case ZipOp::kSub:
+      BlockedApply(rows, cols, out, [&](int64_t i, int64_t j, double* o) {
+        *o = At(a, a_t, i, j) - At(b, b_t, i, j);
+      });
+      return;
+    case ZipOp::kMul:
+      BlockedApply(rows, cols, out, [&](int64_t i, int64_t j, double* o) {
+        *o = At(a, a_t, i, j) * At(b, b_t, i, j);
+      });
+      return;
+    case ZipOp::kAxpby:
+      BlockedApply(rows, cols, out, [&](int64_t i, int64_t j, double* o) {
+        *o = alpha * At(a, a_t, i, j) + beta * At(b, b_t, i, j);
+      });
+      return;
+  }
+}
+
+void FusedZipFn(const std::function<double(double, double)>& f,
+                const Tile& a, bool a_t, const Tile& b, bool b_t,
+                Tile* out) {
+  const int64_t rows = LogicalRows(a, a_t), cols = LogicalCols(a, a_t);
+  SAC_CHECK_EQ(rows, LogicalRows(b, b_t));
+  SAC_CHECK_EQ(cols, LogicalCols(b, b_t));
+  if (!a_t && !b_t) {
+    ZipElements(a, b, f, out);
+    return;
+  }
+  BlockedApply(rows, cols, out, [&](int64_t i, int64_t j, double* o) {
+    *o = f(At(a, a_t, i, j), At(b, b_t, i, j));
+  });
+}
+
+void FusedMapFn(const std::function<double(double)>& f, const Tile& a,
+                bool a_t, Tile* out) {
+  if (!a_t) {
+    MapElements(a, f, out);
+    return;
+  }
+  BlockedApply(a.cols(), a.rows(), out, [&](int64_t i, int64_t j, double* o) {
+    *o = f(At(a, true, i, j));
+  });
+}
+
+void FusedScale(double alpha, const Tile& a, bool a_t, Tile* out) {
+  if (!a_t) {
+    Scale(alpha, a, out);
+    return;
+  }
+  BlockedApply(a.cols(), a.rows(), out, [&](int64_t i, int64_t j, double* o) {
+    *o = alpha * At(a, true, i, j);
+  });
+}
+
+}  // namespace sac::la

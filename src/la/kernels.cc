@@ -10,8 +10,16 @@
 // same loops un-hinted instead of tripping unknown-pragma warnings.
 #if defined(SAC_HAVE_OPENMP_SIMD) || defined(_OPENMP)
 #define SAC_SIMD _Pragma("omp simd")
+// Reduction variant for the sum loops (RowSums/TotalSum): the clause
+// licenses reassociation into vector lanes, so these sums may differ from
+// a strict left-to-right sum in the low bits. Cross-backend tests compare
+// reductions with a tolerance for exactly this reason; the elementwise
+// and GEMM kernels stay bit-identical across backends.
+#define SAC_PRAGMA(x) _Pragma(#x)
+#define SAC_SIMD_REDUCE(var) SAC_PRAGMA(omp simd reduction(+ : var))
 #else
 #define SAC_SIMD
+#define SAC_SIMD_REDUCE(var)
 #endif
 
 namespace sac::la {
@@ -148,31 +156,36 @@ void Transpose(const Tile& a, Tile* out) {
   }
 }
 
-void RowSums(const Tile& a, double* out) {
+void RowSums(const Tile& a, double* __restrict out) {
   const int64_t m = a.rows(), n = a.cols();
-  const double* pa = a.data();
+  const double* __restrict pa = a.data();
   for (int64_t i = 0; i < m; ++i) {
     double s = 0.0;
-    const double* row = pa + i * n;
+    const double* __restrict row = pa + i * n;
+    SAC_SIMD_REDUCE(s)
     for (int64_t j = 0; j < n; ++j) s += row[j];
     out[i] = s;
   }
 }
 
-void ColSums(const Tile& a, double* out) {
+void ColSums(const Tile& a, double* __restrict out) {
   const int64_t m = a.rows(), n = a.cols();
-  const double* pa = a.data();
+  const double* __restrict pa = a.data();
   std::fill(out, out + n, 0.0);
+  // Per-column accumulators are independent, so the j loop vectorizes
+  // without reassociating any single sum.
   for (int64_t i = 0; i < m; ++i) {
-    const double* row = pa + i * n;
+    const double* __restrict row = pa + i * n;
+    SAC_SIMD
     for (int64_t j = 0; j < n; ++j) out[j] += row[j];
   }
 }
 
 double TotalSum(const Tile& a) {
   double s = 0.0;
-  const double* pa = a.data();
+  const double* __restrict pa = a.data();
   const int64_t n = a.size();
+  SAC_SIMD_REDUCE(s)
   for (int64_t i = 0; i < n; ++i) s += pa[i];
   return s;
 }

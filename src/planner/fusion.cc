@@ -1,0 +1,170 @@
+#include "src/planner/fusion.h"
+
+#include <optional>
+
+namespace sac::planner {
+
+using comp::BinOp;
+using comp::Expr;
+using comp::ExprPtr;
+using comp::UnOp;
+
+namespace {
+
+/// Constant-folds expressions over literals and bound scalars. Only the
+/// exact operators whose folded value is the value the closure compiler
+/// would compute (+, -, *, /, unary minus) participate, so dispatching on
+/// the folded coefficient cannot change results.
+std::optional<double> EvalConst(const ExprPtr& e,
+                                const exec::ConstEnv& consts) {
+  switch (e->kind) {
+    case Expr::Kind::kIntLit:
+      return static_cast<double>(e->int_val);
+    case Expr::Kind::kDoubleLit:
+      return e->double_val;
+    case Expr::Kind::kVar: {
+      auto it = consts.find(e->str_val);
+      if (it == consts.end()) return std::nullopt;
+      return it->second;
+    }
+    case Expr::Kind::kUnary: {
+      if (e->un_op != UnOp::kNeg) return std::nullopt;
+      auto v = EvalConst(e->children[0], consts);
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    case Expr::Kind::kBinary: {
+      auto l = EvalConst(e->children[0], consts);
+      auto r = EvalConst(e->children[1], consts);
+      if (!l || !r) return std::nullopt;
+      switch (e->bin_op) {
+        case BinOp::kAdd: return *l + *r;
+        case BinOp::kSub: return *l - *r;
+        case BinOp::kMul: return *l * *r;
+        case BinOp::kDiv: return *l / *r;
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+bool IsVar(const ExprPtr& e, const std::string& name) {
+  return e->kind == Expr::Kind::kVar && e->str_val == name;
+}
+
+/// One linear term: coef * args[arg]. Plain vars, c*v, v*c, and unary
+/// minus of any of those. `plain` distinguishes a bare variable (coef
+/// exactly 1 by construction, safe for kAdd/kSub dispatch) from a folded
+/// coefficient.
+struct Term {
+  int arg = -1;
+  double coef = 1.0;
+  bool plain = false;
+};
+
+std::optional<Term> ParseTerm(const ExprPtr& e, const std::string& arg0,
+                              const std::string& arg1,
+                              const exec::ConstEnv& consts) {
+  if (IsVar(e, arg0)) return Term{0, 1.0, true};
+  if (IsVar(e, arg1)) return Term{1, 1.0, true};
+  if (e->kind == Expr::Kind::kUnary && e->un_op == UnOp::kNeg) {
+    auto t = ParseTerm(e->children[0], arg0, arg1, consts);
+    if (!t) return std::nullopt;
+    // -(c*v) folds to (-c)*v: exact sign flip, not a new rounding.
+    return Term{t->arg, -t->coef, false};
+  }
+  if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kMul) {
+    for (int side = 0; side < 2; ++side) {
+      const ExprPtr& var = e->children[side];
+      const ExprPtr& c = e->children[1 - side];
+      const int arg = IsVar(var, arg0) ? 0 : IsVar(var, arg1) ? 1 : -1;
+      if (arg < 0) continue;
+      auto v = EvalConst(c, consts);
+      if (!v) continue;
+      return Term{arg, *v, false};
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t CountFlops(const ExprPtr& e) {
+  uint64_t n = 0;
+  if (e->kind == Expr::Kind::kBinary || e->kind == Expr::Kind::kUnary ||
+      e->kind == Expr::Kind::kCall) {
+    n = 1;
+  }
+  for (const auto& c : e->children) n += CountFlops(c);
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace
+
+ZipPattern MatchZipPattern(const ExprPtr& hv, const std::string& arg0,
+                           const std::string& arg1,
+                           const exec::ConstEnv& consts) {
+  ZipPattern p;
+  p.flops_per_element = CountFlops(hv);
+  if (hv->kind != Expr::Kind::kBinary) return p;
+
+  // a * b (Hadamard), either operand order.
+  if (hv->bin_op == BinOp::kMul) {
+    if ((IsVar(hv->children[0], arg0) && IsVar(hv->children[1], arg1)) ||
+        (IsVar(hv->children[0], arg1) && IsVar(hv->children[1], arg0))) {
+      p.kind = ZipPattern::Kind::kMul;
+      p.flops_per_element = 1;
+    }
+    return p;
+  }
+  if (hv->bin_op != BinOp::kAdd && hv->bin_op != BinOp::kSub) return p;
+
+  auto lt = ParseTerm(hv->children[0], arg0, arg1, consts);
+  auto rt = ParseTerm(hv->children[1], arg0, arg1, consts);
+  if (!lt || !rt || lt->arg == rt->arg) return p;
+  const bool sub = hv->bin_op == BinOp::kSub;
+
+  // Plain-variable forms keep the dedicated one-op kernels. `a - b` with
+  // reversed operands still needs the sign, so it drops to kAxpby.
+  if (lt->plain && rt->plain) {
+    if (!sub) {
+      p.kind = ZipPattern::Kind::kAdd;  // addition commutes bitwise
+      p.flops_per_element = 1;
+      return p;
+    }
+    if (lt->arg == 0) {
+      p.kind = ZipPattern::Kind::kSub;
+      p.flops_per_element = 1;
+      return p;
+    }
+  }
+
+  // General linear form alpha*arg0 + beta*arg1. Subtraction folds into
+  // the right coefficient's sign (a - c*b == a + (-c)*b bitwise).
+  if (sub) rt->coef = -rt->coef;
+  p.kind = ZipPattern::Kind::kAxpby;
+  p.alpha = lt->arg == 0 ? lt->coef : rt->coef;
+  p.beta = lt->arg == 0 ? rt->coef : lt->coef;
+  p.flops_per_element = 3;
+  return p;
+}
+
+MapPattern MatchMapPattern(const ExprPtr& hv, const std::string& arg,
+                           const exec::ConstEnv& consts) {
+  MapPattern p;
+  p.flops_per_element = CountFlops(hv);
+  if (IsVar(hv, arg)) {
+    p.kind = MapPattern::Kind::kIdentity;
+    p.flops_per_element = 0;
+    return p;
+  }
+  auto t = ParseTerm(hv, arg, arg, consts);
+  if (t && !t->plain) {
+    p.kind = MapPattern::Kind::kScale;
+    p.alpha = t->coef;
+    p.flops_per_element = 1;
+  }
+  return p;
+}
+
+}  // namespace sac::planner

@@ -1,0 +1,50 @@
+// Elementwise pattern matching for the fusion pass (docs/KERNELS.md).
+// The 5.1 planner compiles the scalar head of an elementwise query; these
+// matchers recognize the shapes with dedicated kernels -- a+b, a-b, a*b,
+// alpha*a + beta*b, alpha*a -- so no fig4 query falls back to per-element
+// closure evaluation, and the run closure can fuse transposed reads into
+// the same pass (src/la/fused.h). Coefficients may be any expression that
+// constant-folds over literals and bound scalars (e.g. fig4c's
+// `__gl*p + __tg*g` with __gl/__tg scalar bindings).
+#ifndef SAC_PLANNER_FUSION_H_
+#define SAC_PLANNER_FUSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/comp/ast.h"
+#include "src/exec/scalar_fn.h"
+
+namespace sac::planner {
+
+/// Recognized two-operand elementwise head shapes. alpha/beta apply to
+/// kAxpby (value = alpha*arg0 + beta*arg1). flops_per_element feeds the
+/// per-backend flop counters and the cost model.
+struct ZipPattern {
+  enum class Kind { kAdd, kSub, kMul, kAxpby, kGeneric };
+  Kind kind = Kind::kGeneric;
+  double alpha = 1.0;
+  double beta = 1.0;
+  uint64_t flops_per_element = 1;
+};
+
+/// Matches `hv` over element arguments arg0/arg1. Never fails: unmatched
+/// shapes come back as kGeneric (closure/program evaluation).
+ZipPattern MatchZipPattern(const comp::ExprPtr& hv, const std::string& arg0,
+                           const std::string& arg1,
+                           const exec::ConstEnv& consts);
+
+/// Recognized one-operand elementwise head shapes.
+struct MapPattern {
+  enum class Kind { kIdentity, kScale, kGeneric };
+  Kind kind = Kind::kGeneric;
+  double alpha = 1.0;  // kScale: value = alpha*arg
+  uint64_t flops_per_element = 1;
+};
+
+MapPattern MatchMapPattern(const comp::ExprPtr& hv, const std::string& arg,
+                           const exec::ConstEnv& consts);
+
+}  // namespace sac::planner
+
+#endif  // SAC_PLANNER_FUSION_H_

@@ -12,8 +12,11 @@
 #include "src/common/logging.h"
 #include "src/comp/eval.h"
 #include "src/exec/scalar_fn.h"
+#include "src/la/backend.h"
+#include "src/la/fused.h"
 #include "src/la/jvmlike.h"
 #include "src/la/kernels.h"
+#include "src/planner/fusion.h"
 
 namespace sac::planner {
 
@@ -178,13 +181,34 @@ std::optional<size_t> VarPosInGen(const QueryShape& shape, const GenInfo& g,
   return std::nullopt;
 }
 
-/// True if expr is exactly `Var(a) op Var(b)`.
-bool IsVarBinop(const ExprPtr& e, comp::BinOp op, const std::string& a,
-                const std::string& b) {
-  return e->kind == Expr::Kind::kBinary && e->bin_op == op &&
-         e->children[0]->kind == Expr::Kind::kVar &&
-         e->children[1]->kind == Expr::Kind::kVar &&
-         e->children[0]->str_val == a && e->children[1]->str_val == b;
+/// Kernel backend for a run closure: the per-query jvmlike pin (the
+/// MLlib baseline series) wins over the engine's configured backend.
+const la::KernelBackend* RunBackend(Engine* eng, bool jvmlike) {
+  return jvmlike ? la::GetBackend(la::BackendKind::kJvmlike)
+                 : eng->kernel_backend();
+}
+
+la::ZipOp ToZipOp(const ZipPattern& pat) {
+  switch (pat.kind) {
+    case ZipPattern::Kind::kAdd: return la::ZipOp::kAdd;
+    case ZipPattern::Kind::kSub: return la::ZipOp::kSub;
+    case ZipPattern::Kind::kMul: return la::ZipOp::kMul;
+    default: return la::ZipOp::kAxpby;
+  }
+}
+
+/// Dispatches a matched zip pattern through the backend's kernels.
+void RunZipPattern(const la::KernelBackend* kb, const ZipPattern& pat,
+                   const la::Tile& a, const la::Tile& b, la::Tile* out) {
+  switch (pat.kind) {
+    case ZipPattern::Kind::kAdd: kb->Add(a, b, out); return;
+    case ZipPattern::Kind::kSub: kb->Sub(a, b, out); return;
+    case ZipPattern::Kind::kMul: kb->Mul(a, b, out); return;
+    case ZipPattern::Kind::kAxpby:
+      kb->Axpby(pat.alpha, a, pat.beta, b, out);
+      return;
+    case ZipPattern::Kind::kGeneric: break;
+  }
 }
 
 }  // namespace
@@ -250,15 +274,16 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     }
     SAC_ASSIGN_OR_RETURN(ScalarFn f,
                          exec::CompileScalarFn(hv, val_args, consts));
-    const bool fast_add =
-        IsVarBinop(hv, comp::BinOp::kAdd, val_args[0], val_args[1]) ||
-        IsVarBinop(hv, comp::BinOp::kAdd, val_args[1], val_args[0]);
-    const bool fast_sub =
-        IsVarBinop(hv, comp::BinOp::kSub, val_args[0], val_args[1]);
+    // Pattern dispatch (docs/KERNELS.md): a+b / a-b / a*b / alpha*a+beta*b
+    // heads run through dedicated kernels; only unmatched heads evaluate
+    // the compiled scalar program per element.
+    const ZipPattern pat =
+        MatchZipPattern(hv, val_args[0], val_args[1], consts);
 
     const TiledMatrix A = ba->tiled, B = bb->tiled;
     const auto ma = gmap[0], mb = gmap[1];
     const bool jvmlike = opts.use_jvmlike_kernels;
+    const bool fuse = opts.fuse_elementwise;
 
     CompiledQuery q;
     q.strategy = Strategy::kTilingPreserving;
@@ -295,6 +320,7 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
       SAC_ASSIGN_OR_RETURN(Dataset joined, eng->Join(ka, kb));
       const bool ta_swap = (ma[0] == 1);
       const bool tb_swap = (mb[0] == 1);
+      const la::KernelBackend* kbk = RunBackend(eng, jvmlike);
       SAC_ASSIGN_OR_RETURN(
           Dataset out,
           eng->Map(
@@ -302,37 +328,48 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
               [=](const Value& row) {
                 la::Tile a = row.At(1).At(0).AsTile();
                 la::Tile b = row.At(1).At(1).AsTile();
-                if (ta_swap) {
-                  la::Tile t;
-                  la::Transpose(a, &t);
-                  a = std::move(t);
-                }
-                if (tb_swap) {
-                  la::Tile t;
-                  la::Transpose(b, &t);
-                  b = std::move(t);
-                }
+                Metrics* mets = &eng->metrics();
                 la::Tile v;
-                if (jvmlike) {
-                  if (fast_add) {
-                    la::jvmlike::TileAdd(a, b, &v);
+                const bool patterned =
+                    pat.kind != ZipPattern::Kind::kGeneric;
+                auto zip_fn = [&f](double x, double y) {
+                  const double args[2] = {x, y};
+                  return f(args);
+                };
+                if (fuse && !jvmlike && (ta_swap || tb_swap)) {
+                  // Fused pipeline: the transposed reads fold into the
+                  // zip pass -- no transposed temporaries. jvmlike keeps
+                  // the two-pass form (MLlib materializes intermediates).
+                  if (patterned) {
+                    la::FusedZip(ToZipOp(pat), pat.alpha, pat.beta, a,
+                                 ta_swap, b, tb_swap, &v);
                   } else {
-                    la::jvmlike::TileAxpby(1.0, a, fast_sub ? -1.0 : 1.0, b,
-                                           &v);
+                    la::FusedZipFn(zip_fn, a, ta_swap, b, tb_swap, &v);
                   }
-                } else if (fast_add) {
-                  la::Add(a, b, &v);
-                } else if (fast_sub) {
-                  la::Sub(a, b, &v);
+                  mets->AddTileAllocs(1);
                 } else {
-                  la::ZipElements(
-                      a, b,
-                      [&f](double x, double y) {
-                        const double args[2] = {x, y};
-                        return f(args);
-                      },
-                      &v);
+                  if (ta_swap) {
+                    la::Tile t;
+                    kbk->Transpose(a, &t);
+                    a = std::move(t);
+                    mets->AddTileAllocs(1);
+                  }
+                  if (tb_swap) {
+                    la::Tile t;
+                    kbk->Transpose(b, &t);
+                    b = std::move(t);
+                    mets->AddTileAllocs(1);
+                  }
+                  if (patterned) {
+                    RunZipPattern(kbk, pat, a, b, &v);
+                  } else {
+                    la::ZipElements(a, b, zip_fn, &v);
+                  }
+                  mets->AddTileAllocs(1);
                 }
+                la::MeterFlops(mets, kbk->kind(),
+                               static_cast<uint64_t>(v.size()) *
+                                   pat.flops_per_element);
                 return VPair(row.At(0), Value::TileVal(std::move(v)));
               },
               "zipTiles"));
@@ -367,8 +404,10 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     const std::vector<std::string> val_args = {shape.gens[0].val};
     SAC_ASSIGN_OR_RETURN(ScalarFn f,
                          exec::CompileScalarFn(hv, val_args, consts));
-    const bool identity = hv->kind == Expr::Kind::kVar &&
-                          hv->str_val == shape.gens[0].val;
+    const MapPattern mpat = MatchMapPattern(hv, val_args[0], consts);
+    const bool identity = mpat.kind == MapPattern::Kind::kIdentity;
+    const bool jvmlike = opts.use_jvmlike_kernels;
+    const bool fuse = opts.fuse_elementwise;
     const TiledMatrix A = ba->tiled;
     CompiledQuery q;
     q.strategy = Strategy::kTilingPreserving;
@@ -384,6 +423,7 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
       q.plan_nodes = pb.TakeNodes();
     }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
+      const la::KernelBackend* kbk = RunBackend(eng, jvmlike);
       SAC_ASSIGN_OR_RETURN(
           Dataset out,
           eng->Map(
@@ -394,23 +434,46 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
                                 ? runtime::VTuple({c[1], c[0]})
                                 : row.At(0);
                 if (identity && !is_transpose) return VPair(key, row.At(1));
-                la::Tile t = row.At(1).AsTile();
-                if (is_transpose) {
-                  la::Tile tt;
-                  la::Transpose(t, &tt);
-                  t = std::move(tt);
+                Metrics* mets = &eng->metrics();
+                const la::Tile& t0 = row.At(1).AsTile();
+                auto map_fn = [&f](double x) {
+                  const double args[1] = {x};
+                  return f(args);
+                };
+                la::Tile t;
+                if (fuse && !jvmlike) {
+                  // Fused pipeline: transpose read + map in one pass (a
+                  // pure transpose is already a single pass).
+                  if (identity) {
+                    kbk->Transpose(t0, &t);
+                  } else if (mpat.kind == MapPattern::Kind::kScale) {
+                    la::FusedScale(mpat.alpha, t0, is_transpose, &t);
+                  } else {
+                    la::FusedMapFn(map_fn, t0, is_transpose, &t);
+                  }
+                  mets->AddTileAllocs(1);
+                } else {
+                  t = t0;
+                  if (is_transpose) {
+                    la::Tile tt;
+                    kbk->Transpose(t, &tt);
+                    t = std::move(tt);
+                    mets->AddTileAllocs(1);
+                  }
+                  if (!identity) {
+                    la::Tile v;
+                    if (mpat.kind == MapPattern::Kind::kScale) {
+                      kbk->Scale(mpat.alpha, t, &v);
+                    } else {
+                      la::MapElements(t, map_fn, &v);
+                    }
+                    t = std::move(v);
+                    mets->AddTileAllocs(1);
+                  }
                 }
-                if (!identity) {
-                  la::Tile v;
-                  la::MapElements(
-                      t,
-                      [&f](double x) {
-                        const double args[1] = {x};
-                        return f(args);
-                      },
-                      &v);
-                  t = std::move(v);
-                }
+                la::MeterFlops(mets, kbk->kind(),
+                               static_cast<uint64_t>(t.size()) *
+                                   mpat.flops_per_element);
                 return VPair(key, Value::TileVal(std::move(t)));
               },
               is_transpose ? "transposeTiles" : "mapTiles"));
@@ -512,8 +575,10 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     for (const GenInfo& g : shape.gens) val_args.push_back(g.val);
     SAC_ASSIGN_OR_RETURN(ScalarFn f,
                          exec::CompileScalarFn(hv, val_args, consts));
+    const bool jvmlike = opts.use_jvmlike_kernels;
     if (shape.gens.size() == 1) {
       const storage::BlockVector V = binds.at(shape.gens[0].source).vec;
+      const MapPattern mpat = MatchMapPattern(hv, val_args[0], consts);
       CompiledQuery q;
       q.strategy = Strategy::kTilingPreserving;
       q.explanation = "5.1 per-block map of " + shape.gens[0].source;
@@ -526,19 +591,29 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
         q.plan_nodes = pb.TakeNodes();
       }
       q.run = [=](Engine* eng) -> Result<QueryResult> {
+        const la::KernelBackend* kbk = RunBackend(eng, jvmlike);
         SAC_ASSIGN_OR_RETURN(
             Dataset out,
             eng->Map(
                 V.blocks,
-                [f](const Value& row) {
+                [=](const Value& row) {
+                  Metrics* mets = &eng->metrics();
                   la::Tile v;
-                  la::MapElements(
-                      row.At(1).AsTile(),
-                      [&f](double x) {
-                        const double args[1] = {x};
-                        return f(args);
-                      },
-                      &v);
+                  if (mpat.kind == MapPattern::Kind::kScale) {
+                    kbk->Scale(mpat.alpha, row.At(1).AsTile(), &v);
+                  } else {
+                    la::MapElements(
+                        row.At(1).AsTile(),
+                        [&f](double x) {
+                          const double args[1] = {x};
+                          return f(args);
+                        },
+                        &v);
+                  }
+                  mets->AddTileAllocs(1);
+                  la::MeterFlops(mets, kbk->kind(),
+                                 static_cast<uint64_t>(v.size()) *
+                                     mpat.flops_per_element);
                   return VPair(row.At(0), Value::TileVal(std::move(v)));
                 },
                 "mapBlocks"));
@@ -552,6 +627,8 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
     if (shape.gens.size() == 2) {
       const storage::BlockVector Va = binds.at(shape.gens[0].source).vec;
       const storage::BlockVector Vb = binds.at(shape.gens[1].source).vec;
+      const ZipPattern pat =
+          MatchZipPattern(hv, val_args[0], val_args[1], consts);
       CompiledQuery q;
       q.strategy = Strategy::kTilingPreserving;
       q.explanation = "5.1 block join of " + shape.gens[0].source + " and " +
@@ -569,20 +646,31 @@ Result<CompiledQuery> TryTilingPreserving(const QueryShape& shape,
         q.plan_nodes = pb.TakeNodes();
       }
       q.run = [=](Engine* eng) -> Result<QueryResult> {
+        const la::KernelBackend* kbk = RunBackend(eng, jvmlike);
         SAC_ASSIGN_OR_RETURN(Dataset joined, eng->Join(Va.blocks, Vb.blocks));
         SAC_ASSIGN_OR_RETURN(
             Dataset out,
             eng->Map(
                 joined,
-                [f](const Value& row) {
+                [=](const Value& row) {
+                  Metrics* mets = &eng->metrics();
                   la::Tile v;
-                  la::ZipElements(
-                      row.At(1).At(0).AsTile(), row.At(1).At(1).AsTile(),
-                      [&f](double x, double y) {
-                        const double args[2] = {x, y};
-                        return f(args);
-                      },
-                      &v);
+                  if (pat.kind != ZipPattern::Kind::kGeneric) {
+                    RunZipPattern(kbk, pat, row.At(1).At(0).AsTile(),
+                                  row.At(1).At(1).AsTile(), &v);
+                  } else {
+                    la::ZipElements(
+                        row.At(1).At(0).AsTile(), row.At(1).At(1).AsTile(),
+                        [&f](double x, double y) {
+                          const double args[2] = {x, y};
+                          return f(args);
+                        },
+                        &v);
+                  }
+                  mets->AddTileAllocs(1);
+                  la::MeterFlops(mets, kbk->kind(),
+                                 static_cast<uint64_t>(v.size()) *
+                                     pat.flops_per_element);
                   return VPair(row.At(0), Value::TileVal(std::move(v)));
                 },
                 "zipBlocks"));
@@ -969,12 +1057,20 @@ Result<CompiledQuery> CompileQuery(const ExprPtr& query,
           if (AutoStrategyEnabled(opts)) {
             auto rbk = TryReduceByKey(shape, binds, opts);
             if (rbk.ok()) {
+              // Flop rate follows the backend the plan will run on: the
+              // jvmlike toggle forces that backend, otherwise the
+              // engine-resolved ClusterConfig::kernel_backend.
+              const analysis::CostModel cm = analysis::CostModelForBackend(
+                  opts.use_jvmlike_kernels ? "jvmlike"
+                                           : opts.cluster.kernel_backend);
               const analysis::CostEstimate gc = analysis::EstimateCost(
                   analysis::PlanGraph::FromQuery(gbj.value(), &binds, 0,
-                                                 opts.cluster));
+                                                 opts.cluster),
+                  cm);
               const analysis::CostEstimate rc = analysis::EstimateCost(
                   analysis::PlanGraph::FromQuery(rbk.value(), &binds, 0,
-                                                 opts.cluster));
+                                                 opts.cluster),
+                  cm);
               if (gc.exact && rc.exact) {
                 const std::string note =
                     " [auto: cost model 5.4=" + FmtMs(gc.est_ms) +

@@ -8,7 +8,7 @@
 
 #include "src/comp/eval.h"
 #include "src/exec/scalar_fn.h"
-#include "src/la/jvmlike.h"
+#include "src/la/backend.h"
 #include "src/la/kernels.h"
 #include "src/planner/planner.h"
 
@@ -364,13 +364,15 @@ Result<JoinShape> AnalyzeJoinShape(const QueryShape& shape,
 
 /// Accumulates the product-shaped partial for one tile pair into `accs`
 /// (one accumulator tile per aggregation). `a` is oriented (out x join),
-/// `b` oriented (join x out) -- or (1 x join) when B is a vector.
+/// `b` oriented (join x out) -- or (1 x join) when B is a vector. The
+/// sum-of-products fast path dispatches through the kernel backend `kb`
+/// and meters its flops; the closure-driven semiring loops charge a
+/// 2-flop/MAC approximation (one g eval + one monoid step).
 void AccumulatePair(const JoinShape& js, const la::Tile& a, const la::Tile& b,
-                    bool b_is_vector, bool use_jvmlike,
-                    std::vector<la::Tile>* accs) {
+                    bool b_is_vector, const la::KernelBackend* kb,
+                    Metrics* metrics, std::vector<la::Tile>* accs) {
   if (b_is_vector) {
     // out(0, i) ⊕= g(a(i,k), b(0,k))
-    la::Tile& acc = (*accs)[0];
     for (size_t m = 0; m < js.g_fns.size(); ++m) {
       la::Tile& am = (*accs)[m];
       const ReduceOp op = js.aggs.aggs[m].op;
@@ -383,15 +385,13 @@ void AccumulatePair(const JoinShape& js, const la::Tile& a, const la::Tile& b,
         am.Set(0, i, cell);
       }
     }
-    (void)acc;
+    la::MeterFlops(metrics, kb->kind(),
+                   js.g_fns.size() * 2 * static_cast<uint64_t>(a.size()));
     return;
   }
   if (js.gemm_fast_path) {
-    if (use_jvmlike) {
-      la::jvmlike::TileGemmAccum(a, b, &(*accs)[0]);
-    } else {
-      la::GemmAccum(a, b, &(*accs)[0]);
-    }
+    kb->GemmAccum(a, b, &(*accs)[0]);
+    la::MeterFlops(metrics, kb->kind(), la::GemmFlops(a, b));
     return;
   }
   // Generic semiring triple loop (supports e.g. min-plus).
@@ -409,6 +409,18 @@ void AccumulatePair(const JoinShape& js, const la::Tile& a, const la::Tile& b,
       }
     }
   }
+  la::MeterFlops(metrics, kb->kind(),
+                 js.g_fns.size() * 2 * static_cast<uint64_t>(a.rows()) *
+                     static_cast<uint64_t>(b.cols()) *
+                     static_cast<uint64_t>(a.cols()));
+}
+
+/// The kernel backend a run closure dispatches tile math through: the
+/// forced jvmlike baseline when the planner option is set, otherwise the
+/// engine's env-resolved backend (SAC_KERNEL_BACKEND).
+const la::KernelBackend* RunBackendFor(Engine* eng, bool use_jvmlike) {
+  return use_jvmlike ? la::GetBackend(la::BackendKind::kJvmlike)
+                     : eng->kernel_backend();
 }
 
 }  // namespace
@@ -546,6 +558,8 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
       q.plan_nodes = pb.TakeNodes();
     }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
+      const la::KernelBackend* kbk = RunBackendFor(eng, use_jvmlike);
+      Metrics* mets = &eng->metrics();
       // Key A tiles by join coordinate.
       SAC_ASSIGN_OR_RETURN(
           Dataset ka,
@@ -594,7 +608,7 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
                     accs.push_back(
                         FilledTile(1, a.rows(), MonoidIdentity(op)));
                   }
-                  AccumulatePair(js, a, b, true, use_jvmlike, &accs);
+                  AccumulatePair(js, a, b, true, kbk, mets, &accs);
                   for (auto& t : accs) {
                     accs_v.push_back(Value::TileVal(std::move(t)));
                   }
@@ -606,7 +620,7 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
                     accs.push_back(
                         FilledTile(a.rows(), b.cols(), MonoidIdentity(op)));
                   }
-                  AccumulatePair(js, a, b, false, use_jvmlike, &accs);
+                  AccumulatePair(js, a, b, false, kbk, mets, &accs);
                   for (auto& t : accs) {
                     accs_v.push_back(Value::TileVal(std::move(t)));
                   }
@@ -707,6 +721,7 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
     const bool col_sums = g_is_val && out_is_vector && key_pos[0] == 1;
 
     const TiledMatrix A = bsrc.tiled;
+    const bool opts_use_jvmlike = opts.use_jvmlike_kernels;
     const bool vec_out = out_is_vector;
     const std::vector<size_t> kpos = key_pos;
     const int64_t orows = out_rows, ocols = out_cols, N = block;
@@ -741,6 +756,9 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
       q.plan_nodes = pb.TakeNodes();
     }
     q.run = [=](Engine* eng) -> Result<QueryResult> {
+      const la::KernelBackend* kbk =
+          RunBackendFor(eng, opts_use_jvmlike);
+      Metrics* mets = &eng->metrics();
       SAC_ASSIGN_OR_RETURN(
           Dataset partials,
           eng->FlatMap(
@@ -753,10 +771,12 @@ Result<CompiledQuery> TryReduceByKey(const QueryShape& shape,
                   const int64_t len = row_sums ? t.rows() : t.cols();
                   la::Tile part(1, len);
                   if (row_sums) {
-                    la::RowSums(t, part.data());
+                    kbk->RowSums(t, part.data());
                   } else {
-                    la::ColSums(t, part.data());
+                    kbk->ColSums(t, part.data());
                   }
+                  la::MeterFlops(mets, kbk->kind(),
+                                 static_cast<uint64_t>(t.size()));
                   out->push_back(
                       VPair(VInt(row_sums ? bi : bj),
                             runtime::VTuple(
@@ -934,6 +954,8 @@ Result<CompiledQuery> TryGroupByJoin(const QueryShape& shape,
     q.plan_nodes = pb.TakeNodes();
   }
   q.run = [=](Engine* eng) -> Result<QueryResult> {
+    const la::KernelBackend* kbk = RunBackendFor(eng, use_jvmlike);
+    Metrics* mets = &eng->metrics();
     const bool a_swap = (js.a_out_pos == 1);
     const bool b_swap = (js.b_join_pos == 1);
     // As: every A tile goes to every output column panel.
@@ -997,7 +1019,7 @@ Result<CompiledQuery> TryGroupByJoin(const QueryShape& shape,
                 const la::Tile a = Oriented(av.At(1).AsTile(), a_swap);
                 for (const Value* bv : it->second) {
                   const la::Tile b = Oriented(bv->At(1).AsTile(), b_swap);
-                  AccumulatePair(js, a, b, false, use_jvmlike, &accs);
+                  AccumulatePair(js, a, b, false, kbk, mets, &accs);
                   any = true;
                 }
               }

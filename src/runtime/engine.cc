@@ -17,6 +17,7 @@
 #include "src/common/logging.h"
 #include "src/common/profile.h"
 #include "src/common/serialize.h"
+#include "src/la/backend.h"
 #include "src/storage/spill.h"
 
 namespace sac::runtime {
@@ -96,6 +97,24 @@ int SampleIntervalFromEnv(int fallback) {
   return static_cast<int>(parsed);
 }
 
+/// SAC_KERNEL_BACKEND ("generic" | "packed" | "jvmlike") wins over the
+/// config field; empty/unset falls through to the config, then to the
+/// "packed" default. Unknown names warn and take the default rather than
+/// failing the run.
+const la::KernelBackend* KernelBackendFromEnv(const std::string& config_name) {
+  const char* env = std::getenv("SAC_KERNEL_BACKEND");
+  const std::string name =
+      (env != nullptr && *env != '\0') ? std::string(env) : config_name;
+  if (name.empty()) return la::GetBackend(la::BackendKind::kPacked);
+  const la::KernelBackend* kb = la::FindBackend(name);
+  if (kb == nullptr) {
+    SAC_LOG(Warn) << "unknown kernel backend '" << name
+                  << "' (expected generic|packed|jvmlike); using packed";
+    return la::GetBackend(la::BackendKind::kPacked);
+  }
+  return kb;
+}
+
 /// SAC_TRACE=<path>: auto-write the Chrome trace at engine teardown.
 /// Each engine after the first in one process gets "<path>.<k>" so
 /// multi-engine runs (benches, tests) keep every trace.
@@ -138,6 +157,10 @@ Engine::Engine(ClusterConfig config)
   config_.sample_interval_us =
       SampleIntervalFromEnv(config_.sample_interval_us);
   auto_trace_path_ = TracePathFromEnv();
+  // Effective backend: env > config > default; the config reflects the
+  // effective name so planner/cost-model consumers see what actually runs.
+  kernel_backend_ = KernelBackendFromEnv(config_.kernel_backend);
+  config_.kernel_backend = std::string(kernel_backend_->name());
 
   // Effective budget: SAC_MEM_BUDGET wins over the config field; the
   // config reflects the effective value so callers (and SAC-W06) see it.

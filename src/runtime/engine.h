@@ -56,6 +56,10 @@
 #include "src/runtime/recovery.h"
 #include "src/runtime/value.h"
 
+namespace sac::la {
+class KernelBackend;
+}  // namespace sac::la
+
 namespace sac::runtime {
 
 /// Shape of the simulated cluster. Executors matter only for shuffle
@@ -101,6 +105,16 @@ struct ClusterConfig {
   // Perfetto timeline as the spans. The SAC_SAMPLE_INTERVAL_US env var
   // overrides this at engine construction.
   int sample_interval_us = 0;
+
+  // ---- Kernel backend (docs/KERNELS.md) -------------------------------
+  // Tile kernel implementation the planner dispatches through: "generic"
+  // (blocked restrict'd loops), "packed" (register-tiled panel-packing
+  // GEMM), or "jvmlike" (virtual-dispatch MLlib model). "" = the default
+  // ("packed"). The SAC_KERNEL_BACKEND env var overrides this at engine
+  // construction; unknown names log a warning and fall back to the
+  // default. After construction config().kernel_backend holds the
+  // effective name.
+  std::string kernel_backend = "";
 
   int TotalCores() const { return num_executors * cores_per_executor; }
 };
@@ -197,6 +211,12 @@ class Engine {
   StageRegistry& stages() { return stages_; }
   trace::Tracer& tracer() { return tracer_; }
   ThreadPool& pool() { return pool_; }
+
+  /// Kernel backend resolved at construction from SAC_KERNEL_BACKEND /
+  /// config.kernel_backend (never null; see docs/KERNELS.md). The MLlib
+  /// baseline path overrides this per-query via
+  /// PlannerOptions::use_jvmlike_kernels.
+  const la::KernelBackend* kernel_backend() const { return kernel_backend_; }
 
   /// The memory manager + block store enforcing
   /// config().memory_budget_bytes over every materialized partition
@@ -552,6 +572,7 @@ class Engine {
   VectorPool<Value> row_pool_;
   std::atomic<int64_t> in_flight_{0};
   bool shuffle_fast_path_ = true;
+  const la::KernelBackend* kernel_backend_ = nullptr;
   recovery::FaultPlan fault_plan_;
   // Shared with every DatasetImpl so dataset teardown can unregister in
   // any destruction order; ~Engine shuts it down.

@@ -1,11 +1,15 @@
 #include "src/la/kernels.h"
 
 #include <cmath>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/la/backend.h"
+#include "src/la/fused.h"
 #include "src/la/jvmlike.h"
+#include "src/la/packed_gemm.h"
 #include "src/la/tile.h"
 
 namespace sac::la {
@@ -197,6 +201,176 @@ TEST(JvmlikeTest, GenericAxpbyAndTranspose) {
   Transpose(a, &ft);
   jvmlike::TileTranspose(a, &gt);
   EXPECT_TRUE(ft == gt);
+}
+
+// ---- kernel backends (docs/KERNELS.md) ----------------------------------
+//
+// Every registered backend must produce byte-identical results for the
+// elementwise kernels and GEMM (all accumulate c(i,j) = C + sum_k
+// ascending), and tolerance-equal results for the reductions (the generic
+// backend's SIMD reduction may reassociate).
+
+class BackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const KernelBackend* be() const {
+    const KernelBackend* b = FindBackend(GetParam());
+    EXPECT_NE(b, nullptr);
+    return b;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
+                         ::testing::Values("generic", "packed", "jvmlike"));
+
+TEST_P(BackendTest, NameRoundTrips) {
+  EXPECT_EQ(std::string(be()->name()), GetParam());
+  EXPECT_EQ(be(), GetBackend(be()->kind()));
+}
+
+TEST_P(BackendTest, ElementwiseByteIdenticalToGeneric) {
+  const KernelBackend* g = GetBackend(BackendKind::kGeneric);
+  Tile a = RandomTile(13, 11, 31), b = RandomTile(13, 11, 32);
+  Tile ours, ref;
+  be()->Add(a, b, &ours);
+  g->Add(a, b, &ref);
+  EXPECT_TRUE(ours == ref);
+  be()->Sub(a, b, &ours);
+  g->Sub(a, b, &ref);
+  EXPECT_TRUE(ours == ref);
+  be()->Mul(a, b, &ours);
+  g->Mul(a, b, &ref);
+  EXPECT_TRUE(ours == ref);
+  be()->Axpby(1.25, a, -0.5, b, &ours);
+  g->Axpby(1.25, a, -0.5, b, &ref);
+  EXPECT_TRUE(ours == ref);
+  be()->Scale(-2.0, a, &ours);
+  g->Scale(-2.0, a, &ref);
+  EXPECT_TRUE(ours == ref);
+  be()->Transpose(a, &ours);
+  g->Transpose(a, &ref);
+  EXPECT_TRUE(ours == ref);
+  Tile acc1 = RandomTile(13, 11, 33), acc2 = acc1;
+  be()->AddInPlace(&acc1, a);
+  g->AddInPlace(&acc2, a);
+  EXPECT_TRUE(acc1 == acc2);
+}
+
+TEST_P(BackendTest, GemmEdgeShapesMatchOracleAndGeneric) {
+  const KernelBackend* g = GetBackend(BackendKind::kGeneric);
+  // Non-multiple-of-block dims, degenerate 1xN / Nx1, empty tiles, and one
+  // shape above the packing threshold (min(m,n) >= 128).
+  const std::tuple<int, int, int> shapes[] = {
+      {65, 3, 65},   {65, 17, 65}, {1, 7, 5},      {5, 7, 1},
+      {1, 1, 1},     {0, 5, 3},    {3, 0, 5},      {5, 3, 0},
+      {63, 65, 64},  {8, 6, 8},    {130, 70, 134},
+  };
+  for (const auto& [m, l, n] : shapes) {
+    SCOPED_TRACE(::testing::Message() << m << "x" << l << "x" << n);
+    Tile a = RandomTile(m, l, 40 + m), b = RandomTile(l, n, 50 + n);
+    Tile ours(m, n), ref(m, n);
+    be()->GemmAccum(a, b, &ours);
+    g->GemmAccum(a, b, &ref);
+    EXPECT_TRUE(ours == ref) << "backend disagrees with generic";
+    Tile oracle = NaiveGemm(a, b);
+    for (int64_t i = 0; i < ours.size(); ++i) {
+      EXPECT_NEAR(ours.data()[i], oracle.data()[i], 1e-9);
+    }
+  }
+}
+
+TEST_P(BackendTest, GemmAccumulatesIntoExistingOutput) {
+  const KernelBackend* g = GetBackend(BackendKind::kGeneric);
+  Tile a = RandomTile(130, 64, 60), b = RandomTile(64, 130, 61);
+  Tile ours = RandomTile(130, 130, 62), ref = ours;
+  be()->GemmAccum(a, b, &ours);
+  g->GemmAccum(a, b, &ref);
+  EXPECT_TRUE(ours == ref);
+}
+
+TEST_P(BackendTest, ReductionsMatchWithinTolerance) {
+  Tile a = RandomTile(37, 29, 70);
+  std::vector<double> rows(37), cols(29);
+  be()->RowSums(a, rows.data());
+  be()->ColSums(a, cols.data());
+  double total = 0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double s = 0;
+    for (int64_t j = 0; j < a.cols(); ++j) s += a.At(i, j);
+    EXPECT_NEAR(rows[i], s, 1e-12);
+    total += s;
+  }
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    double s = 0;
+    for (int64_t i = 0; i < a.rows(); ++i) s += a.At(i, j);
+    EXPECT_NEAR(cols[j], s, 1e-12);
+  }
+  EXPECT_NEAR(be()->TotalSum(a), total, 1e-10);
+}
+
+TEST(BackendLookupTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(FindBackend("blas"), nullptr);
+  EXPECT_EQ(FindBackend(""), nullptr);
+}
+
+TEST(PackedGemmTest, SmallShapesForwardToUnpacked) {
+  EXPECT_FALSE(PackedGemmWouldPack(64, 64, 64));
+  EXPECT_FALSE(PackedGemmWouldPack(512, 4, 512));  // k below microkernel
+  EXPECT_TRUE(PackedGemmWouldPack(128, 8, 128));
+  EXPECT_TRUE(PackedGemmWouldPack(512, 512, 512));
+  EXPECT_GE(PackedGemmThreshold(), 1);
+}
+
+// ---- fused elementwise pipelines (src/la/fused.h) -----------------------
+//
+// A fused transposed read must be bit-identical to materializing the
+// transpose and then running the plain kernel: same single arithmetic
+// expression per element, just no temporary tile.
+
+TEST(FusedTest, FusedZipMatchesTransposeThenOp) {
+  Tile a = RandomTile(33, 65, 80);   // stored transposed: logical 65x33
+  Tile b = RandomTile(65, 33, 81);
+  Tile at;
+  Transpose(a, &at);
+  const struct {
+    ZipOp op;
+    double alpha, beta;
+  } cases[] = {{ZipOp::kAdd, 1, 1},
+               {ZipOp::kSub, 1, 1},
+               {ZipOp::kMul, 1, 1},
+               {ZipOp::kAxpby, 0.002, -1.5}};
+  for (const auto& c : cases) {
+    Tile fused, ref;
+    FusedZip(c.op, c.alpha, c.beta, a, /*a_t=*/true, b, /*b_t=*/false,
+             &fused);
+    FusedZip(c.op, c.alpha, c.beta, at, false, b, false, &ref);
+    EXPECT_TRUE(fused == ref);
+  }
+  // Both operands transposed.
+  Tile b2 = RandomTile(33, 65, 82), b2t;
+  Transpose(b2, &b2t);
+  Tile fused, ref;
+  FusedZip(ZipOp::kAdd, 1, 1, a, true, b2, true, &fused);
+  Add(at, b2t, &ref);
+  EXPECT_TRUE(fused == ref);
+}
+
+TEST(FusedTest, FusedMapAndScaleMatchTwoPass) {
+  Tile a = RandomTile(47, 31, 83);
+  Tile at;
+  Transpose(a, &at);
+  Tile fused, ref;
+  FusedScale(0.25, a, true, &fused);
+  Scale(0.25, at, &ref);
+  EXPECT_TRUE(fused == ref);
+  auto sq = [](double x) { return x * x; };
+  FusedMapFn(sq, a, true, &fused);
+  MapElements(at, sq, &ref);
+  EXPECT_TRUE(fused == ref);
+  auto sub2 = [](double x, double y) { return x - 2 * y; };
+  Tile b = RandomTile(31, 47, 84);
+  FusedZipFn(sub2, a, true, b, false, &fused);
+  ZipElements(at, b, sub2, &ref);
+  EXPECT_TRUE(fused == ref);
 }
 
 }  // namespace

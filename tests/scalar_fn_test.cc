@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/comp/parser.h"
+#include "src/exec/scalar_program.h"
 
 namespace sac::exec {
 namespace {
@@ -117,6 +118,88 @@ TEST(IntPredTest, NegationAndLiterals) {
   EXPECT_TRUE(CompileIntPred(P("!(i == 0)"), {"i"}, consts).value()(args));
   EXPECT_TRUE(CompileIntPred(P("true"), {"i"}, consts).value()(args));
   EXPECT_FALSE(CompileIntPred(P("false"), {"i"}, consts).value()(args));
+}
+
+// ---- flat postfix programs (src/exec/scalar_program.h) ------------------
+//
+// CompileScalarFn now lowers to a ScalarProgram when the expression fits
+// the postfix instruction set; these pin the program evaluator against
+// the closure-tree semantics above.
+
+TEST(ScalarProgramTest, CompilesArithmeticToFlatProgram) {
+  ConstEnv consts{{"gamma", 0.5}};
+  auto p = ScalarProgram::Compile(P("a + gamma * (2.0*b - a)"), {"a", "b"},
+                                  consts);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_GT(p.value().size(), 0u);
+  const double args[2] = {4.0, 10.0};
+  EXPECT_DOUBLE_EQ(p.value().Eval(args), 4.0 + 0.5 * (20.0 - 4.0));
+}
+
+TEST(ScalarProgramTest, BuiltinsAndConditional) {
+  ConstEnv consts;
+  double args[1] = {4.0};
+  EXPECT_DOUBLE_EQ(
+      ScalarProgram::Compile(P("sqrt(x) + abs(-x)"), {"x"}, consts)
+          .value()
+          .Eval(args),
+      6.0);
+  auto p = ScalarProgram::Compile(P("if (a > 0.0 && a < 10.0) a else 0.0 - a"),
+                                  {"a"}, consts);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  args[0] = 3.0;
+  EXPECT_DOUBLE_EQ(p.value().Eval(args), 3.0);
+  args[0] = -3.0;
+  EXPECT_DOUBLE_EQ(p.value().Eval(args), 3.0);
+  args[0] = 30.0;
+  EXPECT_DOUBLE_EQ(p.value().Eval(args), -30.0);
+}
+
+TEST(ScalarProgramTest, MatchesClosureTreeOnFig4cUpdate) {
+  // The factorization update shape from fig4c: p + gamma*g with bound
+  // scalar coefficients, composed with a clamp.
+  ConstEnv consts{{"__gl", 0.002}, {"__tg", -0.004}};
+  const auto src = "max(min(__gl*p + __tg*g, 5.0), 0.0 - 5.0)";
+  auto prog = ScalarProgram::Compile(P(src), {"p", "g"}, consts);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  auto fn = CompileScalarFn(P(src), {"p", "g"}, consts);
+  ASSERT_TRUE(fn.ok());
+  for (double pv : {-3.0, 0.0, 1.5, 4000.0}) {
+    for (double gv : {-2.0, 0.25, 100.0}) {
+      const double args[2] = {pv, gv};
+      EXPECT_DOUBLE_EQ(prog.value().Eval(args), fn.value()(args));
+    }
+  }
+}
+
+TEST(ScalarProgramTest, RejectsUnboundVarAndComprehension) {
+  ConstEnv consts;
+  EXPECT_FALSE(ScalarProgram::Compile(P("a + nope"), {"a"}, consts).ok());
+  EXPECT_FALSE(
+      ScalarProgram::Compile(P("[ x | x <- a ]"), {"a"}, consts).ok());
+}
+
+TEST(ScalarProgramTest, DeepNestingHitsStackGuardNotUb) {
+  // Build an expression whose postfix evaluation needs > kMaxStack slots:
+  // right-nested additions a + (a + (a + ...)) push one operand per level.
+  std::string src = "a";
+  for (int i = 0; i < ScalarProgram::kMaxStack + 8; ++i) src = "a + (" + src + ")";
+  ConstEnv consts;
+  auto p = ScalarProgram::Compile(P(src), {"a"}, consts);
+  // Either the compiler rejects it (falls back to the closure tree) or it
+  // fits; it must never compile a program that overruns the stack.
+  if (p.ok()) {
+    EXPECT_LE(p.value().size(), 4096u);
+    const double args[1] = {1.0};
+    EXPECT_DOUBLE_EQ(p.value().Eval(args),
+                     static_cast<double>(ScalarProgram::kMaxStack + 9));
+  }
+  // The public entry point still compiles it via the fallback.
+  auto f = CompileScalarFn(P(src), {"a"}, consts);
+  ASSERT_TRUE(f.ok());
+  const double args[1] = {1.0};
+  EXPECT_DOUBLE_EQ(f.value()(args),
+                   static_cast<double>(ScalarProgram::kMaxStack + 9));
 }
 
 }  // namespace

@@ -235,6 +235,22 @@ int DiffBenchReports(const json::Value& base, const json::Value& cur,
                                tot.GetUInt("local_shuffle_bytes"));
   };
 
+  // Wall-clock only gates against a baseline from the same machine shape:
+  // reports stamp host_cpus (bench_common.h), and a 4-executor run on 1
+  // CPU is not comparable to the same run on 8. Counters (shuffle bytes /
+  // records) are shape-independent and always gate. Unstamped baselines
+  // (pre-host_cpus schema) count as unknown shape.
+  const int64_t base_cpus = base.GetInt("host_cpus", 0);
+  const int64_t cur_cpus = cur.GetInt("host_cpus", 0);
+  const bool same_shape = base_cpus > 0 && base_cpus == cur_cpus;
+  if (!same_shape) {
+    std::printf(
+        "note: host shapes differ or are unstamped (base %lld cpus, "
+        "current %lld); time_ms deltas are informational, counters still "
+        "gate\n",
+        static_cast<long long>(base_cpus), static_cast<long long>(cur_cpus));
+  }
+
   int regressions = 0;
   int matched = 0;
   std::printf("%-34s %-20s %14s %14s %9s\n", "row", "metric", "base",
@@ -277,11 +293,14 @@ int DiffBenchReports(const json::Value& base, const json::Value& cur,
          t.count_abs},
     };
     for (const M& m : metrics) {
-      const bool reg = profile::IsRegression(m.b, m.c, m.rel, m.abs);
+      const bool worse = profile::IsRegression(m.b, m.c, m.rel, m.abs);
+      const bool is_time = std::strcmp(m.name, "time_ms") == 0;
+      const bool reg = worse && (same_shape || !is_time);
       const double pct = m.b > 0 ? (m.c - m.b) / m.b * 100.0 : 0.0;
       std::printf("%-34s %-20s %14.3f %14.3f %+8.1f%%%s\n",
                   row_name.c_str(), m.name, m.b, m.c, pct,
-                  reg ? "  REGRESSION" : "");
+                  reg ? "  REGRESSION"
+                      : (worse ? "  worse (not gated: host shape)" : ""));
       if (reg) ++regressions;
     }
   }
