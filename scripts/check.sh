@@ -30,18 +30,25 @@
 #      generic at n=512, all three kernel backends byte-identical on
 #      fig4-shaped queries, fusion strictly reduces tile allocations;
 #      docs/KERNELS.md)
+#   8d. service: bench_abl_service --smoke (4 concurrent sessions must be
+#      >= 2x faster than serialized admission with byte-identical
+#      products, and the plan cache must show 1 miss + K-1 hits with
+#      measurable compile savings; docs/SERVICE.md)
 #   9. bench regression gate: scripts/bench_diff.sh (committed
 #      BENCH_*.json vs BENCH_*.baseline.json via sac_prof diff)
 #  10. docs: scripts/check_docs_links.sh (no *.md relative link may point
 #      at a missing file) + scripts/check_metrics_glossary.sh (every
 #      MetricsSnapshot counter documented in docs/OPERATIONS.md)
-#  11. asan: AddressSanitizer+UBSan build, full test suite
+#  11. asan: AddressSanitizer+UBSan build, full test suite, then the
+#      4-session concurrent service smoke under ASan
 #  12. tsan: ThreadSanitizer build of the concurrency-sensitive tests
 #      (engine, trace, thread pool, shuffle pools, sharded metrics, the
-#      block store / memory budget, the recovery/retry path, and the
-#      sampler/profile machinery), since the trace/metrics buffers,
-#      fault counters, budget accounting, and sampler counters are
-#      written from pool/background threads
+#      block store / memory budget, the recovery/retry path, the
+#      sampler/profile machinery, and the multi-tenant session/admission
+#      layer), since the trace/metrics buffers, fault counters, budget
+#      accounting, sampler counters, and per-session attribution sinks
+#      are written from pool/background threads; plus the same 4-session
+#      concurrent service smoke under tsan
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
@@ -139,6 +146,13 @@ EOF
     ./build/bench/bench_abl_backend \
     --out build/BENCH_abl_backend.smoke.json
 
+  echo "==> service: concurrent admission + plan cache gate"
+  # SAC_MAX_CONCURRENT must be unset: the bench pins its own admission
+  # limit per arm, and the env var would override both.
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 env -u SAC_MAX_CONCURRENT \
+    ./build/bench/bench_abl_service --smoke \
+    --out build/BENCH_abl_service.smoke.json
+
   echo "==> cost model: predicted vs measured shuffle bytes (2x gate)"
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 \
     ./build/bench/bench_fig4a_addition \
@@ -165,17 +179,27 @@ if [[ "$mode" == "all" || "$mode" == "--asan-only" ]]; then
   echo "==> asan+ubsan: full test suite"
   cmake -B build-asan -S . -DSAC_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$jobs" --target sac_tests
+  cmake --build build-asan -j "$jobs" --target sac_tests bench_abl_service
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/tests/sac_tests
+  echo "==> asan: 4-session concurrent service smoke"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 env -u SAC_MAX_CONCURRENT \
+    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/bench/bench_abl_service --smoke \
+    --out build-asan/BENCH_abl_service.smoke.json
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   echo "==> tsan: engine / trace / observability / thread-pool tests"
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$jobs" --target sac_tests
+  cmake --build build-tsan -j "$jobs" --target sac_tests bench_abl_service
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
-    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*:*Sampler*:*Profile*'
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*:*Sampler*:*Profile*:*Session*'
+  echo "==> tsan: 4-session concurrent service smoke"
+  SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 env -u SAC_MAX_CONCURRENT \
+    TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/bench/bench_abl_service --smoke \
+    --out build-tsan/BENCH_abl_service.smoke.json
 fi
 
 echo "==> all checks passed"

@@ -24,15 +24,17 @@ Sac::Sac(runtime::ClusterConfig config, planner::PlannerOptions options)
   options_.cluster = engine_->config();
 }
 
-void Sac::RecordPredictions(const CompiledQuery& q) {
+void Sac::RecordPredictions(const CompiledQuery& q,
+                            const planner::Bindings& binds,
+                            std::map<std::string, double>* predicted) {
   if (q.plan == nullptr) return;
   const analysis::CostEstimate est = analysis::EstimateCost(
-      analysis::PlanGraph::FromQuery(q, &binds_, 0, engine_->config()));
+      analysis::PlanGraph::FromQuery(q, &binds, 0, engine_->config()));
   // Partial estimates under-count (unknown shapes predict 0 bytes), which
   // would trip the 2x gate spuriously -- record exact plans only.
   if (!est.exact) return;
   for (const auto& [label, bytes] : est.shuffle_by_engine_label) {
-    predicted_shuffle_bytes_[label] += bytes;
+    (*predicted)[label] += bytes;
   }
 }
 
@@ -90,18 +92,72 @@ void Sac::BindLocal(const std::string& name, Value v) {
 }
 void Sac::Unbind(const std::string& name) { binds_.erase(name); }
 
-Result<comp::ExprPtr> Sac::ParseAndNormalize(const std::string& src) {
+Result<comp::ExprPtr> Sac::ParseAndNormalizeWith(
+    const std::string& src, const planner::Bindings& binds) {
   SAC_ASSIGN_OR_RETURN(comp::ExprPtr e, comp::Parse(src));
-  const planner::Bindings& binds = binds_;
   return comp::Normalize(e, [&binds](const std::string& name) {
     auto it = binds.find(name);
     return it != binds.end() && it->second.kind != Binding::Kind::kScalar;
   });
 }
 
+Result<comp::ExprPtr> Sac::ParseAndNormalize(const std::string& src) {
+  return ParseAndNormalizeWith(src, binds_);
+}
+
 Result<CompiledQuery> Sac::Compile(const std::string& src) {
   SAC_ASSIGN_OR_RETURN(comp::ExprPtr e, ParseAndNormalize(src));
   return planner::CompileQuery(e, binds_, options_);
+}
+
+Result<std::shared_ptr<const CompiledQuery>> Sac::CompileCachedWith(
+    const std::string& src, const planner::Bindings& binds,
+    Metrics* session_metrics) {
+  // Key construction is cheap (no parse); skip it entirely when the
+  // cache is disabled so the off-arm of the ablation measures the pure
+  // compile path.
+  const std::string key = plan_cache_.capacity() > 0
+                              ? planner::PlanCacheKey(src, binds, options_)
+                              : std::string();
+  if (!key.empty()) {
+    if (std::shared_ptr<const CompiledQuery> hit = plan_cache_.Lookup(key)) {
+      engine_->metrics().AddPlanCacheHit();
+      if (session_metrics != nullptr) session_metrics->AddPlanCacheHit();
+      return hit;
+    }
+  }
+  // Traced as a root span so the profiler's critical path accounts for
+  // planner time, not just engine stages.
+  Result<CompiledQuery> compiled = [&]() -> Result<CompiledQuery> {
+    trace::ScopedSpan span(&engine_->tracer(), "compile", "compile");
+    SAC_ASSIGN_OR_RETURN(comp::ExprPtr e, ParseAndNormalizeWith(src, binds));
+    return planner::CompileQuery(e, binds, options_);
+  }();
+  SAC_RETURN_NOT_OK(compiled.status());
+  auto q = std::make_shared<CompiledQuery>(std::move(compiled).value());
+  // Catch planner bugs before any tile is materialized: the symbolic DAG
+  // must satisfy the structural invariants (debug builds additionally
+  // assert, but the check is cheap enough to keep on everywhere).
+  // Cached plans were verified at insert time, so hits skip this.
+  const Status plan_ok =
+      analysis::VerifyPlan(analysis::PlanGraph::FromQuery(*q));
+  assert(plan_ok.ok() && "compiled plan failed invariant verification");
+  SAC_RETURN_NOT_OK(plan_ok);
+  if (!key.empty()) {
+    const size_t evicted = plan_cache_.Insert(key, q);
+    engine_->metrics().AddPlanCacheMiss();
+    if (evicted > 0) engine_->metrics().AddPlanCacheEvictions(evicted);
+    if (session_metrics != nullptr) {
+      session_metrics->AddPlanCacheMiss();
+      if (evicted > 0) session_metrics->AddPlanCacheEvictions(evicted);
+    }
+  }
+  return std::shared_ptr<const CompiledQuery>(std::move(q));
+}
+
+Result<std::shared_ptr<const CompiledQuery>> Sac::CompileCached(
+    const std::string& src) {
+  return CompileCachedWith(src, binds_, nullptr);
 }
 
 Result<analysis::AnalysisReport> Sac::Analyze(const std::string& src) {
@@ -114,24 +170,22 @@ Result<std::string> Sac::Explain(const std::string& src) {
   return report.Render("<query>");
 }
 
-Result<QueryResult> Sac::Eval(const std::string& src) {
-  // Traced as a root span so the profiler's critical path accounts for
-  // planner time, not just engine stages.
-  Result<CompiledQuery> compiled = [&] {
-    trace::ScopedSpan span(&engine_->tracer(), "compile", "compile");
-    return Compile(src);
-  }();
-  SAC_RETURN_NOT_OK(compiled.status());
-  CompiledQuery q = std::move(compiled).value();
-  // Catch planner bugs before any tile is materialized: the symbolic DAG
-  // must satisfy the structural invariants (debug builds additionally
-  // assert, but the check is cheap enough to keep on everywhere).
-  const Status plan_ok =
-      analysis::VerifyPlan(analysis::PlanGraph::FromQuery(q));
-  assert(plan_ok.ok() && "compiled plan failed invariant verification");
-  SAC_RETURN_NOT_OK(plan_ok);
-  RecordPredictions(q);
-  SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
+Result<QueryResult> Sac::EvalImpl(
+    const std::string& src, const planner::Bindings& binds,
+    std::map<std::string, double>* predicted,
+    const std::shared_ptr<runtime::Session>& session) {
+  Metrics* session_metrics = session ? &session->metrics() : nullptr;
+  // Admission first: blocks until a concurrency slot frees up. The
+  // ticket covers compile + run, so live_queries() is an honest gauge of
+  // everything between admission and result.
+  runtime::AdmissionGate::Ticket ticket = engine_->AdmitQuery(session_metrics);
+  // Datasets materialized below attribute to this session (metrics,
+  // memory slice, task queue) via the thread-local current session.
+  runtime::Session::Scope scope(session);
+  SAC_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledQuery> q,
+                       CompileCachedWith(src, binds, session_metrics));
+  RecordPredictions(*q, binds, predicted);
+  SAC_ASSIGN_OR_RETURN(QueryResult r, q->run(engine_.get()));
   // Post-run: the result's lineage and stage attributions must line up.
   switch (r.kind) {
     case QueryResult::Kind::kTiled:
@@ -144,6 +198,10 @@ Result<QueryResult> Sac::Eval(const std::string& src) {
       break;
   }
   return r;
+}
+
+Result<QueryResult> Sac::Eval(const std::string& src) {
+  return EvalImpl(src, binds_, &predicted_shuffle_bytes_, nullptr);
 }
 
 Result<storage::TiledMatrix> Sac::EvalTiled(const std::string& src) {
@@ -171,6 +229,11 @@ Result<double> Sac::EvalScalar(const std::string& src) {
 }
 
 Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
+  // One admission ticket covers the whole loop program: each update
+  // rebinds the target the next update reads, so interleaving another
+  // query between updates buys nothing and the per-update compiles stay
+  // uncached (plans change with the rebound shapes anyway).
+  runtime::AdmissionGate::Ticket ticket = engine_->AdmitQuery();
   SAC_ASSIGN_OR_RETURN(comp::LoopStmtPtr prog, comp::ParseLoopProgram(src));
   SAC_ASSIGN_OR_RETURN(
       std::vector<comp::TranslatedUpdate> updates,
@@ -219,7 +282,7 @@ Result<std::vector<std::string>> Sac::EvalLoop(const std::string& src) {
       for (const planner::PlanNodePtr& n : q.plan_nodes) n->in_loop = true;
     }
     SAC_RETURN_NOT_OK(analysis::VerifyPlan(analysis::PlanGraph::FromQuery(q)));
-    RecordPredictions(q);
+    RecordPredictions(q, binds_, &predicted_shuffle_bytes_);
     SAC_ASSIGN_OR_RETURN(QueryResult r, q.run(engine_.get()));
     switch (r.kind) {
       case QueryResult::Kind::kTiled:
@@ -329,6 +392,113 @@ Result<Value> Sac::ReferenceEval(const std::string& src) {
     }
   }
   return ev.Eval(e);
+}
+
+// ---- sessions (docs/SERVICE.md) --------------------------------------------
+
+std::unique_ptr<Session> Sac::OpenSession(const std::string& name,
+                                          uint64_t memory_budget_bytes) {
+  return std::unique_ptr<Session>(
+      new Session(this, engine_->OpenSession(name, memory_budget_bytes)));
+}
+
+std::unique_ptr<Session> Sac::OpenSession(const std::string& name) {
+  return OpenSession(name,
+                     engine_->config().session_memory_budget_bytes);
+}
+
+Session::~Session() {
+  // Retire this session's fair-scheduling queue; anything still pending
+  // migrates to the default queue. The runtime::Session object itself
+  // may outlive us -- datasets hold shared_ptr references to it.
+  owner_->engine_->pool().CloseQueue(state_->queue());
+}
+
+Result<storage::TiledMatrix> Session::RandomMatrix(int64_t rows, int64_t cols,
+                                                   int64_t block,
+                                                   uint64_t seed, double lo,
+                                                   double hi) {
+  runtime::Session::Scope scope(state_);
+  return owner_->RandomMatrix(rows, cols, block, seed, lo, hi);
+}
+
+Result<storage::TiledMatrix> Session::RandomSparseMatrix(
+    int64_t rows, int64_t cols, int64_t block, uint64_t seed, double density,
+    int hi) {
+  runtime::Session::Scope scope(state_);
+  return owner_->RandomSparseMatrix(rows, cols, block, seed, density, hi);
+}
+
+Result<storage::BlockVector> Session::RandomVector(int64_t size,
+                                                   int64_t block,
+                                                   uint64_t seed, double lo,
+                                                   double hi) {
+  runtime::Session::Scope scope(state_);
+  return owner_->RandomVector(size, block, seed, lo, hi);
+}
+
+Result<storage::TiledMatrix> Session::MatrixFromLocal(const la::Tile& local,
+                                                      int64_t block) {
+  runtime::Session::Scope scope(state_);
+  return owner_->MatrixFromLocal(local, block);
+}
+
+Result<la::Tile> Session::ToLocal(const storage::TiledMatrix& m) {
+  runtime::Session::Scope scope(state_);
+  return owner_->ToLocal(m);
+}
+
+Result<std::vector<double>> Session::ToLocal(const storage::BlockVector& v) {
+  runtime::Session::Scope scope(state_);
+  return owner_->ToLocal(v);
+}
+
+void Session::Bind(const std::string& name, storage::TiledMatrix m) {
+  binds_[name] = Binding::Tiled(std::move(m));
+}
+void Session::Bind(const std::string& name, storage::BlockVector v) {
+  binds_[name] = Binding::Vector(std::move(v));
+}
+void Session::Bind(const std::string& name, storage::CooMatrix c) {
+  binds_[name] = Binding::Coo(std::move(c));
+}
+void Session::BindScalar(const std::string& name, double v) {
+  binds_[name] = Binding::Scalar(Value::Double(v));
+}
+void Session::BindScalar(const std::string& name, int64_t v) {
+  binds_[name] = Binding::Scalar(Value::Int(v));
+}
+void Session::BindLocal(const std::string& name, Value v) {
+  binds_[name] = Binding::Local(std::move(v));
+}
+void Session::Unbind(const std::string& name) { binds_.erase(name); }
+
+Result<QueryResult> Session::Eval(const std::string& src) {
+  return owner_->EvalImpl(src, binds_, &predicted_shuffle_bytes_, state_);
+}
+
+Result<storage::TiledMatrix> Session::EvalTiled(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(QueryResult r, Eval(src));
+  if (r.kind != QueryResult::Kind::kTiled) {
+    return Status::InvalidArgument("query did not produce a tiled matrix");
+  }
+  return r.tiled;
+}
+
+Result<storage::BlockVector> Session::EvalVector(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(QueryResult r, Eval(src));
+  if (r.kind != QueryResult::Kind::kBlockVector) {
+    return Status::InvalidArgument("query did not produce a block vector");
+  }
+  return r.vec;
+}
+
+Result<double> Session::EvalScalar(const std::string& src) {
+  SAC_ASSIGN_OR_RETURN(QueryResult r, Eval(src));
+  if (r.kind != QueryResult::Kind::kValue || !r.value.is_numeric()) {
+    return Status::InvalidArgument("query did not produce a scalar");
+  }
+  return r.value.AsDouble();
 }
 
 }  // namespace sac

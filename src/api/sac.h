@@ -12,6 +12,15 @@
 //
 // Eval() parses, normalizes (Sections 2-3 rewrites), plans (Sections 4-5
 // translation rules) and runs the query on the embedded DISC engine.
+//
+// Multi-tenant service (docs/SERVICE.md): Sac::OpenSession hands out
+// sac::Session handles, each with its own bindings, metrics attribution
+// and memory-budget slice. Queries from any number of sessions may run
+// concurrently -- admission is gated by ClusterConfig::
+// max_concurrent_queries and stage tasks are fair-scheduled across live
+// queries. The Sac object itself and each individual Session are
+// single-threaded surfaces (one client thread per handle); it is the
+// *set* of sessions that may be driven from different threads at once.
 #ifndef SAC_API_SAC_H_
 #define SAC_API_SAC_H_
 
@@ -23,11 +32,14 @@
 #include "src/analysis/analysis.h"
 #include "src/common/status.h"
 #include "src/planner/plan.h"
+#include "src/planner/plan_cache.h"
 #include "src/planner/planner.h"
 #include "src/runtime/engine.h"
 #include "src/storage/tiled.h"
 
 namespace sac {
+
+class Session;
 
 class Sac {
  public:
@@ -39,6 +51,24 @@ class Sac {
   Metrics& metrics() { return engine_->metrics(); }
   StageRegistry& stages() { return engine_->stages(); }
   trace::Tracer& tracer() { return engine_->tracer(); }
+  /// The compiled-plan cache shared by every session (set_capacity(0)
+  /// disables it; the ablation benches use exactly that).
+  planner::PlanCache& plan_cache() { return plan_cache_; }
+
+  // ---- sessions (docs/SERVICE.md) ------------------------------------------
+  /// Opens a client session: its own bindings namespace, its own Metrics
+  /// sink (stage stats double-report into it), a fair-scheduled task
+  /// queue on the shared pool, and a resident-byte slice enforced by the
+  /// block store. The handle is single-threaded; different sessions may
+  /// be driven from different threads concurrently. Destroying the
+  /// handle closes its task queue (pending work migrates to the default
+  /// queue); datasets it produced stay valid as long as someone holds
+  /// them. `memory_budget_bytes` 0 = unlimited slice.
+  std::unique_ptr<Session> OpenSession(const std::string& name,
+                                       uint64_t memory_budget_bytes);
+  /// Same, with the slice defaulted from ClusterConfig::
+  /// session_memory_budget_bytes (env SAC_SESSION_MEM_BUDGET).
+  std::unique_ptr<Session> OpenSession(const std::string& name);
 
   // ---- observability -------------------------------------------------------
   /// Clears totals, per-stage stats, trace buffers and accumulated shuffle
@@ -109,7 +139,16 @@ class Sac {
   Result<comp::ExprPtr> ParseAndNormalize(const std::string& src);
 
   /// Compiles without running; inspect .strategy / .explanation.
+  /// Always a fresh compile -- never consults the plan cache.
   Result<planner::CompiledQuery> Compile(const std::string& src);
+
+  /// Compiles through the plan cache: a repeat of the same normalized
+  /// source against the same binding shapes returns the cached plan
+  /// without parsing or planning. Meters plan_cache_hits / _misses /
+  /// _evictions on the engine Metrics. This is the compile path Eval
+  /// uses; exposed for the service ablation bench and tests.
+  Result<std::shared_ptr<const planner::CompiledQuery>> CompileCached(
+      const std::string& src);
 
   /// Statically analyzes a query against the current bindings without
   /// running it: comprehension checks, plan verification and lint rules
@@ -167,17 +206,116 @@ class Sac {
   Result<runtime::Value> ReferenceEval(const std::string& src);
 
  private:
+  friend class Session;
+
   /// Folds the cost model's per-label shuffle prediction for a freshly
-  /// compiled plan into predicted_shuffle_bytes_ (exact shapes only).
-  void RecordPredictions(const planner::CompiledQuery& q);
+  /// compiled (or cache-hit) plan into `*predicted` (exact shapes only).
+  void RecordPredictions(const planner::CompiledQuery& q,
+                         const planner::Bindings& binds,
+                         std::map<std::string, double>* predicted);
+
+  /// ParseAndNormalize against an explicit binding namespace.
+  Result<comp::ExprPtr> ParseAndNormalizeWith(const std::string& src,
+                                              const planner::Bindings& binds);
+
+  /// The shared compile path: plan-cache key -> lookup -> on miss, parse
+  /// + plan + VerifyPlan + insert. Hit/miss/eviction counters are
+  /// metered on the engine Metrics and, when non-null, on
+  /// `session_metrics` too.
+  Result<std::shared_ptr<const planner::CompiledQuery>> CompileCachedWith(
+      const std::string& src, const planner::Bindings& binds,
+      Metrics* session_metrics);
+
+  /// The shared eval path behind Sac::Eval and Session::Eval: admission
+  /// ticket -> Session::Scope -> cached compile -> run -> lineage
+  /// verification.
+  Result<planner::QueryResult> EvalImpl(
+      const std::string& src, const planner::Bindings& binds,
+      std::map<std::string, double>* predicted,
+      const std::shared_ptr<runtime::Session>& session);
 
   std::unique_ptr<runtime::Engine> engine_;
   planner::PlannerOptions options_;
   planner::Bindings binds_;
+  planner::PlanCache plan_cache_;
   std::map<std::string, double> predicted_shuffle_bytes_;
   // Rebind count per in-loop target, driving auto-checkpointing across
   // EvalLoop calls (driver iterations).
   std::unordered_map<std::string, int> loop_update_counts_;
+};
+
+/// One client's handle on a shared Sac service (docs/SERVICE.md): its
+/// own bindings namespace and shuffle predictions, per-session metrics
+/// attribution, a fair-scheduled task queue and a resident-byte slice.
+/// NOT thread-safe -- one Session per client thread; concurrency comes
+/// from driving *different* sessions from different threads. The handle
+/// must not outlive the Sac that opened it, but datasets it returned
+/// may (they hold shared_ptr state).
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return state_->id(); }
+  const std::string& name() const { return state_->name(); }
+  /// This session's metrics sink: every stage its queries ran, plus its
+  /// admission and plan-cache events, double-report here.
+  Metrics& metrics() { return state_->metrics(); }
+  /// Bytes currently resident against this session's memory slice.
+  uint64_t resident_bytes() const { return state_->memory().resident_bytes(); }
+  uint64_t memory_budget_bytes() const { return state_->memory().budget(); }
+  /// The underlying runtime session (tests / advanced embedding).
+  const std::shared_ptr<runtime::Session>& state() const { return state_; }
+
+  // ---- data (attributed to this session) -----------------------------------
+  Result<storage::TiledMatrix> RandomMatrix(int64_t rows, int64_t cols,
+                                            int64_t block, uint64_t seed,
+                                            double lo = 0.0, double hi = 10.0);
+  Result<storage::TiledMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
+                                                  int64_t block, uint64_t seed,
+                                                  double density, int hi);
+  Result<storage::BlockVector> RandomVector(int64_t size, int64_t block,
+                                            uint64_t seed, double lo = 0.0,
+                                            double hi = 1.0);
+  Result<storage::TiledMatrix> MatrixFromLocal(const la::Tile& local,
+                                               int64_t block);
+  Result<la::Tile> ToLocal(const storage::TiledMatrix& m);
+  Result<std::vector<double>> ToLocal(const storage::BlockVector& v);
+
+  // ---- bindings (this session's namespace only) ----------------------------
+  void Bind(const std::string& name, storage::TiledMatrix m);
+  void Bind(const std::string& name, storage::BlockVector v);
+  void Bind(const std::string& name, storage::CooMatrix c);
+  void BindScalar(const std::string& name, double v);
+  void BindScalar(const std::string& name, int64_t v);
+  void BindLocal(const std::string& name, runtime::Value v);
+  void Unbind(const std::string& name);
+  const planner::Bindings& bindings() const { return binds_; }
+
+  // ---- compile & run -------------------------------------------------------
+  /// Same contract as Sac::Eval, against this session's bindings, under
+  /// this session's admission ticket, attribution and task queue.
+  Result<planner::QueryResult> Eval(const std::string& src);
+  Result<storage::TiledMatrix> EvalTiled(const std::string& src);
+  Result<storage::BlockVector> EvalVector(const std::string& src);
+  Result<double> EvalScalar(const std::string& src);
+
+  /// Predicted shuffle bytes for queries evaluated through this session.
+  const std::map<std::string, double>& predicted_shuffle_bytes() const {
+    return predicted_shuffle_bytes_;
+  }
+
+ private:
+  friend class Sac;
+  Session(Sac* owner, std::shared_ptr<runtime::Session> state)
+      : owner_(owner), state_(std::move(state)) {}
+
+  Sac* owner_;
+  std::shared_ptr<runtime::Session> state_;
+  planner::Bindings binds_;
+  std::map<std::string, double> predicted_shuffle_bytes_;
 };
 
 }  // namespace sac

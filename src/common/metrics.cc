@@ -53,6 +53,15 @@ std::string MetricsSnapshot::ToString() const {
        << " mflops_jvmlike=" << flops_jvmlike / 1e6;
   }
   if (tile_allocs > 0) os << " tile_allocs=" << tile_allocs;
+  if (queries_admitted > 0) {
+    os << " queries_admitted=" << queries_admitted
+       << " queries_queued=" << queries_queued;
+  }
+  if (plan_cache_hits > 0 || plan_cache_misses > 0) {
+    os << " plan_cache_hits=" << plan_cache_hits
+       << " plan_cache_misses=" << plan_cache_misses
+       << " plan_cache_evictions=" << plan_cache_evictions;
+  }
   return os.str();
 }
 
@@ -79,6 +88,11 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.flops_packed = flops_packed();
   s.flops_jvmlike = flops_jvmlike();
   s.tile_allocs = tile_allocs();
+  s.queries_admitted = queries_admitted();
+  s.queries_queued = queries_queued();
+  s.plan_cache_hits = plan_cache_hits();
+  s.plan_cache_misses = plan_cache_misses();
+  s.plan_cache_evictions = plan_cache_evictions();
   return s;
 }
 
@@ -112,10 +126,11 @@ StageStatsSnapshot StageStats::Snapshot() const {
 }
 
 StageRef StageRegistry::NewStage(const std::string& label,
-                                 const std::string& kind) {
+                                 const std::string& kind,
+                                 Metrics* session) {
   std::lock_guard<std::mutex> lock(mu_);
   const int id = static_cast<int>(stages_.size());
-  stages_.emplace_back(id, label, kind, totals_);
+  stages_.emplace_back(id, label, kind, totals_, session);
   return StageRef{gen_, id};
 }
 

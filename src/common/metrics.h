@@ -65,7 +65,12 @@ namespace sac {
   X(flops_generic)                      \
   X(flops_packed)                       \
   X(flops_jvmlike)                      \
-  X(tile_allocs)
+  X(tile_allocs)                        \
+  X(queries_admitted)                   \
+  X(queries_queued)                     \
+  X(plan_cache_hits)                    \
+  X(plan_cache_misses)                  \
+  X(plan_cache_evictions)
 
 /// Plain, copyable view of the counters, folded once across shards --
 /// use this instead of reading individual getters non-atomically mid-run.
@@ -103,6 +108,14 @@ struct MetricsSnapshot {
   uint64_t flops_packed = 0;
   uint64_t flops_jvmlike = 0;
   uint64_t tile_allocs = 0;
+  // Query service (docs/SERVICE.md): queries granted an admission ticket,
+  // queries that had to wait for one (max_concurrent_queries reached),
+  // and compiled-plan cache traffic (a hit skips parse->rewrite->plan).
+  uint64_t queries_admitted = 0;
+  uint64_t queries_queued = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;
 
   /// Invokes fn(name, value) for every counter, in declaration order
   /// (names from SAC_METRICS_FOR_EACH_COUNTER). The mutable overload
@@ -150,6 +163,11 @@ class Metrics {
       s.flops_packed = 0;
       s.flops_jvmlike = 0;
       s.tile_allocs = 0;
+      s.queries_admitted = 0;
+      s.queries_queued = 0;
+      s.plan_cache_hits = 0;
+      s.plan_cache_misses = 0;
+      s.plan_cache_evictions = 0;
     }
     peak_resident_bytes_.store(0, std::memory_order_relaxed);
   }
@@ -197,6 +215,20 @@ class Metrics {
   void AddFlopsJvmlike(uint64_t flops) { Bump(Local().flops_jvmlike, flops); }
   /// One tile (output or temporary) allocated by an elementwise stage.
   void AddTileAllocs(uint64_t n) { Bump(Local().tile_allocs, n); }
+  /// One query granted an admission ticket; `queued` marks whether it had
+  /// to wait for a slot first (docs/SERVICE.md).
+  void AddQueryAdmitted(bool queued) {
+    Shard& s = Local();
+    Bump(s.queries_admitted, 1);
+    if (queued) Bump(s.queries_queued, 1);
+  }
+  /// Plan-cache traffic: a hit serves a compiled plan without
+  /// parse->rewrite->plan; evictions count entries displaced by capacity.
+  void AddPlanCacheHit() { Bump(Local().plan_cache_hits, 1); }
+  void AddPlanCacheMiss() { Bump(Local().plan_cache_misses, 1); }
+  void AddPlanCacheEvictions(uint64_t n) {
+    Bump(Local().plan_cache_evictions, n);
+  }
   /// Monotone max-update of the resident-partition-bytes high-water mark.
   void UpdatePeakResident(uint64_t resident_bytes) {
     uint64_t prev = peak_resident_bytes_.load(std::memory_order_relaxed);
@@ -239,6 +271,17 @@ class Metrics {
   uint64_t flops_packed() const { return Fold(&Shard::flops_packed); }
   uint64_t flops_jvmlike() const { return Fold(&Shard::flops_jvmlike); }
   uint64_t tile_allocs() const { return Fold(&Shard::tile_allocs); }
+  uint64_t queries_admitted() const {
+    return Fold(&Shard::queries_admitted);
+  }
+  uint64_t queries_queued() const { return Fold(&Shard::queries_queued); }
+  uint64_t plan_cache_hits() const { return Fold(&Shard::plan_cache_hits); }
+  uint64_t plan_cache_misses() const {
+    return Fold(&Shard::plan_cache_misses);
+  }
+  uint64_t plan_cache_evictions() const {
+    return Fold(&Shard::plan_cache_evictions);
+  }
 
   MetricsSnapshot Snapshot() const;
   std::string ToString() const;
@@ -269,6 +312,11 @@ class Metrics {
     std::atomic<uint64_t> flops_packed{0};
     std::atomic<uint64_t> flops_jvmlike{0};
     std::atomic<uint64_t> tile_allocs{0};
+    std::atomic<uint64_t> queries_admitted{0};
+    std::atomic<uint64_t> queries_queued{0};
+    std::atomic<uint64_t> plan_cache_hits{0};
+    std::atomic<uint64_t> plan_cache_misses{0};
+    std::atomic<uint64_t> plan_cache_evictions{0};
   };
 
   static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
@@ -307,12 +355,16 @@ struct StageStatsSnapshot {
 };
 
 /// Counters for one plan stage. Every Add* forwards to the engine-wide
-/// totals so the global Metrics stays the roll-up of all stages.
+/// totals so the global Metrics stays the roll-up of all stages. When
+/// the stage belongs to a session (docs/SERVICE.md), a second sink
+/// receives the same increments, giving per-session attribution without
+/// touching any metering call site.
 class StageStats {
  public:
-  StageStats(int id, std::string label, std::string kind, Metrics* totals)
+  StageStats(int id, std::string label, std::string kind, Metrics* totals,
+             Metrics* session = nullptr)
       : id_(id), label_(std::move(label)), kind_(std::move(kind)),
-        totals_(totals) {}
+        totals_(totals), session_(session) {}
 
   StageStats(const StageStats&) = delete;
   StageStats& operator=(const StageStats&) = delete;
@@ -325,66 +377,82 @@ class StageStats {
   void AddShuffle(uint64_t bytes, uint64_t records, bool cross_executor) {
     local_.AddShuffle(bytes, records, cross_executor);
     if (totals_) totals_->AddShuffle(bytes, records, cross_executor);
+    if (session_) session_->AddShuffle(bytes, records, cross_executor);
   }
   void AddLocalShuffle(uint64_t bytes) {
     local_.AddLocalShuffle(bytes);
     if (totals_) totals_->AddLocalShuffle(bytes);
+    if (session_) session_->AddLocalShuffle(bytes);
   }
   void AddTask() {
     local_.AddTask();
     if (totals_) totals_->AddTask();
+    if (session_) session_->AddTask();
   }
   void AddRecompute() {
     local_.AddRecompute();
     if (totals_) totals_->AddRecompute();
+    if (session_) session_->AddRecompute();
   }
   void AddRecords(uint64_t n) {
     local_.AddRecords(n);
     if (totals_) totals_->AddRecords(n);
+    if (session_) session_->AddRecords(n);
   }
   void AddRetry(uint64_t wait_us) {
     local_.AddRetry(wait_us);
     if (totals_) totals_->AddRetry(wait_us);
+    if (session_) session_->AddRetry(wait_us);
   }
   void AddFault() {
     local_.AddFault();
     if (totals_) totals_->AddFault();
+    if (session_) session_->AddFault();
   }
   void AddCheckpointWrite(uint64_t bytes) {
     local_.AddCheckpointWrite(bytes);
     if (totals_) totals_->AddCheckpointWrite(bytes);
+    if (session_) session_->AddCheckpointWrite(bytes);
   }
   void AddCheckpointRestore(uint64_t bytes) {
     local_.AddCheckpointRestore(bytes);
     if (totals_) totals_->AddCheckpointRestore(bytes);
+    if (session_) session_->AddCheckpointRestore(bytes);
   }
   void AddEviction(uint64_t bytes) {
     local_.AddEviction(bytes);
     if (totals_) totals_->AddEviction(bytes);
+    if (session_) session_->AddEviction(bytes);
   }
   void AddReload(uint64_t bytes) {
     local_.AddReload(bytes);
     if (totals_) totals_->AddReload(bytes);
+    if (session_) session_->AddReload(bytes);
   }
   void AddReloadRecompute() {
     local_.AddReloadRecompute();
     if (totals_) totals_->AddReloadRecompute();
+    if (session_) session_->AddReloadRecompute();
   }
   void AddFlopsGeneric(uint64_t flops) {
     local_.AddFlopsGeneric(flops);
     if (totals_) totals_->AddFlopsGeneric(flops);
+    if (session_) session_->AddFlopsGeneric(flops);
   }
   void AddFlopsPacked(uint64_t flops) {
     local_.AddFlopsPacked(flops);
     if (totals_) totals_->AddFlopsPacked(flops);
+    if (session_) session_->AddFlopsPacked(flops);
   }
   void AddFlopsJvmlike(uint64_t flops) {
     local_.AddFlopsJvmlike(flops);
     if (totals_) totals_->AddFlopsJvmlike(flops);
+    if (session_) session_->AddFlopsJvmlike(flops);
   }
   void AddTileAllocs(uint64_t n) {
     local_.AddTileAllocs(n);
     if (totals_) totals_->AddTileAllocs(n);
+    if (session_) session_->AddTileAllocs(n);
   }
   void RecordTaskMicros(uint64_t us) { task_us_.Record(us); }
   void AddWallMicros(uint64_t us) {
@@ -399,6 +467,7 @@ class StageStats {
   const std::string kind_;
   Metrics local_;
   Metrics* totals_;
+  Metrics* session_;
   trace::Histogram task_us_;
   std::atomic<uint64_t> wall_us_{0};
 };
@@ -419,7 +488,11 @@ class StageRegistry {
   explicit StageRegistry(Metrics* totals) : totals_(totals) {}
 
   /// Creates a stage and returns a generation-tagged reference to it.
-  StageRef NewStage(const std::string& label, const std::string& kind);
+  /// When `session` is non-null the stage's counters additionally
+  /// forward to that per-session Metrics sink (docs/SERVICE.md); the
+  /// caller must keep the sink alive until the registry is Reset().
+  StageRef NewStage(const std::string& label, const std::string& kind,
+                    Metrics* session = nullptr);
 
   /// Resolves a reference; nullptr when the ref predates the last
   /// Reset() (or was never assigned).

@@ -1,12 +1,12 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 
 namespace sac {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  queues_[kDefaultQueue];  // the default queue always exists
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -23,21 +23,58 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+ThreadPool::QueueId ThreadPool::OpenQueue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const QueueId id = next_queue_id_++;
+  queues_[id];
+  return id;
+}
+
+void ThreadPool::CloseQueue(QueueId id) {
+  if (id == kDefaultQueue) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(id);
+  if (it == queues_.end()) return;
+  std::deque<std::function<void()>>& dflt = queues_[kDefaultQueue];
+  for (auto& task : it->second) dflt.push_back(std::move(task));
+  queues_.erase(it);
+}
+
+void ThreadPool::Submit(QueueId queue, std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    auto it = queues_.find(queue);
+    if (it == queues_.end()) it = queues_.find(kDefaultQueue);
+    it->second.push_back(std::move(task));
+    ++queued_;
   }
   cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+}
+
+std::function<void()> ThreadPool::PopLocked() {
+  // One task per round from the first non-empty queue at or after the
+  // cursor (wrapping), then advance past it: every queue with pending
+  // work is served once before any queue is served twice.
+  auto it = queues_.lower_bound(rr_next_);
+  for (size_t scanned = 0; scanned <= queues_.size(); ++scanned) {
+    if (it == queues_.end()) it = queues_.begin();
+    if (!it->second.empty()) break;
+    ++it;
+  }
+  std::function<void()> task = std::move(it->second.front());
+  it->second.pop_front();
+  --queued_;
+  rr_next_ = it->first + 1;
+  return task;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                             size_t chunk) {
+                             size_t chunk, QueueId queue) {
   if (n == 0) return;
   const size_t workers = std::min(n, num_threads());
   if (workers <= 1) {
@@ -47,35 +84,39 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   if (chunk == 0) {
     // Partition-task ranges (n comparable to the pool width) claim one
     // index at a time so a skewed partition never queues work behind it;
-    // large fine-grained ranges amortize cursor traffic over a chunk
+    // large fine-grained ranges amortize per-task overhead over a chunk
     // while still leaving ~8 claims per worker for rebalancing.
     chunk = n <= workers * 16 ? 1 : n / (workers * 8);
   }
-  // Dynamic chunked claiming: workers race on a shared cursor, so the
-  // finishing order adapts to per-index cost. A shared latch signals
-  // completion so this does not interfere with unrelated tasks in the
-  // same pool.
+  // One pool task per chunk: popping a chunk off the queue is the
+  // dynamic claim (finishing order adapts to per-index cost), and the
+  // round-robin scheduler can interleave other queues' tasks between
+  // chunks. A shared latch signals completion so this does not interfere
+  // with unrelated tasks in the same pool.
   struct Ctl {
-    std::atomic<size_t> cursor{0};
     std::mutex mu;
     std::condition_variable cv;
     size_t pending;
   };
   auto ctl = std::make_shared<Ctl>();
-  ctl->pending = workers;
-  for (size_t w = 0; w < workers; ++w) {
-    Submit([&fn, n, chunk, ctl] {
-      for (;;) {
-        const size_t lo =
-            ctl->cursor.fetch_add(chunk, std::memory_order_relaxed);
-        if (lo >= n) break;
-        const size_t hi = std::min(n, lo + chunk);
+  const size_t chunks = (n + chunk - 1) / chunk;
+  ctl->pending = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(queue);
+    if (it == queues_.end()) it = queues_.find(kDefaultQueue);
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = c * chunk;
+      const size_t hi = std::min(n, lo + chunk);
+      it->second.push_back([&fn, lo, hi, ctl] {
         for (size_t i = lo; i < hi; ++i) fn(i);
-      }
-      std::lock_guard<std::mutex> lock(ctl->mu);
-      if (--ctl->pending == 0) ctl->cv.notify_all();
-    });
+        std::lock_guard<std::mutex> inner(ctl->mu);
+        if (--ctl->pending == 0) ctl->cv.notify_all();
+      });
+    }
+    queued_ += chunks;
   }
+  cv_.notify_all();
   std::unique_lock<std::mutex> lock(ctl->mu);
   ctl->cv.wait(lock, [&] { return ctl->pending == 0; });
 }
@@ -85,17 +126,16 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (shutdown_ && queued_ == 0) return;
+      task = PopLocked();
       ++active_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

@@ -97,6 +97,26 @@ int SampleIntervalFromEnv(int fallback) {
   return static_cast<int>(parsed);
 }
 
+/// SAC_MAX_CONCURRENT: positive integer overriding
+/// ClusterConfig::max_concurrent_queries (1 = serialized admission).
+/// Unset or unparseable keeps the config value; everything is clamped
+/// to >= 1.
+int MaxConcurrentFromEnv(int fallback) {
+  const char* v = std::getenv("SAC_MAX_CONCURRENT");
+  int result = fallback;
+  if (v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed > 0) {
+      result = static_cast<int>(parsed);
+    } else {
+      SAC_LOG(Warn) << "ignoring unparseable SAC_MAX_CONCURRENT='" << v
+                    << "'";
+    }
+  }
+  return result < 1 ? 1 : result;
+}
+
 /// SAC_KERNEL_BACKEND ("generic" | "packed" | "jvmlike") wins over the
 /// config field; empty/unset falls through to the config, then to the
 /// "packed" default. Unknown names warn and take the default rather than
@@ -166,6 +186,14 @@ Engine::Engine(ClusterConfig config)
   // config reflects the effective value so callers (and SAC-W06) see it.
   config_.memory_budget_bytes =
       memory::BudgetFromEnv(config_.memory_budget_bytes);
+  // Query service knobs resolve the same way: env > config, and the
+  // config reflects the effective values.
+  config_.max_concurrent_queries =
+      MaxConcurrentFromEnv(config_.max_concurrent_queries);
+  config_.session_memory_budget_bytes = memory::BudgetFromEnv(
+      "SAC_SESSION_MEM_BUDGET", config_.session_memory_budget_bytes);
+  admission_ = std::make_unique<AdmissionGate>(
+      config_.max_concurrent_queries, &metrics_);
   const std::string base = !config_.spill_dir.empty() ? config_.spill_dir
                            : !config_.checkpoint_dir.empty()
                                ? config_.checkpoint_dir
@@ -251,6 +279,7 @@ void Engine::SampleOnce() {
         static_cast<int64_t>(byte_pool_.free_bytes() +
                              row_pool_.free_bytes())},
        {"in_flight_tasks", static_cast<int64_t>(pool_.in_flight())},
+       {"live_queries", static_cast<int64_t>(live_queries())},
        {"evictions", static_cast<int64_t>(metrics_.evictions())},
        {"shuffle_bytes",
         static_cast<int64_t>(metrics_.shuffle_bytes() +
@@ -320,7 +349,9 @@ Status Engine::PublishPartition(DatasetImpl* ds, int i, Partition rows) {
   ds->available_[i] = 1;
   const uint64_t bytes = SerializedSizeOf(ds->parts_[i]);
   Status st = store_->Publish(ds, i, &ds->parts_[i], bytes, ds->stage_,
-                              ds->label_);
+                              ds->label_,
+                              ds->session_ ? &ds->session_->memory()
+                                           : nullptr);
   SyncPeakResident();
   return st;
 }
@@ -330,6 +361,12 @@ void Engine::ResetStats() {
   // leave task spans pointing at dropped stages; fail loudly instead.
   SAC_CHECK_EQ(in_flight(), 0)
       << "Engine::ResetStats called while a query is executing";
+  // An admitted query that is still compiling has in_flight() == 0 but
+  // will execute operators any moment; under concurrent admission that
+  // window is routinely occupied, so check the ticket count too.
+  SAC_CHECK_EQ(live_queries(), 0)
+      << "Engine::ResetStats called while a query holds an admission "
+         "ticket";
   metrics_.Reset();
   stages_.Reset();
   tracer_.Reset();
@@ -411,6 +448,14 @@ std::string Engine::ExplainWithStats(const Dataset& ds) {
   return os.str();
 }
 
+std::shared_ptr<Session> Engine::OpenSession(const std::string& name,
+                                             uint64_t memory_budget_bytes) {
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<Session>(id, name, memory_budget_bytes,
+                                   pool_.OpenQueue());
+}
+
 Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
                            std::vector<Dataset> parents, int num_partitions) {
   auto ds = std::make_shared<DatasetImpl>();
@@ -419,7 +464,13 @@ Dataset Engine::NewDataset(DatasetImpl::OpKind kind, std::string label,
   ds->parents_ = std::move(parents);
   ds->parts_.resize(num_partitions);
   ds->available_.assign(num_partitions, false);
-  ds->stage_ = stages_.NewStage(ds->label_, KindName(kind));
+  // Datasets created under a Session::Scope belong to that session: the
+  // stage's counters dual-sink into its metrics, publishes charge its
+  // memory slice, and its tasks land on its fair-scheduled queue.
+  ds->session_ = Session::Current();
+  ds->stage_ = stages_.NewStage(
+      ds->label_, KindName(kind),
+      ds->session_ ? &ds->session_->metrics() : nullptr);
   ds->store_ = store_;
   return ds;
 }
@@ -446,7 +497,7 @@ Status Engine::ParallelParts(const TaskContext& ctx, int n,
       std::lock_guard<std::mutex> lock(mu);
       if (first_error.ok()) first_error = st;
     }
-  });
+  }, /*chunk=*/0, ctx.queue);
   return first_error;
 }
 
@@ -526,7 +577,8 @@ Dataset Engine::Parallelize(ValueVec rows, int num_partitions) {
     Status st =
         store_->Publish(ds.get(), i, &ds->parts_[i],
                         SerializedSizeOf(ds->parts_[i]), ds->stage_,
-                        ds->label_);
+                        ds->label_,
+                        ds->session_ ? &ds->session_->memory() : nullptr);
     if (!st.ok()) SAC_LOG(Warn) << "parallelize: " << st.ToString();
   }
   SyncPeakResident();

@@ -35,6 +35,13 @@
 //    and reload transparently on next access, so working sets larger
 //    than the budget run out-of-core with byte-identical results. Task
 //    reads hold pins so in-flight partitions are never evicted.
+//  * The engine is a multi-tenant query service (docs/SERVICE.md):
+//    clients open Sessions (per-session metrics attribution, memory
+//    slice, and fair-scheduled task queue), and up to
+//    ClusterConfig::max_concurrent_queries queries execute concurrently
+//    under a ticket-based admission gate. Because reduce-side folds are
+//    deterministic and partitions publish atomically, concurrent queries
+//    produce byte-identical results to serial runs.
 #ifndef SAC_RUNTIME_ENGINE_H_
 #define SAC_RUNTIME_ENGINE_H_
 
@@ -54,6 +61,7 @@
 #include "src/common/trace.h"
 #include "src/runtime/memory.h"
 #include "src/runtime/recovery.h"
+#include "src/runtime/session.h"
 #include "src/runtime/value.h"
 
 namespace sac::la {
@@ -105,6 +113,20 @@ struct ClusterConfig {
   // Perfetto timeline as the spans. The SAC_SAMPLE_INTERVAL_US env var
   // overrides this at engine construction.
   int sample_interval_us = 0;
+
+  // ---- Query service (docs/SERVICE.md) --------------------------------
+  // Queries holding a live admission ticket at once; later queries block
+  // in Engine::AdmitQuery until a slot frees. 1 restores the old
+  // serialized one-query-at-a-time behavior. The SAC_MAX_CONCURRENT env
+  // var overrides this at engine construction (clamped to >= 1).
+  int max_concurrent_queries = 4;
+  // Default per-session resident-byte slice handed to OpenSession when
+  // the caller does not pass one (0 = unlimited). Enforced by the block
+  // store on top of memory_budget_bytes: a session over its slice evicts
+  // its own LRU partitions, never another session's. The
+  // SAC_SESSION_MEM_BUDGET env var ("256M", "1G", plain bytes) overrides
+  // this at engine construction.
+  uint64_t session_memory_budget_bytes = 0;
 
   // ---- Kernel backend (docs/KERNELS.md) -------------------------------
   // Tile kernel implementation the planner dispatches through: "generic"
@@ -181,6 +203,13 @@ class DatasetImpl {
   // engine and datasets is a non-issue); every materialized partition is
   // registered here against the memory budget.
   std::shared_ptr<memory::BlockStore> store_;
+
+  // The session this dataset was created under (Session::Current() at
+  // NewDataset time; nullptr outside any session). Shared so the
+  // session's metrics sink and memory slice outlive the facade while any
+  // of its datasets remain; worker-side publishes and queue routing read
+  // it instead of thread-local state.
+  std::shared_ptr<Session> session_;
 };
 
 using Dataset = std::shared_ptr<DatasetImpl>;
@@ -224,6 +253,31 @@ class Engine {
   /// (Sac::EvalLoop), tests, and reports.
   memory::BlockStore& block_store() { return *store_; }
 
+  // ---- Query service (docs/SERVICE.md) --------------------------------
+  /// Opens a runtime session: a per-session metrics sink, a memory-slice
+  /// budget (`memory_budget_bytes`; the overload without it uses
+  /// config().session_memory_budget_bytes; 0 = unlimited), and a
+  /// fair-scheduled pool queue. Install it with Session::Scope around
+  /// data creation and query execution so NewDataset attributes to it.
+  /// Sessions are typically opened through Sac::OpenSession, which adds
+  /// the bindings/Eval surface on top.
+  std::shared_ptr<Session> OpenSession(const std::string& name,
+                                       uint64_t memory_budget_bytes);
+  std::shared_ptr<Session> OpenSession(const std::string& name) {
+    return OpenSession(name, config_.session_memory_budget_bytes);
+  }
+
+  /// Blocks until an admission slot (config().max_concurrent_queries) is
+  /// free and returns the live RAII ticket. Metered as queries_admitted /
+  /// queries_queued on the engine Metrics plus `session` when given.
+  AdmissionGate::Ticket AdmitQuery(Metrics* session = nullptr) {
+    return admission_->Admit(session);
+  }
+
+  /// Queries holding a live admission ticket right now (includes the
+  /// compile phase, unlike in_flight() which counts executing operators).
+  int live_queries() const { return admission_->live(); }
+
   // ---- Shuffle hot path ----------------------------------------------
   /// Executor-local zero-copy routing: records whose destination partition
   /// lives on the source partition's executor move as Values (no
@@ -242,9 +296,11 @@ class Engine {
   VectorPool<uint8_t>& shuffle_buffer_pool() { return byte_pool_; }
   VectorPool<Value>& row_scratch_pool() { return row_pool_; }
 
-  /// Number of currently executing engine operators/tasks; 0 whenever the
-  /// engine is quiescent. ResetStats() checks this to fail loudly on the
-  /// documented "never concurrently with a query" contract.
+  /// Number of currently executing engine operators; 0 whenever the
+  /// engine is quiescent. Under concurrent admission several operators
+  /// (from different queries) may be in flight at once; ResetStats()
+  /// checks this AND live_queries() to fail loudly on the documented
+  /// "never concurrently with a query" contract.
   int64_t in_flight() const {
     return in_flight_.load(std::memory_order_acquire);
   }
@@ -253,7 +309,10 @@ class Engine {
   /// Clears totals, per-stage stats and the trace buffer in one step
   /// (call between measured runs; never concurrently with a query --
   /// violating that aborts with a CHECK failure instead of silently
-  /// corrupting per-stage stats).
+  /// corrupting per-stage stats). "Concurrently with a query" means any
+  /// executing operator (in_flight() > 0) or any live admission ticket
+  /// (live_queries() > 0) -- a ticket held during the compile phase
+  /// counts, since its run phase would otherwise race the reset.
   void ResetStats();
 
   /// Human-readable per-stage metrics table (one row per operator run),
@@ -399,10 +458,15 @@ class Engine {
     uint64_t parent_span = 0;       // stage span enclosing the tasks
     std::string label;              // stage label, prefixes task names
     const char* phase = "task";     // "task" | "shuffle-write" | ...
+    // Fair-scheduling queue the stage's tasks land on: the owning
+    // session's queue, or the default queue for sessionless work.
+    ThreadPool::QueueId queue = ThreadPool::kDefaultQueue;
   };
   TaskContext ContextFor(DatasetImpl* ds, uint64_t parent_span,
                          const char* phase = "task") {
-    return TaskContext{StatsFor(ds), parent_span, ds->label_, phase};
+    return TaskContext{StatsFor(ds), parent_span, ds->label_, phase,
+                       ds->session_ ? ds->session_->queue()
+                                    : ThreadPool::kDefaultQueue};
   }
 
   void AddRecordsTo(StageStats* stats, uint64_t n) {
@@ -535,6 +599,8 @@ class Engine {
                                     int src_part, int num_dest, int attempt);
 
   /// RAII marker for a running operator; makes ResetStats() misuse loud.
+  /// This counts *operators*, not queries -- several may be live at once
+  /// under concurrent admission (the AdmissionGate bounds queries).
   struct InFlightScope {
     explicit InFlightScope(Engine* e) : eng(e) {
       eng->in_flight_.fetch_add(1, std::memory_order_acq_rel);
@@ -571,6 +637,9 @@ class Engine {
   VectorPool<uint8_t> byte_pool_;
   VectorPool<Value> row_pool_;
   std::atomic<int64_t> in_flight_{0};
+  // Created in the constructor after SAC_MAX_CONCURRENT is resolved.
+  std::unique_ptr<AdmissionGate> admission_;
+  std::atomic<uint64_t> next_session_id_{1};
   bool shuffle_fast_path_ = true;
   const la::KernelBackend* kernel_backend_ = nullptr;
   recovery::FaultPlan fault_plan_;

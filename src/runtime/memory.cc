@@ -9,12 +9,16 @@
 namespace sac::runtime::memory {
 
 uint64_t BudgetFromEnv(uint64_t fallback) {
-  const char* env = std::getenv("SAC_MEM_BUDGET");
+  return BudgetFromEnv("SAC_MEM_BUDGET", fallback);
+}
+
+uint64_t BudgetFromEnv(const char* var, uint64_t fallback) {
+  const char* env = std::getenv(var);
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(env, &end, 10);
   if (end == env) {
-    SAC_LOG(Warn) << "ignoring unparseable SAC_MEM_BUDGET='" << env << "'";
+    SAC_LOG(Warn) << "ignoring unparseable " << var << "='" << env << "'";
     return fallback;
   }
   uint64_t mult = 1;
@@ -24,7 +28,7 @@ uint64_t BudgetFromEnv(uint64_t fallback) {
     case 'g': case 'G': mult = 1024ULL * 1024 * 1024; break;
     case '\0': break;
     default:
-      SAC_LOG(Warn) << "ignoring unparseable SAC_MEM_BUDGET='" << env << "'";
+      SAC_LOG(Warn) << "ignoring unparseable " << var << "='" << env << "'";
       return fallback;
   }
   return static_cast<uint64_t>(v) * mult;
@@ -53,11 +57,15 @@ void BlockStore::Emit(const BlockEvent& ev) {
 
 Status BlockStore::Publish(const void* owner, int part, ValueVec* slot,
                            uint64_t bytes, StageRef stage,
-                           const std::string& label) {
+                           const std::string& label,
+                           MemoryManager* session) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) return Status::OK();
   Entry& e = blocks_[Key{owner, part}];
-  if (e.slot != nullptr && e.resident) mgr_.Release(e.bytes);
+  if (e.slot != nullptr && e.resident) {
+    mgr_.Release(e.bytes);
+    if (e.session != nullptr) e.session->Release(e.bytes);
+  }
   if (e.spill_valid) {
     // The block was recomputed; whatever the old spill holds is stale.
     storage::RemoveSpill(e.spill_path);
@@ -70,10 +78,13 @@ Status BlockStore::Publish(const void* owner, int part, ValueVec* slot,
   e.stage = stage;
   e.label = label;
   e.tick = ++tick_;
+  e.session = session;
   auto pri = owner_priority_.find(owner);
   if (pri != owner_priority_.end()) e.priority = pri->second;
   mgr_.Charge(bytes);
-  return EnforceBudgetLocked();
+  if (session != nullptr) session->Charge(bytes);
+  SAC_RETURN_NOT_OK(EnforceBudgetLocked());
+  return EnforceSessionBudgetLocked(session);
 }
 
 Result<PinOutcome> BlockStore::Pin(const void* owner, int part) {
@@ -109,12 +120,14 @@ Result<PinOutcome> BlockStore::Pin(const void* owner, int part) {
   e.resident = true;
   ++e.pins;
   mgr_.Charge(e.bytes);
+  if (e.session != nullptr) e.session->Charge(e.bytes);
   ++reloads_;
   Emit(BlockEvent{BlockEvent::Kind::kReload, e.stage, e.label, part,
                   e.bytes});
   // The reload itself may have pushed residency over budget; make room
   // by evicting other cold blocks (this one is pinned now).
   SAC_RETURN_NOT_OK(EnforceBudgetLocked());
+  SAC_RETURN_NOT_OK(EnforceSessionBudgetLocked(e.session));
   return PinOutcome::kReloaded;
 }
 
@@ -185,7 +198,10 @@ void BlockStore::Shutdown() {
 
 void BlockStore::DropLocked(const Key& k, Entry* e) {
   (void)k;
-  if (e->resident) mgr_.Release(e->bytes);
+  if (e->resident) {
+    mgr_.Release(e->bytes);
+    if (e->session != nullptr) e->session->Release(e->bytes);
+  }
   if (!e->spill_path.empty()) storage::RemoveSpill(e->spill_path);
   if (e->spill_valid) {
     spilled_bytes_.fetch_sub(e->bytes, std::memory_order_relaxed);
@@ -239,6 +255,37 @@ Status BlockStore::EnforceBudgetLocked() {
   return Status::OK();
 }
 
+Status BlockStore::EnforceSessionBudgetLocked(MemoryManager* session) {
+  if (session == nullptr || session->unlimited()) return Status::OK();
+  const uint64_t budget = session->budget();
+  bool allow_priority = false;
+  while (session->resident_bytes() > budget) {
+    Entry* victim = nullptr;
+    Key victim_key{nullptr, -1};
+    for (auto& [key, e] : blocks_) {
+      if (e.session != session) continue;  // slice overruns stay local
+      if (!e.resident || e.pins > 0 || e.bytes == 0) continue;
+      if (e.priority && !allow_priority) continue;
+      if (victim == nullptr || e.tick < victim->tick) {
+        victim = &e;
+        victim_key = key;
+      }
+    }
+    if (victim == nullptr) {
+      if (!allow_priority) {
+        allow_priority = true;
+        continue;
+      }
+      // Everything left in the slice is pinned by in-flight tasks; run
+      // over the slice rather than deadlocking (same progress guarantee
+      // as the global budget).
+      return Status::OK();
+    }
+    SAC_RETURN_NOT_OK(EvictLocked(victim_key, victim));
+  }
+  return Status::OK();
+}
+
 Status BlockStore::EvictLocked(const Key& k, Entry* e) {
   if (!e->spill_valid) {
     // Re-ensured on every spill write (mkdir on an existing dir is one
@@ -264,6 +311,7 @@ Status BlockStore::EvictLocked(const Key& k, Entry* e) {
   ValueVec().swap(*e->slot);  // actually frees the heap, not just size=0
   e->resident = false;
   mgr_.Release(e->bytes);
+  if (e->session != nullptr) e->session->Release(e->bytes);
   ++evictions_;
   Emit(BlockEvent{BlockEvent::Kind::kEvict, e->stage, e->label, k.second,
                   e->bytes});

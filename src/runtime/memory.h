@@ -54,6 +54,10 @@ namespace sac::runtime::memory {
 /// impose a budget on any binary without a code change.
 uint64_t BudgetFromEnv(uint64_t fallback);
 
+/// Same parsing for an arbitrary byte-size env var (e.g.
+/// SAC_SESSION_MEM_BUDGET, the default per-session slice).
+uint64_t BudgetFromEnv(const char* var, uint64_t fallback);
+
 /// Budget accounting: resident partition bytes vs. a fixed cap.
 /// Thread-safe; all operations are single atomics.
 class MemoryManager {
@@ -155,8 +159,15 @@ class BlockStore {
   /// incarnation of the block is removed. Errors are eviction spill
   /// write failures; the registration itself always takes effect and
   /// no data is lost.
+  ///
+  /// `session`, when non-null, is the owning session's memory slice
+  /// (docs/SERVICE.md): the block's footprint is charged against it in
+  /// addition to the global budget, and a slice overrun evicts only that
+  /// session's blocks. The manager must outlive the block (datasets hold
+  /// shared_ptr<Session>, which owns the slice).
   Status Publish(const void* owner, int part, ValueVec* slot,
-                 uint64_t bytes, StageRef stage, const std::string& label);
+                 uint64_t bytes, StageRef stage, const std::string& label,
+                 MemoryManager* session = nullptr);
 
   /// Pins (owner, part) so it cannot be evicted. kResident/kReloaded:
   /// the rows are in the published slot until Unpin(). kNeedsRecompute:
@@ -216,6 +227,9 @@ class BlockStore {
     uint64_t tick = 0;       // LRU recency stamp (higher = hotter)
     StageRef stage;
     std::string label;
+    // Owning session's memory slice; charged/released in lockstep with
+    // the global manager across every residency transition.
+    MemoryManager* session = nullptr;
   };
   using Key = std::pair<const void*, int>;
   struct KeyHash {
@@ -230,6 +244,9 @@ class BlockStore {
   /// skipped (a fully-pinned over-budget store runs over budget with a
   /// one-time warning rather than deadlocking).
   Status EnforceBudgetLocked();
+  /// Evicts LRU-first among `session`'s own blocks until its slice fits.
+  /// Other sessions' blocks are never victims of a slice overrun.
+  Status EnforceSessionBudgetLocked(MemoryManager* session);
   Status EvictLocked(const Key& k, Entry* e);
   void DropLocked(const Key& k, Entry* e);  // accounting + spill removal
   void Emit(const BlockEvent& ev);
