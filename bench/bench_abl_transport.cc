@@ -1,0 +1,271 @@
+// Transport ablation / chaos gate: the Figure 4.B multiply run through
+// the distributed runtime (docs/DISTRIBUTED.md) in three shapes --
+//
+//   single       no workers: the engine exactly as every other bench
+//                runs it (the bit-for-bit default path)
+//   loopback-3w  3 in-process workers behind the loopback transport
+//                (full frame codec, no sockets)
+//   tcp-3w       3 in-process workers behind real 127.0.0.1 sockets
+//
+// The gate FAILS (nonzero exit) unless: all three products are
+// byte-identical, the distributed runs moved real wire bytes, loopback
+// and TCP meter *identical* wire-byte counts (same buckets, same codec),
+// shuffle-byte accounting is transport-independent, and the TCP overhead
+// stays within a loose multiple of loopback.
+//
+// `--chaos` switches to the external-cluster kill test: it requires
+// SAC_WORKERS to name running sac_worker processes (scripts/check.sh
+// launches three), runs the same multiply over them, kill -9s one worker
+// the moment wire bytes start flowing, and FAILS unless the final
+// product is still byte-identical to the single-process run with
+// workers_lost >= 1 and partitions_reexecuted > 0 -- the lineage
+// re-execution path, exercised against a real process death.
+#include "bench/bench_common.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/api/algorithms.h"
+#include "src/dist/coordinator.h"
+
+namespace {
+
+/// Byte-exact product comparison: the transport must deliver the exact
+/// bucket bytes the map side serialized (CRC-checked frames), and
+/// lineage re-execution is deterministic, so any drift is a dist bug,
+/// not rounding.
+bool SameTile(const sac::la::Tile& a, const sac::la::Tile& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.vec().data(), b.vec().data(),
+                     a.vec().size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sac;         // NOLINT
+  using namespace sac::bench;  // NOLINT
+
+  bool smoke = false;
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+  }
+  const int64_t n = smoke ? 96 : 160;
+  const int64_t block = 32;
+
+  int violations = 0;
+  auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "TRANSPORT GATE VIOLATION: %s\n", what);
+      ++violations;
+    }
+  };
+
+  struct RunResult {
+    Row row;
+    la::Tile product{0, 0};
+  };
+
+  // One multiply under `cfg`, timed the standard way (ResetStats per rep;
+  // totals are the last rep's, so every series meters one identical run).
+  auto run = [&](BenchReporter* reporter, const std::string& series,
+                 runtime::ClusterConfig cfg) -> RunResult {
+    planner::PlannerOptions opts;
+    opts.auto_strategy = false;  // pin the plan: this ablates the wire
+    Sac ctx(cfg, opts);
+    auto a = ctx.RandomMatrix(n, n, block, 301, 0.0, 10.0).value();
+    auto b = ctx.RandomMatrix(n, n, block, 302, 0.0, 10.0).value();
+    RunResult out;
+    storage::TiledMatrix c;
+    out.row = TimeQuery(&ctx, "abl_transport", series, n, n * n, [&] {
+      auto r = algo::Multiply(&ctx, a, b);
+      SAC_BENCH_CHECK(r);
+      c = std::move(r).value();
+    });
+    reporter->Report(out.row);
+    reporter->CaptureTrace(&ctx);
+    out.product = ctx.ToLocal(c).value();
+    return out;
+  };
+
+  if (!chaos) {
+    // ---- ablation mode: single vs loopback vs TCP, in-process --------
+    if (std::getenv("SAC_WORKERS") != nullptr ||
+        std::getenv("SAC_TRANSPORT") != nullptr) {
+      std::fprintf(stderr,
+                   "TRANSPORT GATE VIOLATION: SAC_WORKERS/SAC_TRANSPORT "
+                   "set; they would override the single-process "
+                   "baseline (use --chaos for the external cluster)\n");
+      return 1;
+    }
+    PrintHeader(
+        "Transport ablation: fig4b multiply, single process vs 3 workers "
+        "over loopback vs TCP");
+    BenchReporter reporter("abl_transport", argc, argv);
+
+    auto dist_cfg = [&](const char* transport) {
+      runtime::ClusterConfig cfg = BenchCluster();
+      cfg.workers = "3";
+      cfg.transport = transport;
+      // No background heartbeat: its pings would smear nondeterministic
+      // wire bytes over the loopback-vs-TCP equality gate below.
+      cfg.heartbeat_interval_ms = 0;
+      return cfg;
+    };
+    const RunResult single = run(&reporter, "single", BenchCluster());
+    const RunResult lo = run(&reporter, "loopback-3w", dist_cfg("loopback"));
+    const RunResult tcp = run(&reporter, "tcp-3w", dist_cfg("tcp"));
+
+    expect(SameTile(single.product, lo.product),
+           "loopback product differs from single-process");
+    expect(SameTile(single.product, tcp.product),
+           "tcp product differs from single-process");
+    expect(single.row.totals.dist_bytes_sent == 0,
+           "single-process run metered dist wire bytes");
+    expect(lo.row.totals.dist_bytes_sent > 0,
+           "loopback run moved no wire bytes; the transport never ran");
+    expect(tcp.row.totals.dist_bytes_received > 0,
+           "tcp run received no wire bytes");
+    expect(lo.row.totals.dist_bytes_sent == tcp.row.totals.dist_bytes_sent &&
+               lo.row.totals.dist_bytes_received ==
+                   tcp.row.totals.dist_bytes_received,
+           "loopback and tcp wire-byte accounting disagree (same buckets, "
+           "same codec: they must be identical)");
+    // Shuffle accounting (local fast path + serialized cross-executor)
+    // is transport-independent: distribution changes where bucket bytes
+    // live, never how many there are.
+    expect(single.row.totals.shuffle_bytes +
+                   single.row.totals.local_shuffle_bytes ==
+               tcp.row.totals.shuffle_bytes +
+                   tcp.row.totals.local_shuffle_bytes,
+           "shuffle-byte accounting changed under distribution");
+    expect(lo.row.totals.workers_lost == 0 &&
+               tcp.row.totals.workers_lost == 0,
+           "a healthy run lost workers");
+    // Loose overhead bound: TCP adds syscalls and memcpy per bucket, not
+    // algorithmic work; blowing far past loopback means a transport
+    // pathology (per-call reconnects, lost parked connections).
+    expect(tcp.row.time_ms <= lo.row.time_ms * 10.0 + 2000.0,
+           "tcp overhead exceeds 10x loopback + 2s");
+
+    if (violations > 0) {
+      std::fprintf(stderr, "transport gate: %d violation(s)\n", violations);
+      return 1;
+    }
+    std::printf(
+        "transport gate: ok (dist wire %.2f MB each way, tcp %.1f ms vs "
+        "loopback %.1f ms)\n",
+        tcp.row.totals.dist_bytes_sent / 1048576.0, tcp.row.time_ms,
+        lo.row.time_ms);
+    return 0;
+  }
+
+  // ---- chaos mode: external cluster, kill -9 one worker mid-shuffle --
+  const char* workers_env = std::getenv("SAC_WORKERS");
+  if (workers_env == nullptr || *workers_env == '\0') {
+    std::fprintf(stderr,
+                 "chaos mode needs SAC_WORKERS=host:port,... naming "
+                 "running sac_worker processes\n");
+    return 2;
+  }
+  const std::string workers = workers_env;
+
+  PrintHeader(
+      "Transport chaos: fig4b multiply over external workers, one killed "
+      "mid-shuffle");
+  BenchReporter reporter("abl_transport_chaos", argc, argv);
+
+  // Baseline first, with the env cleared so the engine stays
+  // single-process (the env override wins over config by design).
+  ::unsetenv("SAC_WORKERS");
+  ::unsetenv("SAC_TRANSPORT");
+  const RunResult baseline = run(&reporter, "single", BenchCluster());
+  ::setenv("SAC_WORKERS", workers.c_str(), 1);
+
+  planner::PlannerOptions popts;
+  popts.auto_strategy = false;
+  Sac ctx(BenchCluster(), popts);  // env routes it to the external cluster
+  runtime::Engine& eng = ctx.engine();
+  if (!eng.distributed()) {
+    std::fprintf(stderr, "chaos: engine did not come up distributed\n");
+    return 2;
+  }
+  const int victim = eng.coordinator()->num_workers() - 1;
+  const uint64_t victim_pid = eng.coordinator()->WorkerPid(victim);
+  expect(victim_pid > 0, "coordinator never learned the victim's pid");
+
+  auto a = ctx.RandomMatrix(n, n, block, 301, 0.0, 10.0).value();
+  auto b = ctx.RandomMatrix(n, n, block, 302, 0.0, 10.0).value();
+
+  // The assassin: the moment wire bytes start flowing (the shuffle's
+  // push phase -- SAC_WORKER_DELAY_US on the workers stretches it), the
+  // victim dies for real. kill -9: no flush, no goodbye, exactly the
+  // failure docs/FAULT_MODEL.md promises to survive.
+  std::atomic<bool> killed{false};
+  std::atomic<bool> stop{false};
+  std::thread assassin([&] {
+    for (int i = 0; i < 30000 && !stop.load(); ++i) {
+      if (eng.metrics().Snapshot().dist_bytes_sent > 8192) {
+        ::kill(static_cast<pid_t>(victim_pid), SIGKILL);
+        killed.store(true);
+        std::fprintf(stderr, "chaos: killed worker %d (pid %llu)\n", victim,
+                     static_cast<unsigned long long>(victim_pid));
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // One run, timed by hand: TimeQuery's per-rep ResetStats would wipe
+  // the workers_lost/reexecuted evidence the gate needs.
+  ctx.ResetStats();
+  Stopwatch sw;
+  storage::TiledMatrix c;
+  {
+    auto r = algo::Multiply(&ctx, a, b);
+    SAC_BENCH_CHECK(r);
+    c = std::move(r).value();
+  }
+  Row row{};
+  row.figure = "abl_transport";
+  row.series = "tcp-chaos";
+  row.n = n;
+  row.elements = n * n;
+  row.time_ms = sw.ElapsedMillis();
+  row.totals = ctx.metrics().Snapshot();
+  row.stages = ctx.stages().Snapshot();
+  row.shuffle_mb = row.totals.shuffle_bytes / (1024.0 * 1024.0);
+  reporter.Report(row);
+  reporter.CaptureTrace(&ctx);
+  stop.store(true);
+  assassin.join();
+
+  const la::Tile product = ctx.ToLocal(c).value();
+  expect(killed.load(), "assassin never fired: no wire bytes flowed");
+  expect(SameTile(baseline.product, product),
+         "post-kill product is not byte-identical to single-process");
+  expect(row.totals.workers_lost >= 1,
+         "the kill was never detected (workers_lost == 0)");
+  expect(row.totals.partitions_reexecuted > 0,
+         "no lineage re-execution despite a dead worker");
+  expect(row.totals.dist_bytes_sent > 0, "no wire bytes metered");
+
+  if (violations > 0) {
+    std::fprintf(stderr, "chaos gate: %d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf(
+      "chaos gate: ok (killed pid %llu mid-shuffle; %llu worker(s) lost, "
+      "%llu partition(s) re-executed, product byte-identical)\n",
+      static_cast<unsigned long long>(victim_pid),
+      static_cast<unsigned long long>(row.totals.workers_lost),
+      static_cast<unsigned long long>(row.totals.partitions_reexecuted));
+  return 0;
+}

@@ -5,6 +5,7 @@
 #   BENCH_abl_shuffle_path.json  BENCH_abl_memory.json
 #   BENCH_abl_sampler.json  BENCH_abl_strategy.json
 #   BENCH_abl_backend.json  BENCH_abl_service.json
+#   BENCH_abl_transport.json
 # Each fig4 bench also emits a profiler artifact
 # (BENCH_<name>.profile.json, summarize with tools/sac_prof; see
 # docs/PROFILING.md). Reports are committed alongside code changes so
@@ -25,7 +26,8 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target \
   bench_fig4a_addition bench_fig4b_multiply bench_fig4c_factorization \
   bench_abl_shuffle_path bench_abl_memory bench_abl_sampler \
-  bench_abl_strategy bench_abl_backend bench_abl_service sac_prof
+  bench_abl_strategy bench_abl_backend bench_abl_service \
+  bench_abl_transport sac_prof
 
 export SAC_BENCH_SCALE="$scale" SAC_BENCH_REPS="$reps"
 
@@ -59,6 +61,12 @@ echo "==> ablation: kernel backends + fusion (self-gating)"
 echo "==> ablation: multi-tenant service, admission + plan cache (self-gating)"
 ./build/bench/bench_abl_service --out BENCH_abl_service.json
 
+echo "==> ablation: shuffle transport, loopback vs tcp (self-gating)"
+# SAC_WORKERS/SAC_TRANSPORT would override the single-process arm; the
+# bench refuses to run with either set.
+env -u SAC_WORKERS -u SAC_TRANSPORT \
+  ./build/bench/bench_abl_transport --out BENCH_abl_transport.json
+
 echo "==> cost-model gate: predicted vs measured shuffle bytes (2x)"
 ./build/tools/sac_prof predcheck BENCH_fig4a.json
 ./build/tools/sac_prof predcheck BENCH_fig4b.json
@@ -67,4 +75,4 @@ echo "==> cost-model gate: predicted vs measured shuffle bytes (2x)"
 echo "==> regression gate: reports vs baselines"
 scripts/bench_diff.sh
 
-echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json BENCH_abl_sampler.json BENCH_abl_strategy.json BENCH_abl_backend.json BENCH_abl_service.json (+ fig4 *.profile.json)"
+echo "==> reports written: BENCH_fig4a.json BENCH_fig4b.json BENCH_fig4c.json BENCH_abl_shuffle_path.json BENCH_abl_memory.json BENCH_abl_sampler.json BENCH_abl_strategy.json BENCH_abl_backend.json BENCH_abl_service.json BENCH_abl_transport.json (+ fig4 *.profile.json)"

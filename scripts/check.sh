@@ -34,6 +34,14 @@
 #      >= 2x faster than serialized admission with byte-identical
 #      products, and the plan cache must show 1 miss + K-1 hits with
 #      measurable compile savings; docs/SERVICE.md)
+#   8e. distributed: bench_abl_transport --smoke (fig4b multiply over 3
+#      in-process workers: loopback and TCP products byte-identical to
+#      single-process, identical wire-byte accounting, bounded TCP
+#      overhead), then the external-cluster chaos gate: 3 sac_worker
+#      processes on localhost, one kill -9'd mid-shuffle, the product
+#      must still be byte-identical with workers_lost >= 1 and
+#      partitions_reexecuted > 0 (docs/DISTRIBUTED.md); workers are
+#      torn down via trap even when the gate fails
 #   9. bench regression gate: scripts/bench_diff.sh (committed
 #      BENCH_*.json vs BENCH_*.baseline.json via sac_prof diff)
 #  10. docs: scripts/check_docs_links.sh (no *.md relative link may point
@@ -44,8 +52,10 @@
 #  12. tsan: ThreadSanitizer build of the concurrency-sensitive tests
 #      (engine, trace, thread pool, shuffle pools, sharded metrics, the
 #      block store / memory budget, the recovery/retry path, the
-#      sampler/profile machinery, and the multi-tenant session/admission
-#      layer), since the trace/metrics buffers, fault counters, budget
+#      sampler/profile machinery, the multi-tenant session/admission
+#      layer, and the distributed transport/coordinator/worker stack --
+#      heartbeat thread vs RPCs vs placement), since the trace/metrics
+#      buffers, fault counters, budget
 #      accounting, sampler counters, and per-session attribution sinks
 #      are written from pool/background threads; plus the same 4-session
 #      concurrent service smoke under tsan
@@ -153,6 +163,45 @@ EOF
     ./build/bench/bench_abl_service --smoke \
     --out build/BENCH_abl_service.smoke.json
 
+  echo "==> distributed: transport ablation (single vs loopback vs tcp)"
+  # SAC_WORKERS/SAC_TRANSPORT must be unset: they would override the
+  # single-process baseline arm (the bench refuses to run otherwise).
+  SAC_BENCH_REPS=1 env -u SAC_WORKERS -u SAC_TRANSPORT \
+    ./build/bench/bench_abl_transport --smoke \
+    --out build/BENCH_abl_transport.smoke.json
+
+  echo "==> distributed: 3-worker TCP cluster + kill -9 chaos gate"
+  worker_pids=()
+  cleanup_workers() {
+    for p in "${worker_pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+    worker_pids=()
+  }
+  # Tear the cluster down even when the gate (or any later stage) fails.
+  trap cleanup_workers EXIT
+  worker_addrs=""
+  for i in 1 2 3; do
+    rm -f "build/sac_worker.$i.log"
+    # The per-put delay stretches the shuffle window so the bench's
+    # kill -9 reliably lands mid-stream.
+    SAC_WORKER_DELAY_US=2000 ./build/tools/sac_worker --port=0 \
+      > "build/sac_worker.$i.log" 2>&1 &
+    worker_pids+=($!)
+  done
+  for i in 1 2 3; do
+    port=""
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "build/sac_worker.$i.log")"
+      [[ -n "$port" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$port" ]] || { echo "sac_worker $i never became ready"; exit 1; }
+    worker_addrs+="${worker_addrs:+,}127.0.0.1:$port"
+  done
+  SAC_BENCH_REPS=1 SAC_WORKERS="$worker_addrs" \
+    ./build/bench/bench_abl_transport --chaos --smoke \
+    --out build/BENCH_abl_transport_chaos.smoke.json
+  cleanup_workers
+
   echo "==> cost model: predicted vs measured shuffle bytes (2x gate)"
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 \
     ./build/bench/bench_fig4a_addition \
@@ -194,7 +243,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   cmake -B build-tsan -S . -DSAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" --target sac_tests bench_abl_service
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sac_tests \
-    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*:*Sampler*:*Profile*:*Session*'
+    --gtest_filter='Engine*:*Tracer*:*Histogram*:Observability*:ThreadPool*:*MetricsSnapshot*:*Pool*:*ShufflePath*:*ShardedMetrics*:*Recovery*:*FaultPlan*:*BlockStore*:*Memory*:*Sampler*:*Profile*:*Session*:*FrameCodec*:*Transport*:*DistWorker*:*Coordinator*:*DistShuffle*'
   echo "==> tsan: 4-session concurrent service smoke"
   SAC_BENCH_SCALE=tiny SAC_BENCH_REPS=1 env -u SAC_MAX_CONCURRENT \
     TSAN_OPTIONS="halt_on_error=1" \

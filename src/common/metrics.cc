@@ -62,6 +62,12 @@ std::string MetricsSnapshot::ToString() const {
        << " plan_cache_misses=" << plan_cache_misses
        << " plan_cache_evictions=" << plan_cache_evictions;
   }
+  if (dist_bytes_sent > 0 || dist_bytes_received > 0 || workers_lost > 0) {
+    os << " dist_tx=" << dist_bytes_sent / (1024.0 * 1024.0) << "MB"
+       << " dist_rx=" << dist_bytes_received / (1024.0 * 1024.0) << "MB"
+       << " workers_lost=" << workers_lost
+       << " reexecuted=" << partitions_reexecuted;
+  }
   return os.str();
 }
 
@@ -93,6 +99,10 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.plan_cache_hits = plan_cache_hits();
   s.plan_cache_misses = plan_cache_misses();
   s.plan_cache_evictions = plan_cache_evictions();
+  s.dist_bytes_sent = dist_bytes_sent();
+  s.dist_bytes_received = dist_bytes_received();
+  s.workers_lost = workers_lost();
+  s.partitions_reexecuted = partitions_reexecuted();
   return s;
 }
 
@@ -168,17 +178,18 @@ std::string StageRegistry::ReportString() const {
   char line[512];
   std::snprintf(line, sizeof(line),
                 "%-5s %-24s %-9s %6s %12s %12s %10s %10s %7s %7s %6s %10s "
-                "%8s %8s %9s %9s %12s\n",
+                "%8s %8s %9s %10s %10s %6s %9s %12s\n",
                 "stage", "label", "kind", "tasks", "records_in",
                 "shuffle_KB", "cross_KB", "local_KB", "recomp", "retries",
                 "faults", "backoff_ms", "ckpt_KB", "evict_KB", "reload_KB",
-                "wall_ms", "task_p95_us");
+                "dist_tx_KB", "dist_rx_KB", "reexec", "wall_ms",
+                "task_p95_us");
   os << line;
   for (const StageStatsSnapshot& s : stages) {
     std::snprintf(
         line, sizeof(line),
         "%-5d %-24s %-9s %6llu %12llu %12.1f %10.1f %10.1f %7llu %7llu "
-        "%6llu %10.1f %8.1f %8.1f %9.1f %9.2f %12llu\n",
+        "%6llu %10.1f %8.1f %8.1f %9.1f %10.1f %10.1f %6llu %9.2f %12llu\n",
         s.id, s.label.substr(0, 24).c_str(), s.kind.c_str(),
         static_cast<unsigned long long>(s.counters.tasks_run),
         static_cast<unsigned long long>(s.counters.records_processed),
@@ -192,7 +203,11 @@ std::string StageRegistry::ReportString() const {
         (s.counters.checkpoint_bytes + s.counters.checkpoint_restore_bytes) /
             1024.0,
         s.counters.bytes_evicted / 1024.0,
-        s.counters.bytes_reloaded / 1024.0, s.wall_ms,
+        s.counters.bytes_reloaded / 1024.0,
+        s.counters.dist_bytes_sent / 1024.0,
+        s.counters.dist_bytes_received / 1024.0,
+        static_cast<unsigned long long>(s.counters.partitions_reexecuted),
+        s.wall_ms,
         static_cast<unsigned long long>(s.task_us.Percentile(0.95)));
     os << line;
   }

@@ -70,7 +70,11 @@ namespace sac {
   X(queries_queued)                     \
   X(plan_cache_hits)                    \
   X(plan_cache_misses)                  \
-  X(plan_cache_evictions)
+  X(plan_cache_evictions)               \
+  X(dist_bytes_sent)                    \
+  X(dist_bytes_received)                \
+  X(workers_lost)                       \
+  X(partitions_reexecuted)
 
 /// Plain, copyable view of the counters, folded once across shards --
 /// use this instead of reading individual getters non-atomically mid-run.
@@ -116,6 +120,14 @@ struct MetricsSnapshot {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_evictions = 0;
+  // Distributed runtime (docs/DISTRIBUTED.md): framed wire bytes in each
+  // direction between the driver and its workers (headers included),
+  // workers declared dead by the coordinator, and map-side partitions
+  // re-executed from lineage because their buckets died with a worker.
+  uint64_t dist_bytes_sent = 0;
+  uint64_t dist_bytes_received = 0;
+  uint64_t workers_lost = 0;
+  uint64_t partitions_reexecuted = 0;
 
   /// Invokes fn(name, value) for every counter, in declaration order
   /// (names from SAC_METRICS_FOR_EACH_COUNTER). The mutable overload
@@ -168,6 +180,10 @@ class Metrics {
       s.plan_cache_hits = 0;
       s.plan_cache_misses = 0;
       s.plan_cache_evictions = 0;
+      s.dist_bytes_sent = 0;
+      s.dist_bytes_received = 0;
+      s.workers_lost = 0;
+      s.partitions_reexecuted = 0;
     }
     peak_resident_bytes_.store(0, std::memory_order_relaxed);
   }
@@ -229,6 +245,18 @@ class Metrics {
   void AddPlanCacheEvictions(uint64_t n) {
     Bump(Local().plan_cache_evictions, n);
   }
+  /// Framed wire bytes sent to / received from workers (dist transport).
+  void AddDistSent(uint64_t bytes) { Bump(Local().dist_bytes_sent, bytes); }
+  void AddDistReceived(uint64_t bytes) {
+    Bump(Local().dist_bytes_received, bytes);
+  }
+  /// One worker declared dead by the coordinator.
+  void AddWorkerLost() { Bump(Local().workers_lost, 1); }
+  /// One map-side partition re-executed from lineage to rebuild buckets
+  /// lost with a dead worker.
+  void AddReexecutedPartition() {
+    Bump(Local().partitions_reexecuted, 1);
+  }
   /// Monotone max-update of the resident-partition-bytes high-water mark.
   void UpdatePeakResident(uint64_t resident_bytes) {
     uint64_t prev = peak_resident_bytes_.load(std::memory_order_relaxed);
@@ -282,6 +310,14 @@ class Metrics {
   uint64_t plan_cache_evictions() const {
     return Fold(&Shard::plan_cache_evictions);
   }
+  uint64_t dist_bytes_sent() const { return Fold(&Shard::dist_bytes_sent); }
+  uint64_t dist_bytes_received() const {
+    return Fold(&Shard::dist_bytes_received);
+  }
+  uint64_t workers_lost() const { return Fold(&Shard::workers_lost); }
+  uint64_t partitions_reexecuted() const {
+    return Fold(&Shard::partitions_reexecuted);
+  }
 
   MetricsSnapshot Snapshot() const;
   std::string ToString() const;
@@ -317,6 +353,10 @@ class Metrics {
     std::atomic<uint64_t> plan_cache_hits{0};
     std::atomic<uint64_t> plan_cache_misses{0};
     std::atomic<uint64_t> plan_cache_evictions{0};
+    std::atomic<uint64_t> dist_bytes_sent{0};
+    std::atomic<uint64_t> dist_bytes_received{0};
+    std::atomic<uint64_t> workers_lost{0};
+    std::atomic<uint64_t> partitions_reexecuted{0};
   };
 
   static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
@@ -453,6 +493,21 @@ class StageStats {
     local_.AddTileAllocs(n);
     if (totals_) totals_->AddTileAllocs(n);
     if (session_) session_->AddTileAllocs(n);
+  }
+  void AddDistSent(uint64_t bytes) {
+    local_.AddDistSent(bytes);
+    if (totals_) totals_->AddDistSent(bytes);
+    if (session_) session_->AddDistSent(bytes);
+  }
+  void AddDistReceived(uint64_t bytes) {
+    local_.AddDistReceived(bytes);
+    if (totals_) totals_->AddDistReceived(bytes);
+    if (session_) session_->AddDistReceived(bytes);
+  }
+  void AddReexecutedPartition() {
+    local_.AddReexecutedPartition();
+    if (totals_) totals_->AddReexecutedPartition();
+    if (session_) session_->AddReexecutedPartition();
   }
   void RecordTaskMicros(uint64_t us) { task_us_.Record(us); }
   void AddWallMicros(uint64_t us) {

@@ -23,6 +23,7 @@ enum class StatusCode : int8_t {
   kIoError = 7,           // (de)serialization failure
   kCancelled = 8,         // task killed by fault injection
   kDataLoss = 9,          // stored bytes unreadable (truncated/corrupt spill)
+  kUnavailable = 10,      // remote peer unreachable / worker lost
 };
 
 /// Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -62,6 +63,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

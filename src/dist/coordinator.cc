@@ -1,0 +1,262 @@
+#include "src/dist/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace sac::dist {
+
+Coordinator::Coordinator(std::unique_ptr<net::Transport> transport,
+                         CoordinatorOptions opts, Metrics* totals,
+                         trace::Tracer* tracer)
+    : transport_(std::move(transport)),
+      opts_(opts),
+      totals_(totals),
+      tracer_(tracer) {
+  const int n = transport_->num_peers();
+  alive_.assign(static_cast<size_t>(n), 1);
+  pids_.assign(static_cast<size_t>(n), 0);
+  missed_ms_.assign(static_cast<size_t>(n), 0);
+}
+
+Coordinator::~Coordinator() { StopHeartbeat(); }
+
+void Coordinator::MeterDist(StageStats* stats, uint64_t sent,
+                            uint64_t received) {
+  if (stats) {
+    stats->AddDistSent(sent);
+    stats->AddDistReceived(received);
+  } else if (totals_) {
+    totals_->AddDistSent(sent);
+    totals_->AddDistReceived(received);
+  }
+}
+
+Result<net::Frame> Coordinator::CallWorker(StageStats* stats, int worker,
+                                           const net::Frame& req) {
+  Result<net::Frame> resp = transport_->Call(worker, req);
+  if (!resp.ok()) return resp;
+  // Meter only completed round trips: a torn connection's partial bytes
+  // are unknowable, and the retry's successful frames get counted.
+  MeterDist(stats, net::EncodedSize(req), net::EncodedSize(resp.value()));
+  const Status carried = StatusFromFrame(resp.value());
+  if (!carried.ok()) return carried;
+  return resp;
+}
+
+Result<net::Frame> Coordinator::CallExecutor(StageStats* stats,
+                                             int executor,
+                                             const net::Frame& req) {
+  int64_t delay_us = opts_.retry_base_delay_us;
+  for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    SAC_ASSIGN_OR_RETURN(const int worker, WorkerOf(executor));
+    Result<net::Frame> resp = CallWorker(stats, worker, req);
+    if (resp.ok()) return resp;
+    if (resp.status().code() != StatusCode::kUnavailable) return resp;
+    // The owner is gone; placement re-routes this executor onto a
+    // survivor, and the next attempt targets that worker.
+    MarkDead(worker, resp.status().message());
+    if (attempt < opts_.max_attempts && delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<int64_t>(delay_us, opts_.retry_max_delay_us)));
+      delay_us *= 2;
+    }
+  }
+  return Status::Unavailable("rpc to executor " + std::to_string(executor) +
+                             " failed after " +
+                             std::to_string(opts_.max_attempts) +
+                             " attempts");
+}
+
+Status Coordinator::ConnectAll() {
+  net::Frame ping;
+  ping.type = kPing;
+  for (int w = 0; w < num_workers(); ++w) {
+    Result<net::Frame> resp = CallWorker(nullptr, w, ping);
+    if (!resp.ok()) {
+      return resp.status().WithContext("worker " + std::to_string(w) +
+                                       " unreachable at startup");
+    }
+    ByteReader r(resp.value().payload);
+    Result<PingInfo> info = DecodePingInfo(&r);
+    if (info.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pids_[static_cast<size_t>(w)] = info.value().pid;
+    }
+  }
+  return Status::OK();
+}
+
+int Coordinator::live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(
+      std::count(alive_.begin(), alive_.end(), uint8_t{1}));
+}
+
+Result<int> Coordinator::WorkerOf(int executor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> live;
+  live.reserve(alive_.size());
+  for (size_t w = 0; w < alive_.size(); ++w) {
+    if (alive_[w]) live.push_back(static_cast<int>(w));
+  }
+  if (live.empty()) {
+    return Status::Unavailable("all " + std::to_string(alive_.size()) +
+                               " workers lost");
+  }
+  return live[static_cast<size_t>(executor) % live.size()];
+}
+
+uint64_t Coordinator::WorkerPid(int worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 || worker >= static_cast<int>(pids_.size())) return 0;
+  return pids_[static_cast<size_t>(worker)];
+}
+
+bool Coordinator::MarkDead(int worker, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (worker < 0 || worker >= static_cast<int>(alive_.size()) ||
+        !alive_[static_cast<size_t>(worker)]) {
+      return false;
+    }
+    alive_[static_cast<size_t>(worker)] = 0;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (totals_) totals_->AddWorkerLost();
+  if (tracer_) {
+    tracer_->Instant("worker-lost:" + std::to_string(worker), "dist", 0,
+                     {{"worker", worker}});
+  }
+  SAC_LOG(Warn) << "worker " << worker << " marked dead (" << why
+                << "); re-placing its executors on "
+                << live_workers() << " survivors";
+  return true;
+}
+
+Status Coordinator::PushBucket(StageStats* stats, const BucketId& id,
+                               int dest_executor,
+                               const std::vector<uint8_t>& bytes) {
+  net::Frame req;
+  req.type = kPutBucket;
+  req.payload.reserve(kBucketIdBytes + bytes.size());
+  ByteWriter w(&req.payload);
+  EncodeBucketId(id, &w);
+  w.PutRaw(bytes.data(), bytes.size());
+  SAC_ASSIGN_OR_RETURN(net::Frame resp,
+                       CallExecutor(stats, dest_executor, req));
+  if (resp.type != kPutBucketOk) {
+    return Status::DataLoss("unexpected response type " +
+                            std::to_string(resp.type) + " to PutBucket");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Coordinator::FetchBucket(StageStats* stats,
+                                                      const BucketId& id,
+                                                      int dest_executor) {
+  net::Frame req;
+  req.type = kGetBucket;
+  req.payload.reserve(kBucketIdBytes);
+  ByteWriter w(&req.payload);
+  EncodeBucketId(id, &w);
+  SAC_ASSIGN_OR_RETURN(net::Frame resp,
+                       CallExecutor(stats, dest_executor, req));
+  if (resp.type != kGetBucketOk) {
+    return Status::DataLoss("unexpected response type " +
+                            std::to_string(resp.type) + " to GetBucket");
+  }
+  return std::move(resp.payload);
+}
+
+void Coordinator::DropShuffle(uint64_t sid) {
+  net::Frame req;
+  req.type = kDropShuffle;
+  req.payload.reserve(sizeof(uint64_t));
+  ByteWriter w(&req.payload);
+  w.PutU64(sid);
+  for (int worker = 0; worker < num_workers(); ++worker) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!alive_[static_cast<size_t>(worker)]) continue;
+    }
+    // Best-effort: a failure here means the worker died, and its
+    // buckets with it.
+    CallWorker(nullptr, worker, req);
+  }
+}
+
+void Coordinator::ShutdownWorkers() {
+  net::Frame req;
+  req.type = kShutdown;
+  for (int worker = 0; worker < num_workers(); ++worker) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!alive_[static_cast<size_t>(worker)]) continue;
+    }
+    CallWorker(nullptr, worker, req);
+  }
+}
+
+void Coordinator::SweepOnce() {
+  net::Frame ping;
+  ping.type = kPing;
+  const int tick_ms = std::max(1, opts_.heartbeat_interval_ms);
+  for (int worker = 0; worker < num_workers(); ++worker) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!alive_[static_cast<size_t>(worker)]) continue;
+    }
+    Result<net::Frame> resp = CallWorker(nullptr, worker, ping);
+    if (resp.ok()) {
+      ByteReader r(resp.value().payload);
+      Result<PingInfo> info = DecodePingInfo(&r);
+      std::lock_guard<std::mutex> lock(mu_);
+      missed_ms_[static_cast<size_t>(worker)] = 0;
+      if (info.ok()) pids_[static_cast<size_t>(worker)] = info.value().pid;
+      continue;
+    }
+    int missed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      missed = missed_ms_[static_cast<size_t>(worker)] += tick_ms;
+    }
+    if (missed >= opts_.heartbeat_timeout_ms) {
+      MarkDead(worker, "heartbeat silent for " + std::to_string(missed) +
+                           " ms: " + resp.status().message());
+    }
+  }
+}
+
+void Coordinator::StartHeartbeat() {
+  if (opts_.heartbeat_interval_ms <= 0 || heartbeat_.joinable()) return;
+  heartbeat_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void Coordinator::StopHeartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+}
+
+void Coordinator::HeartbeatLoop() {
+  const auto interval =
+      std::chrono::milliseconds(opts_.heartbeat_interval_ms);
+  std::unique_lock<std::mutex> lock(hb_mu_);
+  while (!hb_stop_) {
+    if (hb_cv_.wait_for(lock, interval, [this] { return hb_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    SweepOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace sac::dist

@@ -1,0 +1,164 @@
+// Coordinator: the driver-side brain of the distributed shuffle
+// (docs/DISTRIBUTED.md). It owns the Transport and answers three
+// questions for Engine::ExecuteShuffle:
+//
+//  * Placement -- which worker hosts executor e's shuffle buckets?
+//    Round-robin over the *live* worker set, so a death automatically
+//    re-places the dead worker's executors onto survivors (the placement
+//    epoch bumps, which is how in-flight fetches learn the map moved).
+//  * Liveness -- a heartbeat thread pings every worker; enough
+//    consecutive missed pings (heartbeat_timeout_ms of silence) mark it
+//    dead, metered as workers_lost and traced as a "worker-lost:"
+//    instant. RPC-level connection failures mark the worker dead
+//    immediately (the kill -9 case: the kernel answers RST long before
+//    the heartbeat would time out).
+//  * Bucket RPCs -- PushBucket / FetchBucket / DropShuffle with the PR4
+//    retry/backoff shape (base * 2^(k-1), capped, bounded attempts).
+//    A push retries against the re-placed owner and so survives any
+//    death as long as one worker lives; a fetch whose bucket died with
+//    its worker comes back DataLoss, the engine's signal to re-execute
+//    the map side from lineage (partitions_reexecuted).
+//
+// Wire traffic is metered into dist_bytes_sent / dist_bytes_received on
+// the stage's StageStats when one is given, else on the engine totals.
+#ifndef SAC_DIST_COORDINATOR_H_
+#define SAC_DIST_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/common/trace.h"
+#include "src/dist/protocol.h"
+#include "src/net/transport.h"
+
+namespace sac::dist {
+
+struct CoordinatorOptions {
+  int num_executors = 1;
+  // Retry/backoff for bucket RPCs, same shape and defaults as the task
+  // retry policy (ClusterConfig::max_task_attempts / retry_*_delay_us).
+  int max_attempts = 3;
+  int retry_base_delay_us = 200;
+  int retry_max_delay_us = 20000;
+  // Liveness: ping period, and how much silence equals death. <= 0
+  // interval disables the background thread (tests drive SweepOnce()).
+  int heartbeat_interval_ms = 100;
+  int heartbeat_timeout_ms = 1000;
+};
+
+class Coordinator {
+ public:
+  /// `totals` receives dist metering not attributable to a stage
+  /// (heartbeats) and the workers_lost counter; `tracer` may be null.
+  Coordinator(std::unique_ptr<net::Transport> transport,
+              CoordinatorOptions opts, Metrics* totals,
+              trace::Tracer* tracer);
+  ~Coordinator();  // stops the heartbeat thread
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Pings every worker once; fails if any is unreachable (engine
+  /// construction fails fast on a misconfigured cluster). Caches pids.
+  Status ConnectAll();
+
+  void StartHeartbeat();
+  void StopHeartbeat();
+
+  // ---- identity / placement ------------------------------------------
+  const net::Transport& transport() const { return *transport_; }
+  int num_workers() const { return transport_->num_peers(); }
+  int live_workers() const;
+  /// Bumped by every MarkDead; a fetch that fails can compare epochs to
+  /// tell "already re-pushed under this placement" from "placement moved
+  /// again" (Engine::ExecuteShuffle's recovery loop).
+  uint64_t placement_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// The live worker hosting executor `executor`'s buckets;
+  /// Unavailable once every worker is dead.
+  Result<int> WorkerOf(int executor) const;
+  /// OS pid of `worker` from its last ping (0 if never seen) -- the
+  /// chaos harness's kill target.
+  uint64_t WorkerPid(int worker) const;
+
+  /// Fresh engine-wide shuffle id (bucket keys never collide across
+  /// stages or reruns).
+  uint64_t NextShuffleId() {
+    return next_shuffle_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- bucket RPCs ----------------------------------------------------
+  /// Stores `bytes` as `id` on the worker hosting executor
+  /// `dest_executor`. Retries with backoff across deaths (re-placing
+  /// each attempt); fails only when no worker is left or attempts run
+  /// out.
+  Status PushBucket(StageStats* stats, const BucketId& id,
+                    int dest_executor, const std::vector<uint8_t>& bytes);
+
+  /// Fetches `id` from the worker hosting executor `dest_executor`.
+  /// DataLoss means the bucket died with a worker: re-execute its map
+  /// side and re-push, then fetch again.
+  Result<std::vector<uint8_t>> FetchBucket(StageStats* stats,
+                                           const BucketId& id,
+                                           int dest_executor);
+
+  /// Frees shuffle `sid`'s buckets on every live worker. Best-effort:
+  /// a dead worker's buckets died with it.
+  void DropShuffle(uint64_t sid);
+
+  /// Asks every live worker process to exit (sac_worker honors it;
+  /// in-process workers just set a flag). Best-effort.
+  void ShutdownWorkers();
+
+  // ---- liveness -------------------------------------------------------
+  /// One heartbeat pass over the live set (the background thread's body;
+  /// exposed so tests can drive liveness deterministically).
+  void SweepOnce();
+  /// Marks `worker` dead: placement re-routes its executors, epoch
+  /// bumps, workers_lost meters. Idempotent; false if already dead.
+  bool MarkDead(int worker, const std::string& why);
+
+ private:
+  /// One raw RPC to a fixed worker, metering wire bytes. kError frames
+  /// decode into their carried Status.
+  Result<net::Frame> CallWorker(StageStats* stats, int worker,
+                                const net::Frame& req);
+  /// The RPC retry loop: resolve the executor's worker, call, and on an
+  /// Unavailable answer mark the worker dead, back off, re-place, and
+  /// try again. Non-Unavailable errors return immediately.
+  Result<net::Frame> CallExecutor(StageStats* stats, int executor,
+                                  const net::Frame& req);
+  void MeterDist(StageStats* stats, uint64_t sent, uint64_t received);
+  void HeartbeatLoop();
+
+  std::unique_ptr<net::Transport> transport_;
+  const CoordinatorOptions opts_;
+  Metrics* totals_;
+  trace::Tracer* tracer_;
+
+  mutable std::mutex mu_;  // guards alive_ / pids_ / missed_ms_
+  std::vector<uint8_t> alive_;
+  std::vector<uint64_t> pids_;
+  std::vector<int> missed_ms_;  // consecutive heartbeat silence per worker
+
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> next_shuffle_{1};
+
+  std::thread heartbeat_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;  // guarded by hb_mu_
+};
+
+}  // namespace sac::dist
+
+#endif  // SAC_DIST_COORDINATOR_H_

@@ -1,0 +1,65 @@
+#include "src/dist/protocol.h"
+
+namespace sac::dist {
+
+std::string BucketId::ToString() const {
+  return "shuffle " + std::to_string(shuffle_id) + " bucket (parent=" +
+         std::to_string(parent) + ", src=" + std::to_string(src) +
+         ", dest=" + std::to_string(dest) + ")";
+}
+
+void EncodeBucketId(const BucketId& id, ByteWriter* w) {
+  w->PutU64(id.shuffle_id);
+  w->PutU32(static_cast<uint32_t>(id.parent));
+  w->PutU32(static_cast<uint32_t>(id.src));
+  w->PutU32(static_cast<uint32_t>(id.dest));
+}
+
+Result<BucketId> DecodeBucketId(ByteReader* r) {
+  BucketId id;
+  SAC_ASSIGN_OR_RETURN(id.shuffle_id, r->GetU64());
+  SAC_ASSIGN_OR_RETURN(uint32_t parent, r->GetU32());
+  SAC_ASSIGN_OR_RETURN(uint32_t src, r->GetU32());
+  SAC_ASSIGN_OR_RETURN(uint32_t dest, r->GetU32());
+  id.parent = static_cast<int32_t>(parent);
+  id.src = static_cast<int32_t>(src);
+  id.dest = static_cast<int32_t>(dest);
+  return id;
+}
+
+void EncodePingInfo(const PingInfo& info, ByteWriter* w) {
+  w->PutU64(info.pid);
+  w->PutU64(info.num_buckets);
+  w->PutU64(info.hosted_bytes);
+}
+
+Result<PingInfo> DecodePingInfo(ByteReader* r) {
+  PingInfo info;
+  SAC_ASSIGN_OR_RETURN(info.pid, r->GetU64());
+  SAC_ASSIGN_OR_RETURN(info.num_buckets, r->GetU64());
+  SAC_ASSIGN_OR_RETURN(info.hosted_bytes, r->GetU64());
+  return info;
+}
+
+net::Frame MakeErrorFrame(const Status& st) {
+  net::Frame f;
+  f.type = kError;
+  f.payload.reserve(1 + 4 + st.message().size());
+  ByteWriter w(&f.payload);
+  w.PutU8(static_cast<uint8_t>(st.code()));
+  w.PutString(st.message());
+  return f;
+}
+
+Status StatusFromFrame(const net::Frame& f) {
+  if (f.type != kError) return Status::OK();
+  ByteReader r(f.payload);
+  Result<uint8_t> code = r.GetU8();
+  if (!code.ok()) return Status::DataLoss("malformed error frame");
+  Result<std::string> msg = r.GetString();
+  if (!msg.ok()) return Status::DataLoss("malformed error frame");
+  return Status(static_cast<StatusCode>(code.value()),
+                std::move(msg).value());
+}
+
+}  // namespace sac::dist

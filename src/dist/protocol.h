@@ -1,0 +1,79 @@
+// The coordinator <-> worker protocol (docs/DISTRIBUTED.md): five
+// request/response pairs carried as net::Frame payloads. Workers host
+// shuffle buckets -- the serialized per-destination byte buffers the
+// map side produces -- keyed by (shuffle_id, parent, src, dest); the
+// driver pushes them after the map phase and fetches them at reduce
+// time, so in distributed mode every cross-executor shuffle byte
+// genuinely crosses the transport.
+//
+// Error handling: a worker never fails a frame at the transport layer.
+// Protocol-level failures come back as a kError frame whose payload is
+// (status code, message); DecodeStatus() rehydrates the Status on the
+// driver. A missing bucket is DataLoss -- with its worker dead, the
+// bytes are gone and the driver must re-execute the map side from
+// lineage (docs/FAULT_MODEL.md).
+#ifndef SAC_DIST_PROTOCOL_H_
+#define SAC_DIST_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+#include "src/net/frame.h"
+
+namespace sac::dist {
+
+enum MsgType : uint32_t {
+  kPing = 1,         // liveness probe; response carries worker vitals
+  kPingOk = 2,
+  kPutBucket = 3,    // store one shuffle bucket (idempotent overwrite)
+  kPutBucketOk = 4,
+  kGetBucket = 5,    // fetch one shuffle bucket's bytes
+  kGetBucketOk = 6,
+  kDropShuffle = 7,  // free every bucket of a finished shuffle
+  kDropShuffleOk = 8,
+  kShutdown = 9,     // ask the worker process to exit cleanly
+  kShutdownOk = 10,
+  kError = 100,      // response-only: (status code, message)
+};
+
+/// Identity of one shuffle bucket: the serialized records of source
+/// partition `src` of parent `parent` bound for destination partition
+/// `dest`, within engine-wide shuffle `shuffle_id`.
+struct BucketId {
+  uint64_t shuffle_id = 0;
+  int32_t parent = 0;
+  int32_t src = 0;
+  int32_t dest = 0;
+
+  std::string ToString() const;
+};
+
+/// Serialized size of a BucketId (u64 shuffle_id + 3x u32).
+inline constexpr size_t kBucketIdBytes = 8 + 3 * 4;
+
+void EncodeBucketId(const BucketId& id, ByteWriter* w);
+Result<BucketId> DecodeBucketId(ByteReader* r);
+
+/// Worker vitals carried by a kPingOk response. `pid` is how the chaos
+/// harness finds its kill -9 target.
+struct PingInfo {
+  uint64_t pid = 0;
+  uint64_t num_buckets = 0;
+  uint64_t hosted_bytes = 0;
+};
+
+void EncodePingInfo(const PingInfo& info, ByteWriter* w);
+Result<PingInfo> DecodePingInfo(ByteReader* r);
+
+/// Builds a kError response frame carrying `st` (which must not be OK).
+net::Frame MakeErrorFrame(const Status& st);
+
+/// If `f` is a kError frame, the carried Status; OK otherwise. A
+/// malformed error payload decodes as DataLoss.
+Status StatusFromFrame(const net::Frame& f);
+
+}  // namespace sac::dist
+
+#endif  // SAC_DIST_PROTOCOL_H_

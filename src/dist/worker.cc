@@ -1,0 +1,142 @@
+#include "src/dist/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sac::dist {
+
+namespace {
+
+/// Dense map key for one bucket.
+std::string KeyOf(const BucketId& id) {
+  return std::to_string(id.shuffle_id) + "/" + std::to_string(id.parent) +
+         "/" + std::to_string(id.src) + "/" + std::to_string(id.dest);
+}
+
+net::Frame OkFrame(uint32_t type) {
+  net::Frame f;
+  f.type = type;
+  return f;
+}
+
+}  // namespace
+
+net::Frame WorkerState::Handle(const net::Frame& req) {
+  // Chaos budget: once spent, the worker answers Unavailable for
+  // everything -- indistinguishable, to the coordinator, from a dead
+  // process (tests/transport_test.cc uses this for in-process chaos).
+  uint64_t b = budget_.load(std::memory_order_acquire);
+  while (b != UINT64_MAX) {
+    if (b == 0) {
+      return MakeErrorFrame(
+          Status::Unavailable("worker failed (induced fault budget spent)"));
+    }
+    if (budget_.compare_exchange_weak(b, b - 1,
+                                      std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  Result<net::Frame> resp = Dispatch(req);
+  if (!resp.ok()) return MakeErrorFrame(resp.status());
+  return std::move(resp).value();
+}
+
+Result<net::Frame> WorkerState::Dispatch(const net::Frame& req) {
+  switch (req.type) {
+    case kPing: {
+      PingInfo info;
+      info.pid = static_cast<uint64_t>(::getpid());
+      info.num_buckets = num_buckets();
+      info.hosted_bytes = hosted_bytes();
+      net::Frame f = OkFrame(kPingOk);
+      f.payload.reserve(3 * sizeof(uint64_t));
+      ByteWriter w(&f.payload);
+      EncodePingInfo(info, &w);
+      return f;
+    }
+    case kPutBucket: {
+      const int64_t delay = put_delay_us_.load(std::memory_order_acquire);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+      ByteReader r(req.payload);
+      SAC_ASSIGN_OR_RETURN(BucketId id, DecodeBucketId(&r));
+      // Everything after the id is the bucket itself. Overwrite is
+      // legal and idempotent: lineage re-execution re-pushes identical
+      // bytes (deterministic map side), and last-write-wins keeps the
+      // store consistent either way.
+      const auto off =
+          static_cast<long>(req.payload.size() - r.remaining());
+      std::vector<uint8_t> bytes(req.payload.begin() + off,
+                                 req.payload.end());
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = buckets_.find(KeyOf(id));
+      if (it != buckets_.end()) {
+        hosted_bytes_ -= it->second.size();
+        it->second = std::move(bytes);
+      } else {
+        it = buckets_.emplace(KeyOf(id), std::move(bytes)).first;
+      }
+      hosted_bytes_ += it->second.size();
+      return OkFrame(kPutBucketOk);
+    }
+    case kGetBucket: {
+      ByteReader r(req.payload);
+      SAC_ASSIGN_OR_RETURN(BucketId id, DecodeBucketId(&r));
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = buckets_.find(KeyOf(id));
+      if (it == buckets_.end()) {
+        // The honest answer when a re-placed fetch lands here before a
+        // re-push: the original copy died with its worker.
+        return Status::DataLoss(id.ToString() + " not hosted here");
+      }
+      net::Frame f = OkFrame(kGetBucketOk);
+      f.payload = it->second;
+      return f;
+    }
+    case kDropShuffle: {
+      ByteReader r(req.payload);
+      SAC_ASSIGN_OR_RETURN(uint64_t sid, r.GetU64());
+      const std::string prefix = std::to_string(sid) + "/";
+      uint64_t dropped = 0;
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = buckets_.begin(); it != buckets_.end();) {
+        if (it->first.compare(0, prefix.size(), prefix) == 0) {
+          hosted_bytes_ -= it->second.size();
+          it = buckets_.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+      net::Frame f = OkFrame(kDropShuffleOk);
+      f.payload.reserve(sizeof(uint64_t));
+      ByteWriter w(&f.payload);
+      w.PutU64(dropped);
+      return f;
+    }
+    case kShutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      return OkFrame(kShutdownOk);
+    }
+    default:
+      return Status::InvalidArgument("unknown message type " +
+                                     std::to_string(req.type));
+  }
+}
+
+uint64_t WorkerState::num_buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+uint64_t WorkerState::hosted_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hosted_bytes_;
+}
+
+}  // namespace sac::dist

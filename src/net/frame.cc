@@ -1,0 +1,126 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+#include <string>
+
+namespace sac::net {
+
+namespace {
+
+/// The 256-entry CRC-32 table for the reflected IEEE polynomial,
+/// computed once per process.
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         static_cast<uint64_t>(ReadU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const uint32_t* table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrame(const Frame& f, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + EncodedSize(f));
+  PutU32(out, kFrameMagic);
+  PutU32(out, f.type);
+  PutU64(out, f.seq);
+  PutU32(out, static_cast<uint32_t>(f.payload.size()));
+  PutU32(out, Crc32(f.payload.data(), f.payload.size()));
+  out->insert(out->end(), f.payload.begin(), f.payload.end());
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size,
+                                      size_t max_payload) {
+  if (size < kFrameHeaderBytes) {
+    return Status::DataLoss("truncated frame header: " +
+                            std::to_string(size) + " of " +
+                            std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  if (ReadU32(data) != kFrameMagic) {
+    return Status::DataLoss("bad frame magic");
+  }
+  FrameHeader h;
+  h.type = ReadU32(data + 4);
+  h.seq = ReadU64(data + 8);
+  h.payload_len = ReadU32(data + 16);
+  h.crc = ReadU32(data + 20);
+  if (h.payload_len > max_payload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(h.payload_len) +
+        " bytes exceeds the " + std::to_string(max_payload) + "-byte cap");
+  }
+  return h;
+}
+
+Status CheckPayloadCrc(const FrameHeader& h, const uint8_t* payload) {
+  const uint32_t got = Crc32(payload, h.payload_len);
+  if (got != h.crc) {
+    return Status::DataLoss("frame CRC mismatch (header says " +
+                            std::to_string(h.crc) + ", payload hashes to " +
+                            std::to_string(got) + ")");
+  }
+  return Status::OK();
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+                          size_t max_payload) {
+  SAC_ASSIGN_OR_RETURN(FrameHeader h,
+                       DecodeFrameHeader(data, size, max_payload));
+  if (size < kFrameHeaderBytes + h.payload_len) {
+    return Status::DataLoss(
+        "truncated frame payload: " +
+        std::to_string(size - kFrameHeaderBytes) + " of " +
+        std::to_string(h.payload_len) + " bytes");
+  }
+  if (size > kFrameHeaderBytes + h.payload_len) {
+    return Status::DataLoss("trailing bytes after frame payload");
+  }
+  SAC_RETURN_NOT_OK(CheckPayloadCrc(h, data + kFrameHeaderBytes));
+  Frame f;
+  f.type = h.type;
+  f.seq = h.seq;
+  f.payload.assign(data + kFrameHeaderBytes,
+                   data + kFrameHeaderBytes + h.payload_len);
+  return f;
+}
+
+}  // namespace sac::net

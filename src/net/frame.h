@@ -1,0 +1,93 @@
+// Length-prefixed frame codec shared by every shuffle transport
+// (docs/DISTRIBUTED.md). A frame is one request or response between the
+// driver and a worker:
+//
+//   offset  size  field
+//   0       4     magic        "SACF" (rejects a stray client instantly)
+//   4       4     type         dist::MsgType (opaque to this layer)
+//   8       8     seq          caller-assigned; responses echo it
+//   16      4     payload_len  bytes following the header
+//   20      4     crc32        IEEE CRC-32 of the payload bytes
+//   24      ...   payload
+//
+// All integers little-endian. The codec is deliberately transport-
+// agnostic: LoopbackTransport runs every call through it too, so the
+// in-process path and the TCP path exercise identical framing, byte
+// accounting, and corruption detection.
+//
+// Typed decode errors (tests/transport_test.cc pins these):
+//   * truncated header or payload      -> DataLoss
+//   * bad magic                        -> DataLoss
+//   * payload_len over the size cap    -> InvalidArgument
+//   * CRC mismatch                     -> DataLoss
+#ifndef SAC_NET_FRAME_H_
+#define SAC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sac::net {
+
+/// One decoded message. `type` and `seq` travel in the header; `payload`
+/// is an opaque byte blob (the dist layer encodes its protocol into it).
+struct Frame {
+  uint32_t type = 0;
+  uint64_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// "SACF" read as a little-endian u32.
+inline constexpr uint32_t kFrameMagic = 0x46434153u;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Hard cap on a single frame's payload: a shuffle bucket is a slice of
+/// one partition, far below this; anything larger is a corrupt length
+/// field or a misbehaving peer, and pre-validating the cap keeps a bad
+/// header from driving a multi-gigabyte allocation.
+inline constexpr size_t kMaxFramePayload = 256u << 20;  // 256 MiB
+
+/// IEEE CRC-32 (the zlib polynomial), table-driven.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+/// Bytes EncodeFrame will append for `f` (header + payload).
+inline size_t EncodedSize(const Frame& f) {
+  return kFrameHeaderBytes + f.payload.size();
+}
+
+/// Appends the wire encoding of `f` (header + payload) to `*out`.
+void EncodeFrame(const Frame& f, std::vector<uint8_t>* out);
+
+/// The fixed-size header, validated but not yet paired with its payload.
+/// Stream transports read exactly kFrameHeaderBytes, decode this, then
+/// read `payload_len` more bytes and check them against `crc`.
+struct FrameHeader {
+  uint32_t type = 0;
+  uint64_t seq = 0;
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+};
+
+/// Decodes and validates a header from the first kFrameHeaderBytes of
+/// `data` (magic + payload size cap; the CRC is checked later, against
+/// the payload).
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size,
+                                      size_t max_payload = kMaxFramePayload);
+
+/// Verifies `payload` against the header's CRC.
+Status CheckPayloadCrc(const FrameHeader& h, const uint8_t* payload);
+
+/// Decodes one complete frame (header + payload) from `data`. `size`
+/// must cover the whole frame; trailing bytes are an error (one buffer =
+/// one frame in every caller).
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+                          size_t max_payload = kMaxFramePayload);
+inline Result<Frame> DecodeFrame(const std::vector<uint8_t>& buf,
+                                 size_t max_payload = kMaxFramePayload) {
+  return DecodeFrame(buf.data(), buf.size(), max_payload);
+}
+
+}  // namespace sac::net
+
+#endif  // SAC_NET_FRAME_H_

@@ -1,0 +1,66 @@
+#include "src/net/loopback.h"
+
+#include <string>
+#include <utility>
+
+namespace sac::net {
+
+int LoopbackTransport::AddPeer(Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.push_back(Peer{std::move(handler), false});
+  return static_cast<int>(peers_.size()) - 1;
+}
+
+void LoopbackTransport::SetPeerDown(int peer, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (peer >= 0 && peer < static_cast<int>(peers_.size())) {
+    peers_[peer].down = down;
+  }
+}
+
+int LoopbackTransport::num_peers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(peers_.size());
+}
+
+Result<Frame> LoopbackTransport::Call(int peer, const Frame& request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (peer < 0 || peer >= static_cast<int>(peers_.size())) {
+      return Status::InvalidArgument("loopback: no peer " +
+                                     std::to_string(peer));
+    }
+    if (peers_[peer].down) {
+      return Status::Unavailable("loopback: peer " + std::to_string(peer) +
+                                 " is down");
+    }
+    handler = peers_[peer].handler;
+  }
+
+  // Full codec round trip in both directions: what the handler sees is
+  // what a TCP worker would have decoded off the stream, and the byte
+  // counters meter real encoded sizes.
+  Frame req = request;
+  req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> wire;
+  EncodeFrame(req, &wire);
+  sent_.fetch_add(wire.size(), std::memory_order_relaxed);
+  SAC_ASSIGN_OR_RETURN(Frame delivered, DecodeFrame(wire));
+
+  Frame response = handler(delivered);
+  response.seq = delivered.seq;
+  wire.clear();
+  EncodeFrame(response, &wire);
+  received_.fetch_add(wire.size(), std::memory_order_relaxed);
+  SAC_ASSIGN_OR_RETURN(Frame decoded, DecodeFrame(wire));
+  if (decoded.seq != req.seq) {
+    return Status::DataLoss("loopback: response seq " +
+                            std::to_string(decoded.seq) +
+                            " does not match request seq " +
+                            std::to_string(req.seq));
+  }
+  return decoded;
+}
+
+}  // namespace sac::net

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -17,7 +18,12 @@
 #include "src/common/logging.h"
 #include "src/common/profile.h"
 #include "src/common/serialize.h"
+#include "src/dist/coordinator.h"
+#include "src/dist/protocol.h"
+#include "src/dist/worker.h"
 #include "src/la/backend.h"
+#include "src/net/loopback.h"
+#include "src/net/tcp.h"
 #include "src/storage/spill.h"
 
 namespace sac::runtime {
@@ -135,6 +141,55 @@ const la::KernelBackend* KernelBackendFromEnv(const std::string& config_name) {
   return kb;
 }
 
+/// SAC_TRANSPORT ("loopback" | "tcp") wins over the config field; empty
+/// or unset falls through to the config, then to "loopback". Unknown
+/// names warn and take the default rather than failing the run.
+std::string TransportFromEnv(const std::string& config_name) {
+  const char* env = std::getenv("SAC_TRANSPORT");
+  std::string name =
+      (env != nullptr && *env != '\0') ? std::string(env) : config_name;
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name.empty()) return "loopback";
+  if (name != "loopback" && name != "tcp") {
+    SAC_LOG(Warn) << "unknown transport '" << name
+                  << "' (expected loopback|tcp); using loopback";
+    return "loopback";
+  }
+  return name;
+}
+
+/// SAC_WORKERS wins over the config field: "" = no distributed runtime,
+/// "N" = N in-process workers, "host:port,..." = external workers.
+std::string WorkersFromEnv(const std::string& config_value) {
+  const char* env = std::getenv("SAC_WORKERS");
+  return env != nullptr ? std::string(env) : config_value;
+}
+
+/// True when `spec` is a plain worker count ("3") rather than an
+/// address list.
+bool IsWorkerCount(const std::string& spec) {
+  if (spec.empty()) return false;
+  for (char c : spec) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitAddrs(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
 /// SAC_TRACE=<path>: auto-write the Chrome trace at engine teardown.
 /// Each engine after the first in one process gets "<path>.<k>" so
 /// multi-engine runs (benches, tests) keep every trace.
@@ -221,12 +276,29 @@ Engine::Engine(ClusterConfig config)
         byte_pool_.Trim();
         row_pool_.Trim();
       });
+  // Distributed runtime (docs/DISTRIBUTED.md): env > config, and the
+  // config reflects the effective values. A misconfigured cluster (an
+  // unreachable worker) fails engine construction loudly rather than
+  // failing the first shuffle obscurely.
+  const Status dist_st = SetupDistributed();
+  if (!dist_st.ok()) {
+    SAC_LOG(Error) << "distributed setup failed: " << dist_st.ToString();
+  }
+  SAC_CHECK(dist_st.ok());
   StartSampler();
 }
 
 Engine::~Engine() {
   // Sampler first: nothing may touch the store/pools/tracer mid-teardown.
   StopSampler();
+  // Distributed teardown, coordinator-first: stop the heartbeat and
+  // drop the transport (closing pooled connections), then stop the
+  // in-process servers (joining their service threads), then free the
+  // worker states the handlers point at. External sac_worker processes
+  // are left running -- their lifecycle belongs to whoever spawned them.
+  coord_.reset();
+  local_servers_.clear();
+  local_workers_.clear();
   if (!auto_trace_path_.empty()) {
     Status st = WriteChromeTrace(auto_trace_path_);
     if (!st.ok()) {
@@ -239,6 +311,102 @@ Engine::~Engine() {
   // Checkpoints written without an explicit dir land in spill_dir_ too,
   // so this reclaims every file the engine ever spilled.
   storage::RemoveSpillDir(spill_dir_);
+}
+
+Status Engine::SetupDistributed() {
+  // env > config, and the config reflects the effective values.
+  config_.workers = WorkersFromEnv(config_.workers);
+  config_.transport = TransportFromEnv(config_.transport);
+  const std::string& spec = config_.workers;
+  if (spec.empty()) return Status::OK();
+
+  std::unique_ptr<net::Transport> transport;
+  if (IsWorkerCount(spec)) {
+    const int n = static_cast<int>(std::strtol(spec.c_str(), nullptr, 10));
+    if (n < 1) {
+      return Status::InvalidArgument("worker count must be >= 1, got '" +
+                                     spec + "'");
+    }
+    for (int i = 0; i < n; ++i) {
+      local_workers_.push_back(std::make_unique<dist::WorkerState>());
+    }
+    if (config_.transport == "tcp") {
+      // Real sockets served in-process: each worker binds its own
+      // 127.0.0.1 ephemeral port, so every bucket byte crosses the
+      // loopback interface through the frame codec.
+      std::vector<std::string> addrs;
+      for (int i = 0; i < n; ++i) {
+        dist::WorkerState* w = local_workers_[static_cast<size_t>(i)].get();
+        auto server = std::make_unique<net::TcpServer>(
+            [w](const net::Frame& f) { return w->Handle(f); });
+        SAC_RETURN_NOT_OK(server->Start(0));
+        addrs.push_back("127.0.0.1:" + std::to_string(server->port()));
+        local_servers_.push_back(std::move(server));
+      }
+      transport = std::make_unique<net::TcpTransport>(std::move(addrs));
+    } else {
+      auto loopback = std::make_unique<net::LoopbackTransport>();
+      for (int i = 0; i < n; ++i) {
+        dist::WorkerState* w = local_workers_[static_cast<size_t>(i)].get();
+        loopback->AddPeer([w](const net::Frame& f) { return w->Handle(f); });
+      }
+      transport = std::move(loopback);
+    }
+  } else {
+    // Address list = external sac_worker processes, necessarily TCP.
+    if (config_.transport != "tcp") {
+      SAC_LOG(Info)
+          << "workers is an address list; forcing the tcp transport";
+      config_.transport = "tcp";
+    }
+    std::vector<std::string> addrs = SplitAddrs(spec);
+    if (addrs.empty()) {
+      return Status::InvalidArgument("no worker addresses in '" + spec +
+                                     "'");
+    }
+    transport = std::make_unique<net::TcpTransport>(std::move(addrs));
+  }
+
+  dist::CoordinatorOptions copts;
+  copts.num_executors = config_.num_executors;
+  // Enough attempts to walk past every possible death: each Unavailable
+  // answer marks one worker dead and re-places, so num_workers + 1
+  // attempts always reaches a survivor (or "all workers lost").
+  copts.max_attempts =
+      std::max(config_.max_task_attempts, transport->num_peers() + 1);
+  copts.retry_base_delay_us = config_.retry_base_delay_us;
+  copts.retry_max_delay_us = config_.retry_max_delay_us;
+  copts.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+  copts.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
+  coord_ = std::make_unique<dist::Coordinator>(std::move(transport), copts,
+                                               &metrics_, &tracer_);
+  SAC_RETURN_NOT_OK(coord_->ConnectAll());
+  coord_->StartHeartbeat();
+  SAC_LOG(Info) << "distributed runtime up: " << coord_->num_workers()
+                << " workers over " << coord_->transport().name();
+  return Status::OK();
+}
+
+Status Engine::PushShuffleBuckets(StageStats* stats, uint64_t shuffle_id,
+                                  int p, int src, ShuffleBuckets* bs) {
+  const int num_dest = static_cast<int>(bs->remote_by_dest.size());
+  for (int d = 0; d < num_dest; ++d) {
+    if (bs->local_by_dest[d]) continue;  // zero-copy, stays in the driver
+    dist::BucketId id;
+    id.shuffle_id = shuffle_id;
+    id.parent = p;
+    id.src = src;
+    id.dest = d;
+    // Empty buckets are pushed too: a missing bucket on the reduce side
+    // then always means loss, never "nothing was sent".
+    SAC_RETURN_NOT_OK(coord_->PushBucket(stats, id, ExecutorOf(d),
+                                         *bs->remote_by_dest[d]));
+    // Release the driver-side buffer; the worker's copy is now the only
+    // one, so the reduce side must fetch it over the transport (and its
+    // loss with a dead worker is real loss, recovered from lineage).
+    bs->remote_by_dest[d] = PooledVec<uint8_t>();
+  }
+  return Status::OK();
 }
 
 void Engine::StartSampler() {
@@ -825,9 +993,16 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
 
   InFlightScope running(this);
 
+  // Distributed mode (docs/DISTRIBUTED.md): a fresh engine-wide shuffle
+  // id keys this stage's buckets on the workers.
+  const uint64_t sid = coord_ ? coord_->NextShuffleId() : 0;
+
   // Map side: bucket every parent partition (parallel across partitions).
   // buckets[parent][src] holds per-destination pooled buffers: serialized
   // bytes for remote destinations, moved Values for executor-local ones.
+  // In distributed mode each remote bucket is pushed to the worker
+  // hosting its destination executor and released here, so cross-executor
+  // bytes genuinely cross the transport.
   std::vector<std::vector<ShuffleBuckets>> buckets(num_parents);
   const TaskContext write_ctx = ContextFor(ds, stage_span.id(),
                                            "shuffle-write");
@@ -846,17 +1021,81 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
           SAC_ASSIGN_OR_RETURN(ShuffleBuckets bs,
                                BucketRows(write_ctx, std::move(combined), s,
                                           num_dest, attempt));
+          if (coord_) {
+            SAC_RETURN_NOT_OK(PushShuffleBuckets(stats, sid, p, s, &bs));
+          }
           AddRecordsTo(stats, pin.rows().size());
           buckets[p][s] = std::move(bs);
           return Status::OK();
         }));
   }
 
+  // Lineage re-execution (distributed only): a fetch that comes back
+  // DataLoss lost its bucket with a dead worker. Rebuild the map side of
+  // that (parent, src) from the still-resident parent partition and
+  // re-push its remote buckets to the re-placed owners. Deduped by
+  // placement epoch: concurrent reduce tasks missing buckets of the same
+  // source re-execute it once per placement, while a later death (epoch
+  // bump) allows re-execution again.
+  std::mutex reexec_mu;
+  std::map<std::pair<int, int>, uint64_t> reexec_epoch;
+  auto reexecute_map_side = [&](int p, int s) -> Status {
+    std::lock_guard<std::mutex> lock(reexec_mu);
+    const uint64_t epoch = coord_->placement_epoch();
+    const auto key = std::make_pair(p, s);
+    auto it = reexec_epoch.find(key);
+    if (it != reexec_epoch.end() && it->second >= epoch) {
+      return Status::OK();  // already re-pushed under this placement
+    }
+    DatasetImpl* parent = ds->parents_[p].get();
+    SAC_ASSIGN_OR_RETURN(PartitionPin pin, PinPartition(parent, s));
+    SAC_ASSIGN_OR_RETURN(Partition combined, map_side(pin.rows(), p));
+    SAC_ASSIGN_OR_RETURN(ShuffleBuckets fresh,
+                         BucketRows(write_ctx, std::move(combined), s,
+                                    num_dest, /*attempt=*/1));
+    // Only the remote buckets were lost; the local buckets' originals
+    // never left driver memory, so the fresh copies are discarded with
+    // `fresh` (the map side is deterministic -- identical bytes either
+    // way).
+    SAC_RETURN_NOT_OK(PushShuffleBuckets(stats, sid, p, s, &fresh));
+    if (stats) {
+      stats->AddReexecutedPartition();
+    } else {
+      metrics_.AddReexecutedPartition();
+    }
+    tracer_.Instant("reexec:" + ds->label_, "dist", stage_span.id(),
+                    {{"parent", p}, {"src", s}});
+    reexec_epoch[key] = epoch;
+    return Status::OK();
+  };
+  auto fetch_bucket = [&](int p, int s, int d)
+      -> Result<std::vector<uint8_t>> {
+    dist::BucketId id;
+    id.shuffle_id = sid;
+    id.parent = p;
+    id.src = s;
+    id.dest = d;
+    const int max_rounds =
+        std::max(config_.max_task_attempts, coord_->num_workers() + 1);
+    Status last = Status::OK();
+    for (int round = 0; round < max_rounds; ++round) {
+      Result<std::vector<uint8_t>> got =
+          coord_->FetchBucket(stats, id, ExecutorOf(d));
+      if (got.ok()) return got;
+      if (got.status().code() != StatusCode::kDataLoss) return got;
+      last = got.status();
+      SAC_RETURN_NOT_OK(reexecute_map_side(p, s));
+    }
+    return last.WithContext("still missing after lineage re-execution");
+  };
+
   // Reduce side: drain this destination's buckets in deterministic
   // (parent, source-partition) order, then fold. Local buckets hand over
-  // their Values by move; remote buckets are deserialized. A (src, dest)
-  // bucket is entirely one or the other, so the concatenation order
-  // matches the serialize-everything path exactly.
+  // their Values by move; in-memory remote buckets are deserialized; a
+  // released remote bucket (distributed mode pushed it) is fetched from
+  // its worker first. A (src, dest) bucket is entirely one route, and
+  // fetched bytes are the exact bytes the map side serialized, so the
+  // concatenation order -- and the result -- is identical on every path.
   const TaskContext reduce_ctx = ContextFor(ds, stage_span.id(), "reduce");
   auto reduce_one = [&](int d, int attempt) -> Status {
     // The post-shuffle fault point fires at the very top of the reduce
@@ -866,19 +1105,32 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
     // below; real errors mid-drain are not retried.)
     SAC_RETURN_NOT_OK(CheckFault(recovery::FaultPoint::kPostShuffle,
                                  reduce_ctx, d, attempt));
+    auto drain_bytes = [](const std::vector<uint8_t>& bytes,
+                          ValueVec* rows) -> Status {
+      ByteReader reader(bytes);
+      while (!reader.AtEnd()) {
+        SAC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(&reader));
+        rows->push_back(std::move(v));
+      }
+      return Status::OK();
+    };
     ValueVec rows_a, rows_b;
     for (int p = 0; p < num_parents; ++p) {
       ValueVec& rows = (p == 0) ? rows_a : rows_b;
-      for (ShuffleBuckets& bs : buckets[p]) {
+      const int num_src = static_cast<int>(buckets[p].size());
+      for (int s = 0; s < num_src; ++s) {
+        ShuffleBuckets& bs = buckets[p][s];
         if (bs.local_by_dest[d]) {
           ValueVec& local = *bs.local_by_dest[d];
           for (Value& v : local) rows.push_back(std::move(v));
+        } else if (bs.remote_by_dest[d]) {
+          SAC_RETURN_NOT_OK(drain_bytes(*bs.remote_by_dest[d], &rows));
         } else {
-          ByteReader reader(*bs.remote_by_dest[d]);
-          while (!reader.AtEnd()) {
-            SAC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(&reader));
-            rows.push_back(std::move(v));
-          }
+          // The bucket lives on a worker (or died with one and gets
+          // rebuilt from lineage mid-fetch).
+          SAC_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                               fetch_bucket(p, s, d));
+          SAC_RETURN_NOT_OK(drain_bytes(data, &rows));
         }
       }
     }
@@ -895,6 +1147,9 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
   } else {
     st = ParallelParts(reduce_ctx, num_dest, reduce_one);
   }
+  // The stage is folded; free its buckets on the workers (best-effort --
+  // a dead worker's buckets died with it).
+  if (coord_) coord_->DropShuffle(sid);
   if (stats) {
     stats->AddWallMicros(stage_sw.ElapsedMicros());
     const MetricsSnapshot c = stats->counters().Snapshot();
@@ -906,6 +1161,12 @@ Status Engine::ExecuteShuffle(DatasetImpl* ds, const MapSideFn& map_side,
                       static_cast<int64_t>(c.cross_executor_bytes));
     stage_span.AddArg("local_shuffle_bytes",
                       static_cast<int64_t>(c.local_shuffle_bytes));
+    if (coord_) {
+      stage_span.AddArg("dist_bytes_sent",
+                        static_cast<int64_t>(c.dist_bytes_sent));
+      stage_span.AddArg("dist_bytes_received",
+                        static_cast<int64_t>(c.dist_bytes_received));
+    }
     SAC_LOG(Debug) << "stage #" << ds->stage_.id << " " << ds->label()
                    << (only_dest >= 0 ? " (recover)" : "") << ": "
                    << c.shuffle_records << " records, " << c.shuffle_bytes

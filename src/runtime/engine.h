@@ -68,6 +68,15 @@ namespace sac::la {
 class KernelBackend;
 }  // namespace sac::la
 
+namespace sac::net {
+class TcpServer;
+}  // namespace sac::net
+
+namespace sac::dist {
+class Coordinator;
+class WorkerState;
+}  // namespace sac::dist
+
 namespace sac::runtime {
 
 /// Shape of the simulated cluster. Executors matter only for shuffle
@@ -137,6 +146,27 @@ struct ClusterConfig {
   // default. After construction config().kernel_backend holds the
   // effective name.
   std::string kernel_backend = "";
+
+  // ---- Distributed runtime (docs/DISTRIBUTED.md) ----------------------
+  // Transport carrying shuffle buckets between the driver and workers:
+  // "loopback" (in-process, full frame-codec round trip, the default) or
+  // "tcp" (framed stream sockets). Ignored unless `workers` is set. The
+  // SAC_TRANSPORT env var overrides this at engine construction; after
+  // construction the field holds the effective name.
+  std::string transport = "";
+  // Worker set hosting shuffle buckets. "" (default) = no distributed
+  // runtime: the engine is the single process it always was, bit for
+  // bit. "N" (a count) = N in-process workers behind the configured
+  // transport (tcp binds one 127.0.0.1 ephemeral-port server each).
+  // "host:port,host:port,..." = external sac_worker processes (implies
+  // tcp). The SAC_WORKERS env var overrides this at construction.
+  std::string workers = "";
+  // Worker liveness: the coordinator pings every worker each
+  // heartbeat_interval_ms; heartbeat_timeout_ms of silence marks it
+  // dead (workers_lost), re-placing its executors onto survivors.
+  // interval <= 0 disables the background heartbeat thread.
+  int heartbeat_interval_ms = 100;
+  int heartbeat_timeout_ms = 1000;
 
   int TotalCores() const { return num_executors * cores_per_executor; }
 };
@@ -252,6 +282,21 @@ class Engine {
   /// (docs/MEMORY_MODEL.md). Exposed for admission-priority hints
   /// (Sac::EvalLoop), tests, and reports.
   memory::BlockStore& block_store() { return *store_; }
+
+  // ---- Distributed runtime (docs/DISTRIBUTED.md) ----------------------
+  /// True when config().workers is set: shuffle buckets live on worker
+  /// processes behind a transport instead of in driver memory.
+  bool distributed() const { return coord_ != nullptr; }
+  /// The placement/liveness/RPC brain; nullptr unless distributed().
+  dist::Coordinator* coordinator() { return coord_.get(); }
+  /// In-process worker `i` when config().workers was a count ("3");
+  /// nullptr otherwise. Tests use this to inject worker faults
+  /// (WorkerState::FailAfter) without separate processes.
+  dist::WorkerState* local_worker(int i) {
+    return i >= 0 && i < static_cast<int>(local_workers_.size())
+               ? local_workers_[i].get()
+               : nullptr;
+  }
 
   // ---- Query service (docs/SERVICE.md) --------------------------------
   /// Opens a runtime session: a per-session metrics sink, a memory-slice
@@ -617,6 +662,19 @@ class Engine {
     return partition % config_.num_executors;
   }
 
+  // ---- Distributed runtime (docs/DISTRIBUTED.md) ----------------------
+  /// Builds the worker set + transport + coordinator from
+  /// config().workers / config().transport (after env resolution); no-op
+  /// when workers is empty. Fails fast if any worker is unreachable.
+  Status SetupDistributed();
+  /// Pushes every remote bucket of `bs` (src partition `src` of parent
+  /// `p`) to the worker hosting its destination executor, then releases
+  /// the driver-side buffer -- in distributed mode remote bucket bytes
+  /// live on workers, so every cross-executor byte crosses the
+  /// transport. Local (same-executor) buckets stay in driver memory.
+  Status PushShuffleBuckets(StageStats* stats, uint64_t shuffle_id, int p,
+                            int src, ShuffleBuckets* bs);
+
   // ---- Time-series sampler (ClusterConfig::sample_interval_us) --------
   /// Starts the sampler thread when the configured interval is > 0.
   void StartSampler();
@@ -647,6 +705,14 @@ class Engine {
   // any destruction order; ~Engine shuts it down.
   std::shared_ptr<memory::BlockStore> store_;
   std::string spill_dir_;  // this engine's private spill directory
+
+  // ---- Distributed runtime (docs/DISTRIBUTED.md) ----------------------
+  // ~Engine tears these down coordinator-first (stop RPCs and the
+  // heartbeat), then the in-process servers (join service threads), then
+  // the worker states the servers' handlers point at.
+  std::vector<std::unique_ptr<dist::WorkerState>> local_workers_;
+  std::vector<std::unique_ptr<net::TcpServer>> local_servers_;
+  std::unique_ptr<dist::Coordinator> coord_;
 
   // SAC_TRACE destination (Chrome trace auto-written at teardown);
   // subsequent engines in one process get a numbered suffix so they

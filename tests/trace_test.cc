@@ -311,7 +311,8 @@ TEST(StageRegistryTest, ReportStringGoldenLayout) {
   const std::string expected_header =
       "stage label                    kind       tasks   records_in "
       "  shuffle_KB   cross_KB   local_KB  recomp retries faults "
-      "backoff_ms  ckpt_KB evict_KB reload_KB   wall_ms  task_p95_us\n";
+      "backoff_ms  ckpt_KB evict_KB reload_KB dist_tx_KB dist_rx_KB "
+      "reexec   wall_ms  task_p95_us\n";
   ASSERT_EQ(report.substr(0, expected_header.size()), expected_header);
 
   // One populated row keeps the value formatting pinned too.
@@ -325,8 +326,8 @@ TEST(StageRegistryTest, ReportStringGoldenLayout) {
   EXPECT_EQ(row,
             "0     golden                   shuffle        1            0 "
             "         2.0        2.0        0.0       0       0      0 "
-            "       0.0      0.0      0.0       0.0      0.00            "
-            "0\n");
+            "       0.0      0.0      0.0       0.0        0.0        0.0 "
+            "     0      0.00            0\n");
 }
 
 TEST(MetricsSnapshotTest, PlainCopyMatchesAtomics) {
